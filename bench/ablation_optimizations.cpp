@@ -1,0 +1,244 @@
+// Ablation harness for the design decisions DESIGN.md §4 calls out — each
+// optimization the paper describes (or points at as future work) measured
+// against its naive alternative on the same workload:
+//
+//   A. retained vs rebuilt send queues (§III-D1) on PageRank and LP;
+//   B. partitioning quality: np / mp / rand / PuLP (§III-B + §VII) — edge
+//      cut, ghost count, and PageRank time;
+//   C. compressed vs plain CSR (§VII): bytes per edge and traversal speed;
+//   D. top-down vs direction-optimizing BFS (the omitted BFS-specific
+//      optimization): parallel time and communication volume.
+
+#include <iostream>
+#include <memory>
+
+#include "analytics/analytics.hpp"
+#include "bench_common.hpp"
+#include "dgraph/compressed_csr.hpp"
+#include "dgraph/pulp_partition.hpp"
+#include "gen/webgraph.hpp"
+#include "util/timer.hpp"
+
+namespace hb = hpcgraph::bench;
+using namespace hpcgraph;
+
+int main(int argc, char** argv) {
+  const Cli cli(argc, argv);
+  const unsigned scale = static_cast<unsigned>(cli.get_int("scale", 16));
+  const int nranks = static_cast<int>(cli.get_int("ranks", 8));
+
+  gen::WebGraphParams wp;
+  wp.n = gvid_t{1} << scale;
+  wp.avg_degree = 16;
+  const gen::WebGraph wc = gen::webgraph(wp);
+
+  hb::print_banner("Ablations: the paper's optimizations vs naive variants",
+                   "webgraph n=2^" + std::to_string(scale) + ", " +
+                       std::to_string(nranks) + " ranks");
+
+  // ---- A. Retained vs rebuilt queues. ----
+  {
+    TablePrinter t({"Analytic", "Retained Tpar(s)", "Rebuilt Tpar(s)",
+                    "Speedup"});
+    const auto pr_run = [&](bool retain) {
+      return hb::run_region(
+                 wc.graph, nranks, dgraph::PartitionKind::kRandom,
+                 [retain](const dgraph::DistGraph& g,
+                          parcomm::Communicator& comm) {
+                   analytics::PageRankOptions o;
+                   o.max_iterations = 10;
+                   o.retain_queues = retain;
+                   (void)analytics::pagerank(g, comm, o);
+                 })
+          .tpar;
+    };
+    const auto lp_run = [&](bool retain) {
+      return hb::run_region(
+                 wc.graph, nranks, dgraph::PartitionKind::kRandom,
+                 [retain](const dgraph::DistGraph& g,
+                          parcomm::Communicator& comm) {
+                   analytics::LabelPropOptions o;
+                   o.iterations = 10;
+                   o.retain_queues = retain;
+                   (void)analytics::label_propagation(g, comm, o);
+                 })
+          .tpar;
+    };
+    const double pr_keep = pr_run(true), pr_rebuild = pr_run(false);
+    const double lp_keep = lp_run(true), lp_rebuild = lp_run(false);
+    t.add_row({"PageRank x10", TablePrinter::fmt(pr_keep, 3),
+               TablePrinter::fmt(pr_rebuild, 3),
+               TablePrinter::fmt(pr_rebuild / pr_keep, 2)});
+    t.add_row({"LabelProp x10", TablePrinter::fmt(lp_keep, 3),
+               TablePrinter::fmt(lp_rebuild, 3),
+               TablePrinter::fmt(lp_rebuild / lp_keep, 2)});
+    std::cout << "\nA. Retained send queues (paper §III-D1):\n";
+    t.print(std::cout);
+  }
+
+  // ---- B. Partition quality. ----
+  {
+    TablePrinter t({"Partition", "Edge cut", "Cut %", "Ghosts total",
+                    "PR Tpar(s)", "CPU imbal"});
+    const auto owner = std::make_shared<std::vector<std::int32_t>>(
+        dgraph::pulp_partition(wc.graph, nranks));
+    const dgraph::Partition pulp =
+        dgraph::Partition::explicit_map(wc.graph.n, nranks, owner);
+
+    struct Entry {
+      std::string label;
+      std::function<int(gvid_t)> owner_of;
+      bool is_pulp;
+    };
+    const dgraph::Partition np =
+        dgraph::Partition::vertex_block(wc.graph.n, nranks);
+    const dgraph::Partition rnd =
+        dgraph::Partition::random(wc.graph.n, nranks);
+
+    const auto measure = [&](const std::string& label,
+                             dgraph::PartitionKind kind,
+                             const dgraph::Partition* explicit_part) {
+      // Edge cut from the raw list.
+      std::uint64_t cut = 0;
+      const auto owner_fn = [&](gvid_t v) {
+        return explicit_part ? explicit_part->owner(v)
+                             : (kind == dgraph::PartitionKind::kVertexBlock
+                                    ? np.owner(v)
+                                    : rnd.owner(v));
+      };
+      for (const gen::Edge& e : wc.graph.edges)
+        if (owner_fn(e.src) != owner_fn(e.dst)) ++cut;
+
+      // Ghosts + PageRank timing on the built graph.
+      std::vector<std::uint64_t> ghosts(nranks, 0);
+      const auto body = [&](const dgraph::DistGraph& g,
+                            parcomm::Communicator& comm) {
+        ghosts[comm.rank()] = g.n_gst();
+        analytics::PageRankOptions o;
+        o.max_iterations = 10;
+        (void)analytics::pagerank(g, comm, o);
+      };
+      hb::RegionReport rep;
+      if (explicit_part) {
+        parcomm::CommWorld world(nranks);
+        std::vector<double> cpu(nranks);
+        world.run([&](parcomm::Communicator& comm) {
+          const dgraph::DistGraph g =
+              dgraph::Builder::from_edge_list(comm, wc.graph, *explicit_part);
+          comm.barrier();
+          const double c0 = thread_cpu_seconds();
+          body(g, comm);
+          comm.barrier();
+          cpu[comm.rank()] = thread_cpu_seconds() - c0;
+        });
+        MinMaxMean m;
+        for (const double c : cpu) m.add(c);
+        rep.tpar = m.max();
+        rep.cpu = {m.min(), m.mean(), m.max()};
+      } else {
+        rep = hb::run_region(wc.graph, nranks, kind, body);
+      }
+      std::uint64_t ghost_total = 0;
+      for (const auto gh : ghosts) ghost_total += gh;
+      t.add_row({label, TablePrinter::fmt_si(static_cast<double>(cut), 2),
+                 TablePrinter::fmt(100.0 * static_cast<double>(cut) /
+                                       static_cast<double>(wc.graph.m()),
+                                   1),
+                 TablePrinter::fmt_si(static_cast<double>(ghost_total), 2),
+                 TablePrinter::fmt(rep.tpar, 3),
+                 TablePrinter::fmt(rep.cpu.imbalance(), 2)});
+    };
+
+    measure("np", dgraph::PartitionKind::kVertexBlock, nullptr);
+    measure("rand", dgraph::PartitionKind::kRandom, nullptr);
+    measure("PuLP", dgraph::PartitionKind::kExplicit, &pulp);
+    std::cout << "\nB. Partitioning quality (§III-B; PuLP = §VII future "
+                 "work):\n";
+    t.print(std::cout);
+  }
+
+  // ---- C. Compressed CSR. ----
+  {
+    TablePrinter t({"Representation", "Bytes/edge", "Total MB",
+                    "Scan time (s)"});
+    parcomm::CommWorld world(1);
+    world.run([&](parcomm::Communicator& comm) {
+      const dgraph::DistGraph g = dgraph::Builder::from_edge_list(
+          comm, wc.graph, dgraph::PartitionKind::kVertexBlock);
+      const dgraph::CompressedAdjacency c =
+          dgraph::CompressedAdjacency::encode(g.out_index(),
+                                              g.out_edges_raw());
+
+      // Full adjacency scan: sum of neighbour ids (plain vs compressed).
+      volatile std::uint64_t sink = 0;
+      Timer plain_t;
+      std::uint64_t acc = 0;
+      for (lvid_t v = 0; v < g.n_loc(); ++v)
+        for (const lvid_t u : g.out_neighbors(v)) acc += u;
+      sink = acc;
+      const double plain_s = plain_t.elapsed();
+
+      Timer comp_t;
+      acc = 0;
+      for (lvid_t v = 0; v < g.n_loc(); ++v)
+        c.for_each_neighbor(v, [&](lvid_t u) { acc += u; });
+      sink = acc;
+      (void)sink;
+      const double comp_s = comp_t.elapsed();
+
+      const double m_edges = static_cast<double>(g.m_out());
+      t.add_row({"plain CSR (4 B ids)",
+                 TablePrinter::fmt(static_cast<double>(c.plain_bytes()) /
+                                       m_edges, 2),
+                 TablePrinter::fmt(static_cast<double>(c.plain_bytes()) / 1e6,
+                                   1),
+                 TablePrinter::fmt(plain_s, 4)});
+      t.add_row({"varint-delta CSR",
+                 TablePrinter::fmt(static_cast<double>(c.total_bytes()) /
+                                       m_edges, 2),
+                 TablePrinter::fmt(static_cast<double>(c.total_bytes()) / 1e6,
+                                   1),
+                 TablePrinter::fmt(comp_s, 4)});
+    });
+    std::cout << "\nC. Graph compression (§VII future work #1), out-CSR of "
+                 "rank 0 of 1:\n";
+    t.print(std::cout);
+  }
+
+  // ---- D. Direction-optimizing BFS. ----
+  {
+    TablePrinter t({"Traversal", "Tpar(s)", "MB remote total", "Levels"});
+    const gvid_t root = wc.core.begin;
+    for (const bool dopt : {false, true}) {
+      std::atomic<int> levels{0};
+      const hb::RegionReport rep = hb::run_region(
+          wc.graph, nranks, dgraph::PartitionKind::kVertexBlock,
+          [&](const dgraph::DistGraph& g, parcomm::Communicator& comm) {
+            analytics::BfsOptions o;
+            o.dir = analytics::Dir::kOut;
+            o.direction_optimizing = dopt;
+            const auto res = analytics::bfs(g, comm, root, o);
+            if (comm.rank() == 0) levels = res.num_levels;
+          });
+      t.add_row({dopt ? "direction-optimizing" : "top-down (paper)",
+                 TablePrinter::fmt(rep.tpar, 4),
+                 TablePrinter::fmt(
+                     static_cast<double>(rep.bytes_remote_total) / 1e6, 2),
+                 TablePrinter::fmt_int(levels.load())});
+    }
+    std::cout << "\nD. BFS schedule (the paper omits BFS-specific "
+                 "optimizations; this is the one it cites):\n";
+    t.print(std::cout);
+  }
+
+  std::cout
+      << "\nExpected: retained queues beat rebuilt ones (A); PuLP cuts far\n"
+         "fewer edges than random hashing, approaching the natural-order\n"
+         "block cut (the crawl-order locality the paper credits) (B);\n"
+         "compression roughly halves bytes/edge at a modest scan cost (C).\n"
+         "(D) is a negative result at this scale: bottom-up levels ship a\n"
+         "flag for every boundary vertex, which only pays off once frontier\n"
+         "discovery messages dominate — consistent with the paper's choice\n"
+         "to omit BFS-specific optimizations from its general framework.\n";
+  return 0;
+}

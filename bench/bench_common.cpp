@@ -1,0 +1,74 @@
+#include "bench_common.hpp"
+
+#include <iostream>
+#include <sstream>
+
+#include "util/timer.hpp"
+
+namespace hpcgraph::bench {
+
+RegionReport run_region(
+    const gen::EdgeList& el, int nranks, dgraph::PartitionKind kind,
+    const std::function<void(const dgraph::DistGraph&,
+                             parcomm::Communicator&)>& body,
+    std::uint64_t part_seed, std::vector<RankMetrics>* per_rank) {
+  parcomm::CommWorld world(nranks);
+  std::vector<RankMetrics> metrics(nranks);
+  Timer wall;
+  double region_wall = 0;
+
+  world.run([&](parcomm::Communicator& comm) {
+    const dgraph::DistGraph g =
+        dgraph::Builder::from_edge_list(comm, el, kind, nullptr, part_seed);
+    comm.barrier();
+    comm.stats().reset();
+    const double cpu0 = thread_cpu_seconds();
+    if (comm.rank() == 0) wall.restart();
+
+    body(g, comm);
+
+    comm.barrier();
+    RankMetrics& m = metrics[comm.rank()];
+    m.cpu = thread_cpu_seconds() - cpu0;
+    m.bytes_remote = comm.stats().bytes_remote;
+    m.collectives = comm.stats().collective_calls;
+    if (comm.rank() == 0) region_wall = wall.elapsed();
+  });
+
+  RegionReport rep;
+  rep.wall = region_wall;
+  MinMaxMean cpu;
+  for (const RankMetrics& m : metrics) {
+    cpu.add(m.cpu);
+    rep.cpu_total += m.cpu;
+    rep.bytes_remote_total += m.bytes_remote;
+    rep.bytes_remote_max = std::max(rep.bytes_remote_max, m.bytes_remote);
+  }
+  rep.tpar = cpu.max();
+  rep.cpu = {cpu.min(), cpu.mean(), cpu.max()};
+  if (per_rank) *per_rank = std::move(metrics);
+  return rep;
+}
+
+void print_banner(const std::string& artifact, const std::string& workload) {
+  std::cout << "==================================================================\n"
+            << "hpcgraph reproduction — " << artifact << "\n"
+            << "Workload: " << workload << "\n"
+            << "Ranks are simulated as threads on this host; `Tpar` = max\n"
+            << "per-rank CPU time (the parallel wall-time proxy), `wall` is\n"
+            << "this host's timesliced wall time. See DESIGN.md / EXPERIMENTS.md.\n"
+            << "==================================================================\n";
+}
+
+std::vector<int> parse_ranks(const Cli& cli, const std::string& flag,
+                             std::vector<int> dflt) {
+  if (!cli.has(flag)) return dflt;
+  std::vector<int> out;
+  std::stringstream ss(cli.get(flag, ""));
+  std::string tok;
+  while (std::getline(ss, tok, ','))
+    if (!tok.empty()) out.push_back(std::stoi(tok));
+  return out.empty() ? dflt : out;
+}
+
+}  // namespace hpcgraph::bench

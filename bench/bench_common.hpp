@@ -1,0 +1,76 @@
+#pragma once
+/// \file bench_common.hpp
+/// Shared machinery for the table/figure harnesses.
+///
+/// Every bench binary regenerates one table or figure of the paper at a
+/// reproduction scale chosen to finish in seconds on a laptop; flags
+/// (--scale, --ranks, --iters, ...) widen the sweep toward paper scale.
+///
+/// **Timing on a single-core simulation host.**  Ranks are threads, so a
+/// 16-rank run's wall time is roughly the *sum* of per-rank work, not the
+/// max.  Each harness therefore reports, alongside wall time:
+///
+///   * `Tpar` — the maximum per-rank thread-CPU time: the wall time a
+///     machine with one core per rank would see for the compute portion;
+///   * measured communication volume (bytes crossing rank boundaries),
+///     convertible to transfer time under a reference bandwidth
+///     (`--gbps`, default 4 GB/s per the Gemini-era interconnects);
+///   * the machine-independent balance counters (per-rank edges, ghosts).
+///
+/// Scaling *shapes* (who wins, where curves bend) come from Tpar + model;
+/// wall time is printed for completeness.
+
+#include <functional>
+#include <string>
+#include <vector>
+
+#include "dgraph/builder.hpp"
+#include "gen/edge_list.hpp"
+#include "parcomm/comm.hpp"
+#include "util/cli.hpp"
+#include "util/stats.hpp"
+#include "util/table.hpp"
+
+namespace hpcgraph::bench {
+
+/// Per-rank measurements of one timed region.
+struct RankMetrics {
+  double cpu = 0;            ///< thread-CPU seconds in the region
+  double wall = 0;           ///< wall seconds (same for all ranks, roughly)
+  std::uint64_t bytes_remote = 0;  ///< payload bytes sent to other ranks
+  std::uint64_t collectives = 0;
+};
+
+/// Aggregate view of a distributed region.
+struct RegionReport {
+  double wall = 0;           ///< wall time of the whole region
+  double tpar = 0;           ///< max per-rank CPU time ("parallel time")
+  double cpu_total = 0;      ///< sum of per-rank CPU times
+  Summary cpu;               ///< min/mean/max per-rank CPU
+  std::uint64_t bytes_remote_total = 0;
+  std::uint64_t bytes_remote_max = 0;
+
+  /// Modelled parallel time: Tpar + max-rank transfer time at `gbps`.
+  double modelled(double gbps) const {
+    return tpar + static_cast<double>(bytes_remote_max) / (gbps * 1e9);
+  }
+};
+
+/// Run `body(graph, comm)` on a fresh world over `el` and measure the body
+/// as one region (construction excluded).  `body` runs on every rank.
+RegionReport run_region(
+    const gen::EdgeList& el, int nranks, dgraph::PartitionKind kind,
+    const std::function<void(const dgraph::DistGraph&,
+                             parcomm::Communicator&)>& body,
+    std::uint64_t part_seed = 0,
+    std::vector<RankMetrics>* per_rank = nullptr);
+
+/// Standard bench banner: what paper artifact this regenerates plus the
+/// machine caveat.
+void print_banner(const std::string& artifact, const std::string& workload);
+
+/// Parse a comma-separated rank list flag ("1,2,4,8,16").
+std::vector<int> parse_ranks(const Cli& cli, const std::string& flag,
+                             std::vector<int> dflt);
+
+}  // namespace hpcgraph::bench

@@ -1,0 +1,104 @@
+// Extended-analytics harness — the §VII "extend this collection of
+// analytics" deliverables measured in the Table-IV format: SSSP, triangle
+// counting, betweenness (k sources), full SCC decomposition, exact k-core,
+// and the Graph500-style BFS tree, across the three partitionings.
+
+#include <iostream>
+
+#include "analytics/analytics.hpp"
+#include "bench_common.hpp"
+#include "gen/webgraph.hpp"
+
+namespace hb = hpcgraph::bench;
+using namespace hpcgraph;
+
+int main(int argc, char** argv) {
+  const Cli cli(argc, argv);
+  const unsigned scale = static_cast<unsigned>(cli.get_int("scale", 15));
+  const int nranks = static_cast<int>(cli.get_int("ranks", 8));
+  const std::size_t bc_sources =
+      static_cast<std::size_t>(cli.get_int("bc-sources", 4));
+
+  gen::WebGraphParams wp;
+  wp.n = gvid_t{1} << scale;
+  wp.avg_degree = 16;
+  const gen::WebGraph wc = gen::webgraph(wp);
+
+  hb::print_banner("Extended analytics (paper §VII: \"extend this "
+                   "collection\")",
+                   "webgraph n=2^" + std::to_string(scale) + ", " +
+                       std::to_string(nranks) + " ranks");
+
+  struct Row {
+    std::string name;
+    std::function<void(const dgraph::DistGraph&, parcomm::Communicator&)> body;
+  };
+  const gvid_t root = wc.core.begin;
+  const std::vector<Row> rows = {
+      {"BFS tree (Graph500-style)",
+       [root](const dgraph::DistGraph& g, parcomm::Communicator& comm) {
+         (void)analytics::bfs_tree(g, comm, root);
+       }},
+      {"SSSP (Bellman-Ford)",
+       [root](const dgraph::DistGraph& g, parcomm::Communicator& comm) {
+         (void)analytics::sssp(g, comm, root);
+       }},
+      {"Triangle count",
+       [](const dgraph::DistGraph& g, parcomm::Communicator& comm) {
+         (void)analytics::triangle_count(g, comm);
+       }},
+      {"Betweenness (" + std::to_string(bc_sources) + " src)",
+       [bc_sources](const dgraph::DistGraph& g, parcomm::Communicator& comm) {
+         analytics::BetweennessOptions o;
+         o.num_sources = bc_sources;
+         (void)analytics::betweenness(g, comm, o);
+       }},
+      {"SCC decomposition (Multistep)",
+       [](const dgraph::DistGraph& g, parcomm::Communicator& comm) {
+         (void)analytics::scc_decompose(g, comm);
+       }},
+      {"k-core exact",
+       [](const dgraph::DistGraph& g, parcomm::Communicator& comm) {
+         (void)analytics::kcore_exact(g, comm);
+       }},
+  };
+
+  TablePrinter table({"Analytic", "np Tpar(s)", "mp Tpar(s)", "rand Tpar(s)",
+                      "rand imbal"});
+  for (const Row& row : rows) {
+    std::vector<std::string> cells{row.name};
+    double imbal = 0;
+    for (const auto kind : {dgraph::PartitionKind::kVertexBlock,
+                            dgraph::PartitionKind::kEdgeBlock,
+                            dgraph::PartitionKind::kRandom}) {
+      const hb::RegionReport rep =
+          hb::run_region(wc.graph, nranks, kind, row.body);
+      cells.push_back(TablePrinter::fmt(rep.tpar, 3));
+      if (kind == dgraph::PartitionKind::kRandom)
+        imbal = rep.cpu.imbalance();
+    }
+    cells.push_back(TablePrinter::fmt(imbal, 2));
+    table.add_row(std::move(cells));
+  }
+  table.print(std::cout);
+
+  // Structural summary from one run, for the record.
+  hb::run_region(
+      wc.graph, nranks, dgraph::PartitionKind::kVertexBlock,
+      [&](const dgraph::DistGraph& g, parcomm::Communicator& comm) {
+        const auto tri = analytics::triangle_count(g, comm);
+        const auto scc = analytics::scc_decompose(g, comm);
+        const auto core = analytics::kcore_exact(g, comm);
+        if (comm.rank() == 0)
+          std::cout << "\nStructure: " << tri.triangles << " triangles, "
+                    << scc.num_sccs << " SCCs (largest " << scc.largest_size
+                    << "), degeneracy " << core.max_core << "\n";
+      });
+
+  std::cout << "\nThese analytics are extensions beyond the paper's six; "
+               "no paper reference\nexists. Expected: every analytic "
+               "completes under all partitionings with\nmoderate imbalance; "
+               "SCC decomposition's largest component equals the\nplanted "
+               "core size.\n";
+  return 0;
+}

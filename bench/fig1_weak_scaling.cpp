@@ -1,0 +1,100 @@
+// Regenerates **Figure 1** — weak scaling of Harmonic Centrality and
+// PageRank on R-MAT and Rand-ER, 2^22 vertices *per node* in the paper
+// (8..1024 nodes); here --verts-per-rank (default 2^13) per simulated rank,
+// ranks 1..16, vertex-block partitioning as in the paper.
+//
+// Claims under test (read the Tpar column — constant per-rank work means a
+// flat curve is ideal): Rand-ER scales almost perfectly until communication
+// grows; R-MAT scales worse because high-degree vertices skew both work and
+// communication (imbalance column).
+
+#include <iostream>
+
+#include "analytics/harmonic.hpp"
+#include "analytics/pagerank.hpp"
+#include "analytics/wcc.hpp"
+#include "bench_common.hpp"
+#include "gen/erdos_renyi.hpp"
+#include "gen/rmat.hpp"
+
+namespace hb = hpcgraph::bench;
+using namespace hpcgraph;
+
+int main(int argc, char** argv) {
+  const Cli cli(argc, argv);
+  const unsigned per_rank_log2 =
+      static_cast<unsigned>(cli.get_int("verts-per-rank", 13));
+  const std::vector<int> ranks = hb::parse_ranks(cli, "ranks", {1, 2, 4, 8, 16});
+  const double d_avg = cli.get_double("avg-degree", 16);
+
+  hb::print_banner("Figure 1: weak scaling, Harmonic Centrality + PageRank",
+                   "2^" + std::to_string(per_rank_log2) +
+                       " vertices/rank, R-MAT & Rand-ER, vertex-block");
+
+  TablePrinter table({"Graph", "Analytic", "Ranks", "n", "Tpar(s)",
+                      "CPU imbal", "MB remote/rank"});
+
+  for (const int p : ranks) {
+    // Total size grows with the rank count: weak scaling.
+    std::uint64_t total_log2 = per_rank_log2;
+    int pp = p;
+    while (pp > 1) {
+      ++total_log2;
+      pp >>= 1;
+    }
+    const gvid_t n = gvid_t{1} << total_log2;
+
+    gen::RmatParams rp;
+    rp.scale = static_cast<unsigned>(total_log2);
+    rp.avg_degree = d_avg;
+    const gen::EdgeList rmat_g = gen::rmat(rp);
+
+    gen::ErParams ep;
+    ep.n = n;
+    ep.m = static_cast<std::uint64_t>(d_avg * static_cast<double>(n));
+    const gen::EdgeList er_g = gen::erdos_renyi(ep);
+
+    for (const auto& [label, graph] :
+         {std::pair<const char*, const gen::EdgeList*>{"R-MAT", &rmat_g},
+          {"Rand-ER", &er_g}}) {
+      // Harmonic centrality of the max-degree vertex (one BFS).
+      const hb::RegionReport hc = hb::run_region(
+          *graph, p, dgraph::PartitionKind::kVertexBlock,
+          [](const dgraph::DistGraph& g, parcomm::Communicator& comm) {
+            const gvid_t hot = analytics::max_degree_vertex(g, comm);
+            (void)analytics::harmonic_centrality(g, comm, hot);
+          });
+      table.add_row({label, "HarmonicCentrality", TablePrinter::fmt_int(p),
+                     TablePrinter::fmt_si(static_cast<double>(n), 0),
+                     TablePrinter::fmt(hc.tpar, 3),
+                     TablePrinter::fmt(hc.cpu.imbalance(), 2),
+                     TablePrinter::fmt(
+                         static_cast<double>(hc.bytes_remote_max) / 1e6, 2)});
+
+      // PageRank, per-iteration cost (10 iterations / 10).
+      const hb::RegionReport pr = hb::run_region(
+          *graph, p, dgraph::PartitionKind::kVertexBlock,
+          [](const dgraph::DistGraph& g, parcomm::Communicator& comm) {
+            analytics::PageRankOptions o;
+            o.max_iterations = 10;
+            (void)analytics::pagerank(g, comm, o);
+          });
+      table.add_row({label, "PageRank (10 it)", TablePrinter::fmt_int(p),
+                     TablePrinter::fmt_si(static_cast<double>(n), 0),
+                     TablePrinter::fmt(pr.tpar, 3),
+                     TablePrinter::fmt(pr.cpu.imbalance(), 2),
+                     TablePrinter::fmt(
+                         static_cast<double>(pr.bytes_remote_max) / 1e6, 2)});
+    }
+  }
+  table.print(std::cout);
+
+  std::cout
+      << "\nPaper reference: harmonic centrality scales extremely well on\n"
+         "Rand-ER until 512+ nodes (collectives begin to dominate); R-MAT\n"
+         "scales worse due to high-degree-vertex work/communication\n"
+         "imbalance; PageRank scales moderately well on both.\n"
+         "Expected shape here: Tpar roughly flat with ranks for Rand-ER,\n"
+         "rising for R-MAT along with its CPU imbalance factor.\n";
+  return 0;
+}

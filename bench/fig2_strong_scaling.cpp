@@ -1,0 +1,93 @@
+// Regenerates **Figure 2** — Label Propagation strong scaling (speedup
+// relative to the smallest configuration) on WC with all three partitioning
+// strategies plus same-size R-MAT and Rand-ER.
+//
+// Paper setup: 256 -> 1024 Blue Waters nodes, speedup vs the 256-node run.
+// Reproduction: fixed graphs at --scale (default 2^16), ranks 2..16,
+// speedup of Tpar vs the 2-rank run.  Claims under test: synthetic graphs
+// scale well; WC-rand scales best among the WC partitionings at high rank
+// counts (block strategies hit load imbalance).
+
+#include <iostream>
+#include <map>
+
+#include "analytics/label_prop.hpp"
+#include "bench_common.hpp"
+#include "gen/erdos_renyi.hpp"
+#include "gen/rmat.hpp"
+#include "gen/webgraph.hpp"
+
+namespace hb = hpcgraph::bench;
+using namespace hpcgraph;
+
+int main(int argc, char** argv) {
+  const Cli cli(argc, argv);
+  const unsigned scale = static_cast<unsigned>(cli.get_int("scale", 16));
+  const std::vector<int> ranks = hb::parse_ranks(cli, "ranks", {2, 4, 8, 16});
+  const double d_avg = cli.get_double("avg-degree", 16);
+  const int iters = static_cast<int>(cli.get_int("iters", 5));
+
+  const gvid_t n = gvid_t{1} << scale;
+
+  gen::WebGraphParams wp;
+  wp.n = n;
+  wp.avg_degree = d_avg;
+  const gen::WebGraph wc = gen::webgraph(wp);
+
+  gen::RmatParams rp;
+  rp.scale = scale;
+  rp.avg_degree = d_avg;
+  const gen::EdgeList rmat_g = gen::rmat(rp);
+
+  gen::ErParams ep;
+  ep.n = n;
+  ep.m = static_cast<std::uint64_t>(d_avg * static_cast<double>(n));
+  const gen::EdgeList er_g = gen::erdos_renyi(ep);
+
+  hb::print_banner("Figure 2: Label Propagation strong scaling",
+                   "n=2^" + std::to_string(scale) + ", " +
+                       std::to_string(iters) + " LP iterations");
+
+  struct Series {
+    std::string label;
+    const gen::EdgeList* graph;
+    dgraph::PartitionKind kind;
+  };
+  const std::vector<Series> series = {
+      {"WC-np", &wc.graph, dgraph::PartitionKind::kVertexBlock},
+      {"WC-mp", &wc.graph, dgraph::PartitionKind::kEdgeBlock},
+      {"WC-rand", &wc.graph, dgraph::PartitionKind::kRandom},
+      {"R-MAT", &rmat_g, dgraph::PartitionKind::kVertexBlock},
+      {"Rand-ER", &er_g, dgraph::PartitionKind::kVertexBlock},
+  };
+
+  const auto body = [iters](const dgraph::DistGraph& g,
+                            parcomm::Communicator& comm) {
+    analytics::LabelPropOptions o;
+    o.iterations = iters;
+    (void)analytics::label_propagation(g, comm, o);
+  };
+
+  TablePrinter table({"Input", "Ranks", "Tpar(s)", "Speedup", "CPU imbal"});
+  for (const Series& s : series) {
+    double base = 0;
+    for (const int p : ranks) {
+      const hb::RegionReport rep = hb::run_region(*s.graph, p, s.kind, body);
+      if (base == 0) base = rep.tpar;
+      table.add_row({s.label, TablePrinter::fmt_int(p),
+                     TablePrinter::fmt(rep.tpar, 3),
+                     TablePrinter::fmt(base / rep.tpar, 2),
+                     TablePrinter::fmt(rep.cpu.imbalance(), 2)});
+    }
+  }
+  table.print(std::cout);
+
+  std::cout
+      << "\nPaper reference: LP scales well on the synthetic graphs; the\n"
+         "best WC performance/scaling comes from random partitioning — the\n"
+         "block strategies lose performance at high node counts to load\n"
+         "imbalance.  Expected shape here: WC-rand's speedup curve tops the\n"
+         "WC partitionings at 16 ranks, and its CPU-imbalance factor stays\n"
+         "lowest.\n";
+  return 0;
+}

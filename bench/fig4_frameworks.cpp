@@ -1,0 +1,320 @@
+// Regenerates **Figure 4** — PageRank and WCC execution times: the tuned
+// implementations ("SRM") vs graph-processing frameworks, on the five
+// smaller comparison graphs (Google, LiveJournal, Twitter, Pay, Host).
+//
+// Framework substitutions (DESIGN.md §1):
+//   GX/PG/PL (GraphX / PowerGraph / PowerLyra)  ->  miniGAS, a synchronous
+//       gather-apply-scatter engine paying the same generality costs
+//       (per-edge messages, per-superstep hash decode, rebuilt buffers);
+//   FG / FG-SA (FlashGraph external / standalone) -> the edge-streaming
+//       engine reading from disk / from memory.
+//
+// Rows: SRM-1 (1 rank), SRM-16 (16 ranks, Tpar), GAS-16, FG, FG-SA.
+// Also prints the geometric-mean speedups the paper headline-reports and
+// the Multistep-vs-single-stage WCC ablation behind them, plus the §V
+// Trinity-style comparison (8-rank R-MAT PageRank + BFS).
+
+#include <atomic>
+#include <filesystem>
+#include <iostream>
+
+#include "analytics/analytics.hpp"
+#include "baselines/edgestream.hpp"
+#include "baselines/gas_engine.hpp"
+#include "baselines/gas_programs.hpp"
+#include "baselines/pregel_engine.hpp"
+#include "baselines/pregel_programs.hpp"
+#include "baselines/singlestage_wcc.hpp"
+#include "bench_common.hpp"
+#include "gen/rmat.hpp"
+#include "gen/social.hpp"
+#include "gen/webgraph.hpp"
+#include "io/binary_edge_io.hpp"
+#include "util/timer.hpp"
+
+namespace hb = hpcgraph::bench;
+using namespace hpcgraph;
+
+namespace {
+
+double stream_time(const std::function<void()>& fn) {
+  const double c0 = thread_cpu_seconds();
+  fn();
+  return thread_cpu_seconds() - c0;
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  const Cli cli(argc, argv);
+  const unsigned scale_div =
+      static_cast<unsigned>(cli.get_int("scale-div", 512));
+  const int big = static_cast<int>(cli.get_int("ranks", 16));
+  const int pr_iters = static_cast<int>(cli.get_int("pr-iters", 10));
+
+  hb::print_banner(
+      "Figure 4: framework comparison (PageRank + WCC)",
+      "Table I graphs at 1/" + std::to_string(scale_div) +
+          " scale; SRM vs miniGAS (PowerGraph-style) vs edge-stream "
+          "(FlashGraph-style)");
+
+  const auto dir = std::filesystem::temp_directory_path() / "hpcgraph_fig4";
+  std::filesystem::create_directories(dir);
+
+  struct Dataset {
+    std::string name;
+    gen::EdgeList graph;
+  };
+  std::vector<Dataset> datasets;
+  datasets.push_back({"Google", gen::google_like(scale_div)});
+  datasets.push_back({"LiveJournal", gen::livejournal_like(scale_div)});
+  datasets.push_back({"Twitter", gen::twitter_like(scale_div)});
+  datasets.push_back({"Pay", gen::pay_like(scale_div)});
+  datasets.push_back({"Host", gen::host_like(scale_div)});
+
+  TablePrinter pr_table({"Graph", "n", "m", "SRM-1", "SRM-16", "GAS-16",
+                         "Pregel-16", "FG", "FG-SA"});
+  TablePrinter cc_table({"Graph", "SRM-1", "SRM-16", "GAS-16", "FG", "FG-SA",
+                         "1-stage-16", "Rounds MS/1-stage"});
+
+  std::vector<double> pr_speedup_gas, cc_speedup_gas;
+  std::vector<double> pr_speedup_pregel;
+  std::vector<double> pr_speedup_fg, cc_speedup_fg;
+  std::vector<double> pr_speedup_fgsa, cc_speedup_fgsa;
+
+  for (const Dataset& d : datasets) {
+    const std::string path = (dir / (d.name + ".bin")).string();
+    io::write_edge_file(path, d.graph);
+
+    // ---- PageRank. ----
+    const auto pr_body = [pr_iters](const dgraph::DistGraph& g,
+                                    parcomm::Communicator& comm) {
+      analytics::PageRankOptions o;
+      o.max_iterations = pr_iters;
+      (void)analytics::pagerank(g, comm, o);
+    };
+    const double srm1_pr =
+        hb::run_region(d.graph, 1, dgraph::PartitionKind::kRandom, pr_body)
+            .tpar;
+    const double srm16_pr =
+        hb::run_region(d.graph, big, dgraph::PartitionKind::kRandom, pr_body)
+            .tpar;
+    const double gas16_pr =
+        hb::run_region(d.graph, big, dgraph::PartitionKind::kRandom,
+                       [pr_iters](const dgraph::DistGraph& g,
+                                  parcomm::Communicator& comm) {
+                         const baselines::GasPageRank program(g.n_global());
+                         baselines::GasOptions o;
+                         o.max_supersteps = pr_iters;
+                         (void)baselines::gas_run(g, comm, program, o);
+                       })
+            .tpar;
+    const double pregel16_pr =
+        hb::run_region(d.graph, big, dgraph::PartitionKind::kRandom,
+                       [pr_iters](const dgraph::DistGraph& g,
+                                  parcomm::Communicator& comm) {
+                         const baselines::PregelPageRank program(
+                             g.n_global(), pr_iters);
+                         baselines::PregelOptions o;
+                         o.max_supersteps = pr_iters + 2;
+                         (void)baselines::pregel_run(g, comm, program, o);
+                       })
+            .tpar;
+    const baselines::EdgeStream fg_disk(path, io::EdgeFormat::kU32, d.graph.n);
+    const baselines::EdgeStream fg_mem(d.graph);
+    const double fg_pr = stream_time(
+        [&] { (void)baselines::stream_pagerank(fg_disk, pr_iters); });
+    const double fgsa_pr = stream_time(
+        [&] { (void)baselines::stream_pagerank(fg_mem, pr_iters); });
+
+    pr_table.add_row(
+        {d.name, TablePrinter::fmt_si(static_cast<double>(d.graph.n), 1),
+         TablePrinter::fmt_si(static_cast<double>(d.graph.m()), 1),
+         TablePrinter::fmt(srm1_pr, 3), TablePrinter::fmt(srm16_pr, 3),
+         TablePrinter::fmt(gas16_pr, 3), TablePrinter::fmt(pregel16_pr, 3),
+         TablePrinter::fmt(fg_pr, 3), TablePrinter::fmt(fgsa_pr, 3)});
+    pr_speedup_pregel.push_back(pregel16_pr / srm16_pr);
+    pr_speedup_gas.push_back(gas16_pr / srm16_pr);
+    pr_speedup_fg.push_back(fg_pr / srm1_pr);
+    pr_speedup_fgsa.push_back(fgsa_pr / srm1_pr);
+
+    // ---- WCC. ----
+    std::atomic<int> ms_rounds{0}, ss_rounds{0};
+    const auto cc_body = [&ms_rounds](const dgraph::DistGraph& g,
+                                      parcomm::Communicator& comm) {
+      const auto res = analytics::wcc(g, comm);
+      if (comm.rank() == 0)
+        ms_rounds = res.bfs_levels + res.coloring_iters;
+    };
+    const double srm1_cc =
+        hb::run_region(d.graph, 1, dgraph::PartitionKind::kRandom, cc_body)
+            .tpar;
+    const double srm16_cc =
+        hb::run_region(d.graph, big, dgraph::PartitionKind::kRandom, cc_body)
+            .tpar;
+    const double gas16_cc =
+        hb::run_region(d.graph, big, dgraph::PartitionKind::kRandom,
+                       [](const dgraph::DistGraph& g,
+                          parcomm::Communicator& comm) {
+                         const baselines::GasConnectedComponents program;
+                         baselines::GasOptions o;
+                         o.max_supersteps = 10000;
+                         o.direction = baselines::GasDirection::kUndirected;
+                         o.run_to_convergence = true;
+                         (void)baselines::gas_run(g, comm, program, o);
+                       })
+            .tpar;
+    const double ss16_cc =
+        hb::run_region(d.graph, big, dgraph::PartitionKind::kRandom,
+                       [&ss_rounds](const dgraph::DistGraph& g,
+                                    parcomm::Communicator& comm) {
+                         const auto res = baselines::wcc_singlestage(g, comm);
+                         if (comm.rank() == 0) ss_rounds = res.iterations;
+                       })
+            .tpar;
+    const double fg_cc =
+        stream_time([&] { (void)baselines::stream_wcc(fg_disk); });
+    const double fgsa_cc =
+        stream_time([&] { (void)baselines::stream_wcc(fg_mem); });
+
+    cc_table.add_row({d.name, TablePrinter::fmt(srm1_cc, 3),
+                      TablePrinter::fmt(srm16_cc, 3),
+                      TablePrinter::fmt(gas16_cc, 3),
+                      TablePrinter::fmt(fg_cc, 3),
+                      TablePrinter::fmt(fgsa_cc, 3),
+                      TablePrinter::fmt(ss16_cc, 3),
+                      std::to_string(ms_rounds.load()) + "/" +
+                          std::to_string(ss_rounds.load())});
+    cc_speedup_gas.push_back(gas16_cc / srm16_cc);
+    cc_speedup_fg.push_back(fg_cc / srm1_cc);
+    cc_speedup_fgsa.push_back(fgsa_cc / srm1_cc);
+  }
+
+  std::cout << "\nPageRank times (seconds, " << pr_iters << " iterations):\n";
+  pr_table.print(std::cout);
+  std::cout << "\nWCC times (seconds):\n";
+  cc_table.print(std::cout);
+
+  std::cout << "\nGeometric-mean speedups (ours vs framework):\n"
+            << "  PageRank: vs GAS-16 "
+            << TablePrinter::fmt(geometric_mean(pr_speedup_gas), 1)
+            << "x, vs Pregel-16 "
+            << TablePrinter::fmt(geometric_mean(pr_speedup_pregel), 1)
+            << "x, vs FG " << TablePrinter::fmt(geometric_mean(pr_speedup_fg), 1)
+            << "x, vs FG-SA "
+            << TablePrinter::fmt(geometric_mean(pr_speedup_fgsa), 1) << "x\n"
+            << "  WCC:      vs GAS-16 "
+            << TablePrinter::fmt(geometric_mean(cc_speedup_gas), 1)
+            << "x, vs FG " << TablePrinter::fmt(geometric_mean(cc_speedup_fg), 1)
+            << "x, vs FG-SA "
+            << TablePrinter::fmt(geometric_mean(cc_speedup_fgsa), 1) << "x\n";
+
+  // ---- §V further comparison: Giraph-style per-iteration LP + PR. ----
+  {
+    gen::WebGraphParams wp;
+    wp.n = gvid_t{1} << static_cast<unsigned>(cli.get_int("giraph-scale", 15));
+    wp.avg_degree = 16;
+    const gen::WebGraph wg = gen::webgraph(wp);
+    const int lp_iters = 5;
+
+    const double srm_lp =
+        hb::run_region(wg.graph, big, dgraph::PartitionKind::kRandom,
+                       [lp_iters](const dgraph::DistGraph& g,
+                                  parcomm::Communicator& comm) {
+                         analytics::LabelPropOptions o;
+                         o.iterations = lp_iters;
+                         (void)analytics::label_propagation(g, comm, o);
+                       })
+            .tpar /
+        lp_iters;
+    const double pregel_lp =
+        hb::run_region(wg.graph, big, dgraph::PartitionKind::kRandom,
+                       [lp_iters](const dgraph::DistGraph& g,
+                                  parcomm::Communicator& comm) {
+                         const baselines::PregelLabelProp program(lp_iters);
+                         baselines::PregelOptions o;
+                         o.max_supersteps = lp_iters + 2;
+                         (void)baselines::pregel_run(g, comm, program, o);
+                       })
+            .tpar /
+        lp_iters;
+    const double srm_pr =
+        hb::run_region(wg.graph, big, dgraph::PartitionKind::kRandom,
+                       [pr_iters](const dgraph::DistGraph& g,
+                                  parcomm::Communicator& comm) {
+                         analytics::PageRankOptions o;
+                         o.max_iterations = pr_iters;
+                         (void)analytics::pagerank(g, comm, o);
+                       })
+            .tpar /
+        pr_iters;
+    const double pregel_pr =
+        hb::run_region(wg.graph, big, dgraph::PartitionKind::kRandom,
+                       [pr_iters](const dgraph::DistGraph& g,
+                                  parcomm::Communicator& comm) {
+                         const baselines::PregelPageRank program(
+                             g.n_global(), pr_iters);
+                         baselines::PregelOptions o;
+                         o.max_supersteps = pr_iters + 2;
+                         (void)baselines::pregel_run(g, comm, program, o);
+                       })
+            .tpar /
+        pr_iters;
+
+    std::cout << "\n§V Giraph-style comparison (web crawl n=" << wg.graph.n
+              << ", " << big << " ranks, per-iteration Tpar):\n"
+              << "  Label Propagation: ours "
+              << TablePrinter::fmt(srm_lp * 1e3, 2) << " ms vs miniPregel "
+              << TablePrinter::fmt(pregel_lp * 1e3, 2) << " ms ("
+              << TablePrinter::fmt(pregel_lp / srm_lp, 1) << "x)\n"
+              << "  PageRank:          ours "
+              << TablePrinter::fmt(srm_pr * 1e3, 2) << " ms vs miniPregel "
+              << TablePrinter::fmt(pregel_pr * 1e3, 2) << " ms ("
+              << TablePrinter::fmt(pregel_pr / srm_pr, 1) << "x)\n"
+              << "  (Paper: Giraph on Facebook-scale graphs took 9.5 min/it\n"
+              << "  for LP and 5 min/it for PageRank on 200 nodes, vs the\n"
+              << "  paper's 40 s and 4.4 s on 256 nodes — ~14x and ~68x.)\n";
+  }
+
+  // ---- §V further comparison: Trinity-style 8-node R-MAT PR + BFS. ----
+  {
+    gen::RmatParams rp;
+    rp.scale = static_cast<unsigned>(cli.get_int("trinity-scale", 16));
+    rp.avg_degree = 13;  // the paper's SCALE-28, d_avg 13 input, scaled
+    const gen::EdgeList g = gen::rmat(rp);
+    const double pr8 =
+        hb::run_region(g, 8, dgraph::PartitionKind::kVertexBlock,
+                       [](const dgraph::DistGraph& dg,
+                          parcomm::Communicator& comm) {
+                         analytics::PageRankOptions o;
+                         o.max_iterations = 1;
+                         (void)analytics::pagerank(dg, comm, o);
+                       })
+            .tpar;
+    const double bfs8 =
+        hb::run_region(g, 8, dgraph::PartitionKind::kVertexBlock,
+                       [](const dgraph::DistGraph& dg,
+                          parcomm::Communicator& comm) {
+                         (void)analytics::bfs(dg, comm, 0);
+                       })
+            .tpar;
+    std::cout << "\n§V Trinity-style comparison (R-MAT scale "
+              << rp.scale << ", d_avg 13, 8 ranks):\n"
+              << "  PageRank/iter " << TablePrinter::fmt(pr8, 3)
+              << " s, BFS " << TablePrinter::fmt(bfs8, 3) << " s\n"
+              << "  (Paper, 8 Compton nodes at SCALE-28: 1.5 s/iter and "
+                 "~32 s — 10x faster than Trinity's published numbers.)\n";
+  }
+
+  std::cout
+      << "\nPaper reference (16-node Compton): 38x geometric-mean PageRank\n"
+         "and 201x WCC speedup vs GraphX/PowerGraph/PowerLyra; 2.4x/2.6x\n"
+         "(PR/WCC) vs FlashGraph-SA and 12x/19x vs external FlashGraph on\n"
+         "one node; WCC speedups exceed PageRank's thanks to Multistep (see\n"
+         "the 1-stage-16 column).  Expected shape here: SRM fastest, GAS\n"
+         "slowest per superstep budget, FG > FG-SA > SRM-1, and Multistep\n"
+         "beating single-stage WCC.\n";
+
+  std::filesystem::remove_all(dir);
+  return 0;
+}

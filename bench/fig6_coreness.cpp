@@ -1,0 +1,72 @@
+// Regenerates **Figure 6** — the cumulative distribution of vertex coreness
+// upper bounds from the approximate k-core analytic.
+//
+// Claims under test: "at least 75% of the vertices have coreness value less
+// than 32"; only a tiny dense core survives the deepest thresholds (the
+// paper: removing low-degree vertices leaves ~0.5% of the vertex count
+// connected at the top).
+
+#include <iostream>
+
+#include "analytics/kcore.hpp"
+#include "bench_common.hpp"
+#include "gen/webgraph.hpp"
+
+namespace hb = hpcgraph::bench;
+using namespace hpcgraph;
+
+int main(int argc, char** argv) {
+  const Cli cli(argc, argv);
+  const unsigned scale = static_cast<unsigned>(cli.get_int("scale", 16));
+  const int nranks = static_cast<int>(cli.get_int("ranks", 8));
+  const unsigned max_i = static_cast<unsigned>(cli.get_int("max-i", 20));
+
+  gen::WebGraphParams wp;
+  wp.n = gvid_t{1} << scale;
+  wp.avg_degree = 16;
+  const gen::WebGraph wc = gen::webgraph(wp);
+
+  hb::print_banner("Figure 6: vertex coreness upper-bound CDF",
+                   "webgraph n=2^" + std::to_string(scale) +
+                       ", thresholds 2^1..2^" + std::to_string(max_i));
+
+  std::vector<analytics::KCoreStage> stages;
+  hb::run_region(
+      wc.graph, nranks, dgraph::PartitionKind::kVertexBlock,
+      [&](const dgraph::DistGraph& g, parcomm::Communicator& comm) {
+        analytics::KCoreOptions o;
+        o.max_i = max_i;
+        const auto res = analytics::kcore_approx(g, comm, o);
+        if (comm.rank() == 0) stages = res.stages;
+      });
+
+  const double n = static_cast<double>(wc.graph.n);
+  TablePrinter table({"Coreness bound <=", "Removed @ stage", "Cum. fraction",
+                      "Alive after", "Largest CC"});
+  std::uint64_t cum = 0;
+  for (const auto& s : stages) {
+    cum += s.removed;
+    table.add_row({TablePrinter::fmt_int(static_cast<long long>(s.threshold)),
+                   TablePrinter::fmt_int(static_cast<long long>(s.removed)),
+                   TablePrinter::fmt(static_cast<double>(cum) / n, 4),
+                   TablePrinter::fmt_int(static_cast<long long>(s.alive_after)),
+                   TablePrinter::fmt_int(static_cast<long long>(s.largest_cc))});
+  }
+  table.print(std::cout);
+
+  // The paper's two headline observations, checked directly.
+  double frac_below_32 = 0;
+  for (const auto& s : stages)
+    if (s.threshold <= 32)
+      frac_below_32 = std::max(
+          frac_below_32,
+          static_cast<double>(wc.graph.n - s.alive_after) / n);
+  std::cout << "\nFraction of vertices with coreness bound < 32: "
+            << TablePrinter::fmt(frac_below_32, 3) << "\n";
+  std::cout
+      << "\nPaper reference: at least 75% of WC vertices have coreness\n"
+         "< 32; at the deepest threshold only ~0.5% of the vertices remain\n"
+         "connected.  Expected shape here: CDF rising steeply over the\n"
+         "first few thresholds, with a small dense core surviving longest.\n";
+  return 0;
+}

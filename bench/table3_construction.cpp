@@ -1,0 +1,106 @@
+// Regenerates **Table III** — "Parallel performance of graph construction
+// stages": Read / Exchange / LConv times, aggregate processing rate, and
+// speedup, as the task count grows.
+//
+// Paper setup: the 1 TB WC edge file on Blue Waters' Lustre, 64..1024 nodes.
+// Reproduction: the synthetic web crawl written to a local binary file
+// (--scale, default 2^18 vertices), ranks 1..16.  Rates are far below the
+// paper's (one SSD vs 960 GB/s Lustre); the claims under test are the stage
+// structure, strong scaling of Exchange+LConv (Tpar column), and the rate
+// formula (2m edges processed end-to-end).
+
+#include <filesystem>
+#include <iostream>
+
+#include "bench_common.hpp"
+#include "dgraph/snapshot.hpp"
+#include "gen/webgraph.hpp"
+#include "io/binary_edge_io.hpp"
+#include "util/timer.hpp"
+
+namespace hb = hpcgraph::bench;
+using namespace hpcgraph;
+
+int main(int argc, char** argv) {
+  const Cli cli(argc, argv);
+  const unsigned scale = static_cast<unsigned>(cli.get_int("scale", 18));
+  const double avg_degree = cli.get_double("avg-degree", 16);
+  const std::vector<int> ranks = hb::parse_ranks(cli, "ranks", {1, 2, 4, 8, 16});
+  const std::uint64_t seed = cli.get_int("seed", 1);
+
+  gen::WebGraphParams wp;
+  wp.n = gvid_t{1} << scale;
+  wp.avg_degree = avg_degree;
+  wp.seed = seed;
+  const gen::WebGraph wg = gen::webgraph(wp);
+
+  hb::print_banner("Table III: graph construction stages",
+                   "webgraph n=2^" + std::to_string(scale) + ", m=" +
+                       TablePrinter::fmt_si(static_cast<double>(wg.graph.m())));
+
+  const auto dir = std::filesystem::temp_directory_path() / "hpcgraph_bench";
+  std::filesystem::create_directories(dir);
+  const std::string path = (dir / "table3_wc.bin").string();
+  io::write_edge_file(path, wg.graph);
+
+  TablePrinter table({"#Ranks", "Read(s)", "Excg(s)", "LConv(s)", "Total(s)",
+                      "Tpar(s)", "Rate(GE/s)", "Speedup", "Reload(s)"});
+  double base_total = 0;
+
+  for (const int p : ranks) {
+    parcomm::CommWorld world(p);
+    std::vector<dgraph::BuildTiming> timing(p);
+    std::vector<double> cpu(p);
+    std::vector<double> reload(p);
+    const std::string snap = (dir / "table3_snap").string();
+    world.run([&](parcomm::Communicator& comm) {
+      const double cpu0 = thread_cpu_seconds();
+      const dgraph::DistGraph g = dgraph::Builder::from_file(
+          comm, path, io::EdgeFormat::kU32,
+          dgraph::PartitionKind::kVertexBlock, wg.graph.n,
+          &timing[comm.rank()]);
+      cpu[comm.rank()] = thread_cpu_seconds() - cpu0;
+      // Snapshot reuse: reloading skips the whole pipeline.
+      dgraph::save_snapshot(g, comm, snap);
+      Timer t;
+      const dgraph::DistGraph again = dgraph::load_snapshot(comm, snap);
+      (void)again;
+      comm.barrier();
+      reload[comm.rank()] = t.elapsed();
+    });
+
+    // The paper reports per-stage maxima across tasks.
+    double read = 0, excg = 0, lconv = 0, tpar = 0, reload_max = 0;
+    for (int r = 0; r < p; ++r) {
+      read = std::max(read, timing[r].read);
+      excg = std::max(excg, timing[r].exchange);
+      lconv = std::max(lconv, timing[r].lconv);
+      tpar = std::max(tpar, cpu[r]);
+      reload_max = std::max(reload_max, reload[r]);
+    }
+    const double total = read + excg + lconv;
+    if (base_total == 0) base_total = tpar;  // speedup on the compute proxy
+    // 2m edge instances processed (in- and out-edge exchanges), as in the
+    // paper's GE/s definition.
+    const double rate =
+        2.0 * static_cast<double>(wg.graph.m()) / total / 1e9;
+    table.add_row({TablePrinter::fmt_int(p), TablePrinter::fmt(read, 3),
+                   TablePrinter::fmt(excg, 3), TablePrinter::fmt(lconv, 3),
+                   TablePrinter::fmt(total, 3), TablePrinter::fmt(tpar, 3),
+                   TablePrinter::fmt(rate, 3),
+                   TablePrinter::fmt(base_total / tpar, 2),
+                   TablePrinter::fmt(reload_max, 3)});
+  }
+  table.print(std::cout);
+
+  std::cout
+      << "\nPaper reference (WC, 3.56B vertices / 128.7B edges on Blue\n"
+         "Waters): read time under a minute at every node count, faster\n"
+         "reads with more tasks, and \"a degree of strong scaling\" for\n"
+         "Exch+LConv with increasing task count.\n"
+         "Expected shape here: Read roughly flat (one local disk), and\n"
+         "Exchange+LConv strong-scaling visible in the Tpar column.\n";
+
+  std::filesystem::remove_all(dir);
+  return 0;
+}

@@ -1,0 +1,137 @@
+// Regenerates **Table IV** — "Execution times on 256 nodes of Blue Waters":
+// all six analytics on the web crawl under the three partitioning
+// strategies (WC-np / WC-mp / WC-rand) plus same-size R-MAT and Rand-ER.
+//
+// Paper setup: 3.56B-vertex graphs, 256 nodes.  Reproduction: --scale
+// (default 2^16) vertices, --ranks (default 8) simulated ranks.  Iteration
+// counts follow the paper: PageRank 10, Label Propagation 10, k-core 2^i
+// sweep, Harmonic Centrality one vertex.  The claims under test: all six
+// complete; k-core and LP are the long poles; synthetic graphs pay more for
+// LP (no locality); R-MAT suffers load imbalance (see the imbalance
+// column).
+
+#include <iostream>
+
+#include "analytics/analytics.hpp"
+#include "bench_common.hpp"
+#include "gen/erdos_renyi.hpp"
+#include "gen/rmat.hpp"
+#include "gen/webgraph.hpp"
+
+namespace hb = hpcgraph::bench;
+using namespace hpcgraph;
+
+namespace {
+
+struct Workload {
+  std::string label;
+  const gen::EdgeList* graph;
+  dgraph::PartitionKind kind;
+};
+
+struct AnalyticRow {
+  std::string name;
+  std::function<void(const dgraph::DistGraph&, parcomm::Communicator&)> body;
+};
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  const Cli cli(argc, argv);
+  const unsigned scale = static_cast<unsigned>(cli.get_int("scale", 16));
+  const int nranks = static_cast<int>(cli.get_int("ranks", 8));
+  const double d_avg = cli.get_double("avg-degree", 16);
+  const unsigned kcore_max_i = static_cast<unsigned>(cli.get_int("kcore-i", 16));
+
+  const gvid_t n = gvid_t{1} << scale;
+
+  gen::WebGraphParams wp;
+  wp.n = n;
+  wp.avg_degree = d_avg;
+  const gen::WebGraph wc = gen::webgraph(wp);
+
+  gen::RmatParams rp;
+  rp.scale = scale;
+  rp.avg_degree = d_avg;
+  const gen::EdgeList rmat_g = gen::rmat(rp);
+
+  gen::ErParams ep;
+  ep.n = n;
+  ep.m = static_cast<std::uint64_t>(d_avg * static_cast<double>(n));
+  const gen::EdgeList er_g = gen::erdos_renyi(ep);
+
+  hb::print_banner(
+      "Table IV: six-analytic execution times",
+      "n=2^" + std::to_string(scale) + ", d_avg=" +
+          TablePrinter::fmt(d_avg, 0) + ", " + std::to_string(nranks) +
+          " ranks");
+
+  const std::vector<Workload> workloads = {
+      {"WC-np", &wc.graph, dgraph::PartitionKind::kVertexBlock},
+      {"WC-mp", &wc.graph, dgraph::PartitionKind::kEdgeBlock},
+      {"WC-rand", &wc.graph, dgraph::PartitionKind::kRandom},
+      {"R-MAT", &rmat_g, dgraph::PartitionKind::kVertexBlock},
+      {"Rand-ER", &er_g, dgraph::PartitionKind::kVertexBlock},
+  };
+
+  const std::vector<AnalyticRow> rows = {
+      {"PageRank (10 it)",
+       [](const dgraph::DistGraph& g, parcomm::Communicator& comm) {
+         analytics::PageRankOptions o;
+         o.max_iterations = 10;
+         (void)analytics::pagerank(g, comm, o);
+       }},
+      {"Label Prop (10 it)",
+       [](const dgraph::DistGraph& g, parcomm::Communicator& comm) {
+         analytics::LabelPropOptions o;
+         o.iterations = 10;
+         (void)analytics::label_propagation(g, comm, o);
+       }},
+      {"WCC (Multistep)",
+       [](const dgraph::DistGraph& g, parcomm::Communicator& comm) {
+         (void)analytics::wcc(g, comm);
+       }},
+      {"Harmonic Cent. (1 vtx)",
+       [](const dgraph::DistGraph& g, parcomm::Communicator& comm) {
+         const gvid_t hot = analytics::max_degree_vertex(g, comm);
+         (void)analytics::harmonic_centrality(g, comm, hot);
+       }},
+      {"k-core (2^i sweep)",
+       [kcore_max_i](const dgraph::DistGraph& g, parcomm::Communicator& comm) {
+         analytics::KCoreOptions o;
+         o.max_i = kcore_max_i;
+         (void)analytics::kcore_approx(g, comm, o);
+       }},
+      {"SCC (FW-BW)",
+       [](const dgraph::DistGraph& g, parcomm::Communicator& comm) {
+         (void)analytics::largest_scc(g, comm);
+       }},
+  };
+
+  std::vector<std::string> header{"Analytic"};
+  for (const Workload& w : workloads) header.push_back(w.label + " Tpar(s)");
+  header.push_back("R-MAT imbal");
+  TablePrinter table(header);
+
+  for (const AnalyticRow& row : rows) {
+    std::vector<std::string> cells{row.name};
+    double rmat_imbalance = 0;
+    for (const Workload& w : workloads) {
+      const hb::RegionReport rep =
+          hb::run_region(*w.graph, nranks, w.kind, row.body);
+      cells.push_back(TablePrinter::fmt(rep.tpar, 3));
+      if (w.label == "R-MAT") rmat_imbalance = rep.cpu.imbalance();
+    }
+    cells.push_back(TablePrinter::fmt(rmat_imbalance, 2));
+    table.add_row(std::move(cells));
+  }
+  table.print(std::cout);
+
+  std::cout
+      << "\nPaper reference (256 nodes, 3.56B vertices): PageRank and SCC\n"
+         "fastest; k-core (27 BFS stages) and Label Propagation (hash-map-\n"
+         "heavy inner loop) the long poles yet under 10 minutes; synthetic\n"
+         "graphs slower on LP for lack of locality; R-MAT load-imbalanced.\n"
+         "End-to-end for all six, including I/O: ~20 minutes.\n";
+  return 0;
+}

@@ -1,0 +1,75 @@
+// Regenerates **Table V** — the top-10 communities by vertex count after 10
+// and 30 Label Propagation iterations: members (n_in), intra-community
+// edges (m_in), cut edges (m_cut), and a representative vertex.
+//
+// Paper setup: WC, 3.56B vertices; representative vertices were recognizable
+// hub pages (creativecommons.org, wordpress.org, ...).  The synthetic web
+// crawl carries the same named hubs, so representatives resolve to the same
+// kind of labels.  Claims under test: large communities stable between 10
+// and 30 iterations; more iterations -> denser communities (m_in/m_cut up);
+// some communities merge.
+
+#include <iostream>
+
+#include "analytics/community_stats.hpp"
+#include "analytics/label_prop.hpp"
+#include "bench_common.hpp"
+#include "gen/webgraph.hpp"
+
+namespace hb = hpcgraph::bench;
+using namespace hpcgraph;
+
+int main(int argc, char** argv) {
+  const Cli cli(argc, argv);
+  const unsigned scale = static_cast<unsigned>(cli.get_int("scale", 16));
+  const int nranks = static_cast<int>(cli.get_int("ranks", 8));
+
+  gen::WebGraphParams wp;
+  wp.n = gvid_t{1} << scale;
+  wp.avg_degree = 16;
+  const gen::WebGraph wc = gen::webgraph(wp);
+
+  hb::print_banner("Table V: top-10 communities from Label Propagation",
+                   "webgraph n=2^" + std::to_string(scale) + ", " +
+                       std::to_string(nranks) + " ranks");
+
+  double ratio_10 = 0, ratio_30 = 0;
+  for (const int iters : {10, 30}) {
+    TablePrinter table({"n_in", "m_in", "m_cut", "Representative vertex"});
+    double intra = 0, cut = 0;
+    hb::run_region(
+        wc.graph, nranks, dgraph::PartitionKind::kVertexBlock,
+        [&](const dgraph::DistGraph& g, parcomm::Communicator& comm) {
+          analytics::LabelPropOptions lp;
+          lp.iterations = iters;
+          const auto labels = analytics::label_propagation(g, comm, lp);
+          analytics::CommunityStatsOptions cso;
+          cso.top_k = 10;
+          const auto cs = analytics::community_stats(g, comm, labels.labels, cso);
+          if (comm.rank() == 0) {
+            for (const auto& rec : cs.top) {
+              table.add_row(
+                  {TablePrinter::fmt_si(static_cast<double>(rec.n_in), 2),
+                   TablePrinter::fmt_si(static_cast<double>(rec.m_in), 2),
+                   TablePrinter::fmt_si(static_cast<double>(rec.m_cut), 2),
+                   gen::webgraph_vertex_name(wc, rec.representative)});
+              intra += static_cast<double>(rec.m_in);
+              cut += static_cast<double>(rec.m_cut);
+            }
+          }
+        });
+    std::cout << "\nResults after " << iters << " Label Prop. iterations:\n";
+    table.print(std::cout);
+    (iters == 10 ? ratio_10 : ratio_30) = cut > 0 ? intra / cut : 0;
+  }
+
+  std::cout << "\nIntra/cut edge ratio of the top communities: 10 it -> "
+            << TablePrinter::fmt(ratio_10, 2) << ", 30 it -> "
+            << TablePrinter::fmt(ratio_30, 2) << "\n";
+  std::cout
+      << "\nPaper reference: the same large-scale communities appear in the\n"
+         "10- and 30-iteration lists; with more iterations communities get\n"
+         "denser (intra-to-inter edge ratio increases) and smaller ones can\n"
+         "merge; representatives are recognizable hub sites.\n";
+  return 0;
+}

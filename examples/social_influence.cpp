@@ -1,0 +1,123 @@
+// Social influence analysis on a Twitter-like graph: influencer ranking
+// (PageRank), reach (BFS from the top influencer), follower communities
+// (Label Propagation), and an engagement-core profile (k-core) — the
+// motivating social-network scenario from the paper's introduction.
+//
+//   ./examples/social_influence [--scale-div D] [--ranks P]
+
+#include <algorithm>
+#include <iostream>
+
+#include "analytics/analytics.hpp"
+#include "dgraph/builder.hpp"
+#include "gen/social.hpp"
+#include "parcomm/comm.hpp"
+#include "util/cli.hpp"
+#include "util/table.hpp"
+
+using namespace hpcgraph;
+
+int main(int argc, char** argv) {
+  const Cli cli(argc, argv);
+  const unsigned scale_div =
+      static_cast<unsigned>(cli.get_int("scale-div", 512));
+  const int nranks = static_cast<int>(cli.get_int("ranks", 8));
+
+  const gen::EdgeList net = gen::twitter_like(scale_div);
+  std::cout << "Twitter-like network: " << net.n << " users, " << net.m()
+            << " follow edges (an edge u->v means u follows v)\n\n";
+
+  parcomm::CommWorld world(nranks);
+  world.run([&](parcomm::Communicator& comm) {
+    // Random (hashed) partitioning, as the paper uses for these graphs.
+    const dgraph::DistGraph g = dgraph::Builder::from_edge_list(
+        comm, net, dgraph::PartitionKind::kRandom);
+    const bool root = comm.rank() == 0;
+
+    // ---- Influencer ranking. ----
+    analytics::PageRankOptions pr_opts;
+    pr_opts.max_iterations = 25;
+    pr_opts.tolerance = 1e-10;
+    const auto pr = analytics::pagerank(g, comm, pr_opts);
+
+    // Global top-5 by PageRank: local top-5, then merge everywhere.
+    struct Scored {
+      double score;
+      gvid_t gid;
+    };
+    std::vector<Scored> mine(g.n_loc());
+    for (lvid_t v = 0; v < g.n_loc(); ++v)
+      mine[v] = {pr.scores[v], g.global_id(v)};
+    const auto by_score = [](const Scored& a, const Scored& b) {
+      return a.score > b.score;
+    };
+    const std::size_t keep = std::min<std::size_t>(5, mine.size());
+    std::partial_sort(mine.begin(), mine.begin() + keep, mine.end(), by_score);
+    mine.resize(keep);
+    auto all = comm.allgatherv<Scored>(mine);
+    std::sort(all.begin(), all.end(), by_score);
+    if (all.size() > 5) all.resize(5);
+
+    if (root) {
+      std::cout << "Top influencers by PageRank:\n";
+      for (const auto& s : all)
+        std::cout << "  user " << s.gid << "  score "
+                  << TablePrinter::fmt(s.score * 1e6, 2) << " ppm\n";
+      std::cout << "\n";
+    }
+
+    // ---- Reach of the top influencer: who can their content cascade to?
+    // (follow edges point follower -> followee, so content flows along
+    // *in*-edges: run the BFS backward.) ----
+    const gvid_t top_user = all.front().gid;
+    analytics::BfsOptions bfs_opts;
+    bfs_opts.dir = analytics::Dir::kIn;
+    const auto reach = analytics::bfs(g, comm, top_user, bfs_opts);
+    // Histogram of cascade depth.
+    std::vector<std::uint64_t> depth_counts(8, 0);
+    for (lvid_t v = 0; v < g.n_loc(); ++v)
+      if (reach.level[v] >= 0)
+        ++depth_counts[std::min<std::size_t>(reach.level[v], 7)];
+    const auto depths = comm.allgatherv<std::uint64_t>(depth_counts);
+    if (root) {
+      std::cout << "Cascade reach of user " << top_user << ": "
+                << reach.visited << " users in " << reach.num_levels
+                << " hops\n";
+      for (std::size_t d = 0; d < 8; ++d) {
+        std::uint64_t c = 0;
+        for (int r = 0; r < comm.size(); ++r)
+          c += depths[static_cast<std::size_t>(r) * 8 + d];
+        if (c) std::cout << "  hop " << d << ": " << c << " users\n";
+      }
+      std::cout << "\n";
+    }
+
+    // ---- Follower communities. ----
+    analytics::LabelPropOptions lp_opts;
+    lp_opts.iterations = 10;
+    const auto lp = analytics::label_propagation(g, comm, lp_opts);
+    analytics::CommunityStatsOptions cso;
+    cso.top_k = 3;
+    const auto cs = analytics::community_stats(g, comm, lp.labels, cso);
+    if (root) {
+      std::cout << "Communities: " << cs.num_communities
+                << " total; three largest have ";
+      for (const auto& rec : cs.top) std::cout << rec.n_in << " ";
+      std::cout << "members\n\n";
+    }
+
+    // ---- Engagement core: the densely-embedded user base. ----
+    analytics::KCoreOptions kc_opts;
+    kc_opts.max_i = 12;
+    kc_opts.track_components = false;
+    const auto kc = analytics::kcore_approx(g, comm, kc_opts);
+    std::uint64_t engaged = 0;
+    for (const auto b : kc.bound)
+      if (b >= 64) ++engaged;
+    const auto engaged_total = comm.allreduce_sum(engaged);
+    if (root)
+      std::cout << "Deeply-embedded users (coreness bound >= 64): "
+                << engaged_total << " of " << g.n_global() << "\n";
+  });
+  return 0;
+}

@@ -1,0 +1,19 @@
+#pragma once
+/// \file analytics.hpp
+/// Umbrella header for the six graph analytics of the paper plus BFS and the
+/// community audit.  See DESIGN.md for the algorithm-class taxonomy
+/// (PageRank-like value propagation vs BFS-like frontier expansion).
+
+#include "analytics/bfs.hpp"            // IWYU pragma: export
+#include "analytics/betweenness.hpp"    // IWYU pragma: export
+#include "analytics/bfs_tree.hpp"       // IWYU pragma: export
+#include "analytics/community_stats.hpp"  // IWYU pragma: export
+#include "analytics/harmonic.hpp"       // IWYU pragma: export
+#include "analytics/kcore.hpp"          // IWYU pragma: export
+#include "analytics/label_prop.hpp"     // IWYU pragma: export
+#include "analytics/pagerank.hpp"       // IWYU pragma: export
+#include "analytics/scc.hpp"            // IWYU pragma: export
+#include "analytics/scc_decompose.hpp"  // IWYU pragma: export
+#include "analytics/sssp.hpp"           // IWYU pragma: export
+#include "analytics/triangles.hpp"      // IWYU pragma: export
+#include "analytics/wcc.hpp"            // IWYU pragma: export

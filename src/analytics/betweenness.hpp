@@ -1,0 +1,47 @@
+#pragma once
+/// \file betweenness.hpp
+/// Approximate betweenness centrality by k-source Brandes — a further
+/// §VII-style extension of the paper's centrality pillar (its harmonic
+/// centrality faces the same all-sources cost wall; the paper's answer
+/// there is top-k sources, the standard answer for betweenness is sampled
+/// sources).
+///
+/// For each sampled source: a forward level-synchronous sweep counts
+/// shortest paths (sigma) — the BFS-like class with (vertex, count)
+/// accumulation messages — then a backward pass walks the level structure
+/// deepest-first accumulating dependencies (delta), refreshing ghost
+/// sigma/delta with retained-queue exchanges per level.  Scores are raw
+/// dependency sums over the sampled sources (directed, endpoints excluded).
+
+#include <cstdint>
+#include <vector>
+
+#include "analytics/common.hpp"
+
+namespace hpcgraph::analytics {
+
+struct BetweennessOptions {
+  /// Number of sampled sources (clamped to n). 0 = use every vertex
+  /// (exact; only sensible on small graphs).
+  std::size_t num_sources = 8;
+  std::uint64_t seed = 1;
+  CommonOptions common;
+};
+
+struct BetweennessResult {
+  /// Per local vertex: accumulated dependency over the sampled sources.
+  std::vector<double> score;
+  std::vector<gvid_t> sources;  ///< the sources actually used
+};
+
+/// Deterministic source sample shared by the distributed code and the
+/// sequential reference: k distinct vertices drawn by seeded hashing.
+std::vector<gvid_t> betweenness_sources(gvid_t n, std::size_t k,
+                                        std::uint64_t seed);
+
+/// Collective.
+BetweennessResult betweenness(const dgraph::DistGraph& g,
+                              parcomm::Communicator& comm,
+                              const BetweennessOptions& opts = {});
+
+}  // namespace hpcgraph::analytics

@@ -1,0 +1,361 @@
+#include "analytics/bfs.hpp"
+
+#include <atomic>
+
+#include "dgraph/ghost_exchange.hpp"
+#include "util/thread_queue.hpp"
+
+namespace hpcgraph::analytics {
+
+using dgraph::DistGraph;
+using parcomm::Communicator;
+
+namespace {
+
+/// Status-array policy: plain stores for the single-thread fast path,
+/// compare-exchange when several threads expand the frontier concurrently.
+/// Claiming a vertex once per task is the paper's dedup device ("this first
+/// update is done to signify that the vertex has either been added to the
+/// local queue ... or the send queue ... so the exploration of subsequent
+/// edges incident on the vertex don't end up re-queuing that vertex").
+class PlainStatus {
+ public:
+  explicit PlainStatus(std::size_t n) : s_(n, kUnvisited) {}
+
+  std::int64_t load(std::size_t i) const { return s_[i]; }
+  void store(std::size_t i, std::int64_t v) { s_[i] = v; }
+
+  bool claim(std::size_t i) {
+    if (s_[i] != kUnvisited) return false;
+    s_[i] = kQueued;
+    return true;
+  }
+
+  bool pop_claim(std::size_t i, std::int64_t level) {
+    if (s_[i] != kQueued) return false;
+    s_[i] = level;
+    return true;
+  }
+
+ private:
+  std::vector<std::int64_t> s_;
+};
+
+class AtomicStatus {
+ public:
+  explicit AtomicStatus(std::size_t n) : s_(n) {
+    for (auto& x : s_) x.store(kUnvisited, std::memory_order_relaxed);
+  }
+
+  std::int64_t load(std::size_t i) const {
+    return s_[i].load(std::memory_order_relaxed);
+  }
+  void store(std::size_t i, std::int64_t v) {
+    s_[i].store(v, std::memory_order_relaxed);
+  }
+
+  bool claim(std::size_t i) {
+    std::int64_t expect = kUnvisited;
+    return s_[i].compare_exchange_strong(expect, kQueued,
+                                         std::memory_order_relaxed);
+  }
+
+  bool pop_claim(std::size_t i, std::int64_t level) {
+    std::int64_t expect = kQueued;
+    return s_[i].compare_exchange_strong(expect, level,
+                                         std::memory_order_relaxed);
+  }
+
+ private:
+  std::vector<std::atomic<std::int64_t>> s_;
+};
+
+template <typename Status>
+BfsResult bfs_impl(const DistGraph& g, Communicator& comm, gvid_t root,
+                   const BfsOptions& opts, ThreadPool& tp) {
+  const unsigned nt = tp.num_threads();
+  const int p = comm.size();
+  const int me = comm.rank();
+
+  Status status(g.n_total());
+  const auto alive = [&](lvid_t u) {
+    return opts.alive.empty() || opts.alive[u] != 0;
+  };
+
+  std::vector<lvid_t> q, q_next;
+  if (g.owner_of_global(root) == me) {
+    const lvid_t l = g.local_id_checked(root);
+    if (alive(l)) {
+      status.store(l, kQueued);
+      q.push_back(l);
+    }
+  }
+
+  std::int64_t level = 0;
+  std::uint64_t global_size = comm.allreduce_sum<std::uint64_t>(q.size());
+  int num_levels = 0;
+
+  // Per-thread scratch, reused across levels.
+  struct ThreadScratch {
+    std::vector<lvid_t> next;  // local vertices for the next frontier
+    std::vector<lvid_t> send;  // ghost local-ids to route to owners
+    std::vector<std::uint64_t> send_counts;
+  };
+  std::vector<ThreadScratch> scratch(nt);
+  for (auto& s : scratch) s.send_counts.assign(p, 0);
+
+  while (global_size != 0) {
+    ++num_levels;
+
+    // ---- Expansion: pop the frontier, stamp levels, claim neighbours. ----
+    tp.for_range(0, q.size(), [&](unsigned tid, std::uint64_t lo,
+                                  std::uint64_t hi) {
+      ThreadScratch& s = scratch[tid];
+      for (std::uint64_t i = lo; i < hi; ++i) {
+        const lvid_t v = q[i];
+        // Claim the pop (duplicates can reach the queue via receives).
+        if (!status.pop_claim(v, level)) continue;
+
+        const auto explore = [&](lvid_t u) {
+          if (g.is_ghost(u)) {
+            if (status.claim(u)) {
+              s.send.push_back(u);
+              ++s.send_counts[g.owner_of(u)];
+            }
+          } else if (alive(u) && status.claim(u)) {
+            s.next.push_back(u);
+          }
+        };
+        if (opts.dir == Dir::kOut || opts.dir == Dir::kBoth)
+          for (const lvid_t u : g.out_neighbors(v)) explore(u);
+        if (opts.dir == Dir::kIn || opts.dir == Dir::kBoth)
+          for (const lvid_t u : g.in_neighbors(v)) explore(u);
+      }
+    });
+
+    // ---- Build the send queue (Algorithm 2 lines 26-31). ----
+    std::vector<std::uint64_t> send_counts(p, 0);
+    for (unsigned t = 0; t < nt; ++t)
+      for (int r = 0; r < p; ++r) send_counts[r] += scratch[t].send_counts[r];
+
+    MultiQueue<gvid_t> sendq(send_counts);
+    tp.run([&](unsigned tid) {
+      ThreadScratch& s = scratch[tid];
+      MultiQueue<gvid_t>::Sink sink(sendq, opts.common.qsize);
+      for (const lvid_t u : s.send)
+        sink.push(static_cast<std::uint32_t>(g.owner_of(u)), g.global_id(u));
+      s.send.clear();
+      std::fill(s.send_counts.begin(), s.send_counts.end(), 0);
+    });
+    HG_DCHECK(sendq.complete());
+
+    const std::vector<gvid_t> recv =
+        comm.alltoallv<gvid_t>(sendq.buffer(), send_counts);
+
+    // ---- Assemble next frontier: local claims + received vertices. ----
+    q_next.clear();
+    for (unsigned t = 0; t < nt; ++t) {
+      q_next.insert(q_next.end(), scratch[t].next.begin(),
+                    scratch[t].next.end());
+      scratch[t].next.clear();
+    }
+    for (const gvid_t gid : recv) {
+      const lvid_t l = g.local_id_checked(gid);
+      HG_DCHECK(!g.is_ghost(l));
+      if (alive(l) && status.claim(l)) q_next.push_back(l);
+    }
+
+    std::swap(q, q_next);
+    global_size = comm.allreduce_sum<std::uint64_t>(q.size());
+    ++level;
+  }
+
+  // ---- Collect results. ----
+  BfsResult res;
+  res.num_levels = num_levels;
+  res.level.resize(g.n_loc());
+  std::uint64_t visited_local = 0;
+  for (lvid_t v = 0; v < g.n_loc(); ++v) {
+    res.level[v] = status.load(v);
+    if (res.level[v] >= 0) ++visited_local;
+  }
+  res.visited = comm.allreduce_sum(visited_local);
+  return res;
+}
+
+/// Direction-optimizing traversal: hybrid top-down / bottom-up schedule.
+/// Statuses are stamped with the level at frontier *insertion* time (both
+/// modes), so the two schedules interleave freely and produce levels
+/// identical to the reference traversal.
+template <typename Status>
+BfsResult bfs_diropt_impl(const DistGraph& g, Communicator& comm, gvid_t root,
+                          const BfsOptions& opts, ThreadPool& tp) {
+  const int p = comm.size();
+  const int me = comm.rank();
+
+  // Frontier-flag propagation for bottom-up levels reuses the retained-
+  // queue machinery; the adjacency mode mirrors the traversal direction
+  // (a vertex's flag must reach every rank scanning it as a parent).
+  const dgraph::Adjacency adj =
+      opts.dir == Dir::kOut   ? dgraph::Adjacency::kOut
+      : opts.dir == Dir::kIn  ? dgraph::Adjacency::kIn
+                              : dgraph::Adjacency::kBoth;
+  dgraph::GhostExchange gx(g, comm, adj, opts.common.pool);
+
+  Status status(g.n_total());
+  const auto alive = [&](lvid_t u) {
+    return opts.alive.empty() || opts.alive[u] != 0;
+  };
+
+  // Traversal-direction degree (frontier edge estimates).
+  const auto deg_dir = [&](lvid_t v) -> std::uint64_t {
+    switch (opts.dir) {
+      case Dir::kOut: return g.out_degree(v);
+      case Dir::kIn: return g.in_degree(v);
+      case Dir::kBoth: return g.out_degree(v) + g.in_degree(v);
+    }
+    return 0;
+  };
+
+  std::vector<lvid_t> q, q_next;
+  if (g.owner_of_global(root) == me) {
+    const lvid_t l = g.local_id_checked(root);
+    if (alive(l)) {
+      status.store(l, 0);
+      q.push_back(l);
+    }
+  }
+
+  std::vector<std::uint8_t> flags(g.n_total(), 0);
+  std::int64_t level = 0;
+  std::uint64_t global_size = comm.allreduce_sum<std::uint64_t>(q.size());
+  int num_levels = 0;
+  bool bottom_up = false;
+
+  while (global_size != 0) {
+    ++num_levels;
+
+    // ---- Mode decision (Beamer heuristics, collective). ----
+    std::uint64_t frontier_edges_local = 0;
+    for (const lvid_t v : q) frontier_edges_local += deg_dir(v);
+    const std::uint64_t frontier_edges =
+        comm.allreduce_sum(frontier_edges_local);
+    if (!bottom_up) {
+      bottom_up = static_cast<double>(frontier_edges) >
+                  static_cast<double>(g.m_global()) / opts.alpha;
+    } else {
+      bottom_up = static_cast<double>(global_size) >=
+                  static_cast<double>(g.n_global()) / opts.beta;
+    }
+
+    q_next.clear();
+    if (bottom_up) {
+      // ---- Bottom-up: publish frontier flags, unvisited vertices look
+      // for a flagged parent. ----
+      std::fill(flags.begin(), flags.end(), 0);
+      for (const lvid_t v : q) flags[v] = 1;
+      gx.exchange<std::uint8_t>(flags, comm);
+
+      for (lvid_t v = 0; v < g.n_loc(); ++v) {
+        if (status.load(v) != kUnvisited || !alive(v)) continue;
+        bool found = false;
+        // Parents sit in the *reverse* adjacency of the traversal.
+        if (opts.dir == Dir::kOut || opts.dir == Dir::kBoth) {
+          for (const lvid_t u : g.in_neighbors(v)) {
+            if (flags[u]) {
+              found = true;
+              break;
+            }
+          }
+        }
+        if (!found && (opts.dir == Dir::kIn || opts.dir == Dir::kBoth)) {
+          for (const lvid_t u : g.out_neighbors(v)) {
+            if (flags[u]) {
+              found = true;
+              break;
+            }
+          }
+        }
+        if (found) {
+          status.store(v, level + 1);
+          q_next.push_back(v);
+        }
+      }
+    } else {
+      // ---- Top-down: as Algorithm 2, stamping at insertion. ----
+      std::vector<lvid_t> send;
+      std::vector<std::uint64_t> send_counts(p, 0);
+      for (const lvid_t v : q) {
+        const auto explore = [&](lvid_t u) {
+          if (g.is_ghost(u)) {
+            if (status.claim(u)) {  // each ghost sent at most once per task
+              send.push_back(u);
+              ++send_counts[g.owner_of(u)];
+            }
+          } else if (alive(u) && status.load(u) == kUnvisited) {
+            status.store(u, level + 1);
+            q_next.push_back(u);
+          }
+        };
+        if (opts.dir == Dir::kOut || opts.dir == Dir::kBoth)
+          for (const lvid_t u : g.out_neighbors(v)) explore(u);
+        if (opts.dir == Dir::kIn || opts.dir == Dir::kBoth)
+          for (const lvid_t u : g.in_neighbors(v)) explore(u);
+      }
+
+      MultiQueue<gvid_t> sendq(send_counts);
+      {
+        typename MultiQueue<gvid_t>::Sink sink(sendq, opts.common.qsize);
+        for (const lvid_t u : send)
+          sink.push(static_cast<std::uint32_t>(g.owner_of(u)),
+                    g.global_id(u));
+      }
+      const std::vector<gvid_t> recv =
+          comm.alltoallv<gvid_t>(sendq.buffer(), send_counts);
+      for (const gvid_t gid : recv) {
+        const lvid_t l = g.local_id_checked(gid);
+        if (alive(l) && status.load(l) == kUnvisited) {
+          status.store(l, level + 1);
+          q_next.push_back(l);
+        }
+      }
+    }
+
+    std::swap(q, q_next);
+    global_size = comm.allreduce_sum<std::uint64_t>(q.size());
+    ++level;
+  }
+  (void)tp;
+
+  BfsResult res;
+  res.num_levels = num_levels;
+  res.level.resize(g.n_loc());
+  std::uint64_t visited_local = 0;
+  for (lvid_t v = 0; v < g.n_loc(); ++v) {
+    res.level[v] = status.load(v);
+    if (res.level[v] >= 0) ++visited_local;
+  }
+  res.visited = comm.allreduce_sum(visited_local);
+  return res;
+}
+
+}  // namespace
+
+BfsResult bfs(const DistGraph& g, Communicator& comm, gvid_t root,
+              const BfsOptions& opts) {
+  HG_CHECK(root < g.n_global());
+  HG_CHECK(opts.alive.empty() || opts.alive.size() >= g.n_loc());
+
+  ThreadPool inline_pool(1);
+  ThreadPool& tp = opts.common.pool ? *opts.common.pool : inline_pool;
+  if (opts.direction_optimizing) {
+    // The hybrid schedule is sequential within a rank (its bottom-up scan
+    // is a flat loop); the plain status policy suffices.
+    return bfs_diropt_impl<PlainStatus>(g, comm, root, opts, tp);
+  }
+  if (tp.num_threads() == 1)
+    return bfs_impl<PlainStatus>(g, comm, root, opts, tp);
+  return bfs_impl<AtomicStatus>(g, comm, root, opts, tp);
+}
+
+}  // namespace hpcgraph::analytics

@@ -1,0 +1,101 @@
+#include "analytics/bfs_tree.hpp"
+
+#include "util/thread_queue.hpp"
+
+namespace hpcgraph::analytics {
+
+using dgraph::DistGraph;
+using parcomm::Communicator;
+
+BfsTreeResult bfs_tree(const DistGraph& g, Communicator& comm, gvid_t root,
+                       const BfsOptions& opts) {
+  HG_CHECK(root < g.n_global());
+  const int p = comm.size();
+  const int me = comm.rank();
+
+  BfsTreeResult res;
+  res.level.assign(g.n_loc(), kUnvisited);
+  res.parent.assign(g.n_loc(), kNullGvid);
+  // Ghost dedup flags: each task claims/sends a ghost at most once.
+  std::vector<std::uint8_t> ghost_claimed(g.n_gst(), 0);
+
+  const auto alive = [&](lvid_t u) {
+    return opts.alive.empty() || opts.alive[u] != 0;
+  };
+
+  std::vector<lvid_t> q, q_next;
+  if (g.owner_of_global(root) == me) {
+    const lvid_t l = g.local_id_checked(root);
+    if (alive(l)) {
+      res.level[l] = 0;
+      res.parent[l] = root;  // Graph500 convention: the root parents itself
+      q.push_back(l);
+    }
+  }
+
+  struct Discovery {
+    gvid_t child;
+    gvid_t parent;
+  };
+
+  std::int64_t level = 0;
+  std::uint64_t global_size = comm.allreduce_sum<std::uint64_t>(q.size());
+
+  while (global_size != 0) {
+    ++res.num_levels;
+    q_next.clear();
+    std::vector<Discovery> remote;
+
+    for (const lvid_t v : q) {
+      const gvid_t vg = g.global_id(v);
+      const auto explore = [&](lvid_t u) {
+        if (g.is_ghost(u)) {
+          std::uint8_t& claimed = ghost_claimed[u - g.n_loc()];
+          if (!claimed) {
+            claimed = 1;
+            remote.push_back({g.global_id(u), vg});
+          }
+        } else if (alive(u) && res.level[u] == kUnvisited) {
+          res.level[u] = level + 1;
+          res.parent[u] = vg;
+          q_next.push_back(u);
+        }
+      };
+      if (opts.dir == Dir::kOut || opts.dir == Dir::kBoth)
+        for (const lvid_t u : g.out_neighbors(v)) explore(u);
+      if (opts.dir == Dir::kIn || opts.dir == Dir::kBoth)
+        for (const lvid_t u : g.in_neighbors(v)) explore(u);
+    }
+
+    std::vector<std::uint64_t> counts(p, 0);
+    for (const Discovery& d : remote) ++counts[g.owner_of_global(d.child)];
+    MultiQueue<Discovery> sq(counts);
+    {
+      MultiQueue<Discovery>::Sink sink(sq, opts.common.qsize);
+      for (const Discovery& d : remote)
+        sink.push(static_cast<std::uint32_t>(g.owner_of_global(d.child)), d);
+    }
+    const std::vector<Discovery> recv =
+        comm.alltoallv<Discovery>(sq.buffer(), counts);
+    for (const Discovery& d : recv) {
+      const lvid_t l = g.local_id_checked(d.child);
+      if (alive(l) && res.level[l] == kUnvisited) {
+        res.level[l] = level + 1;
+        res.parent[l] = d.parent;  // first claimer wins (rank order)
+        q_next.push_back(l);
+      }
+    }
+
+    std::swap(q, q_next);
+    global_size = comm.allreduce_sum<std::uint64_t>(q.size());
+    ++level;
+  }
+
+  std::uint64_t visited_local = 0;
+  for (const auto l : res.level)
+    if (l >= 0) ++visited_local;
+  res.visited = comm.allreduce_sum(visited_local);
+  return res;
+}
+
+}  // namespace hpcgraph::analytics

@@ -1,0 +1,35 @@
+#pragma once
+/// \file bfs_tree.hpp
+/// BFS with parent recording — the Graph500-style variant of Algorithm 2
+/// (the paper positions its BFS relative to the Graph500 benchmark [12],
+/// whose kernel output is a parent tree rather than levels).
+///
+/// Discovery messages carry (child, parent) pairs; each vertex records the
+/// claimer that first reached it.  tests/test_bfs_tree.cpp validates the
+/// Graph500 tree conditions: the root is its own parent, every tree edge
+/// exists in the graph, and levels are consistent (level(v) ==
+/// level(parent(v)) + 1).
+
+#include <cstdint>
+#include <vector>
+
+#include "analytics/bfs.hpp"
+
+namespace hpcgraph::analytics {
+
+struct BfsTreeResult {
+  /// Per local vertex: BFS level, or kUnvisited if unreached.
+  std::vector<std::int64_t> level;
+  /// Per local vertex: parent's global id; the root parents itself;
+  /// kNullGvid if unreached.
+  std::vector<gvid_t> parent;
+  std::uint64_t visited = 0;
+  int num_levels = 0;
+};
+
+/// Collective.  Directed (out-edge) BFS from `root` recording the tree.
+BfsTreeResult bfs_tree(const dgraph::DistGraph& g,
+                       parcomm::Communicator& comm, gvid_t root,
+                       const BfsOptions& opts = {});
+
+}  // namespace hpcgraph::analytics

@@ -1,0 +1,57 @@
+#pragma once
+/// \file common.hpp
+/// Shared pieces of the analytics layer: traversal direction, result
+/// gathering helpers, and the per-analytic option baseline.
+
+#include <cstdint>
+#include <span>
+#include <vector>
+
+#include "dgraph/dist_graph.hpp"
+#include "parcomm/comm.hpp"
+#include "util/parallel_for.hpp"
+#include "util/thread_queue.hpp"
+
+namespace hpcgraph::analytics {
+
+/// Which adjacency lists a traversal follows.
+enum class Dir {
+  kOut,   ///< out-edges (directed forward)
+  kIn,    ///< in-edges (directed backward)
+  kBoth,  ///< undirected view
+};
+
+/// Options common to every analytic.
+struct CommonOptions {
+  /// Intra-rank worker pool (null = 1 thread).  Honoured by the loops with
+  /// data-parallel structure: BFS, PageRank, Label Propagation, and the
+  /// ghost-exchange setup.  The sweep-to-fixpoint analytics (k-core
+  /// peeling, WCC/SCC coloring, SSSP relaxation) run their sweeps serially
+  /// per rank — their in-place updates are what make them converge fast,
+  /// and rank-level parallelism is the paper's primary axis.
+  ThreadPool* pool = nullptr;
+  std::size_t qsize = kDefaultQSize;  ///< Algorithm-3 thread-queue capacity
+};
+
+/// Collective: gather a per-local-vertex array into a full n_global-length
+/// array, replicated on every rank (test/report helper — not for use at
+/// paper scale, where no single task can hold an n_global array).
+template <typename T>
+std::vector<T> gather_global(const dgraph::DistGraph& g,
+                             parcomm::Communicator& comm,
+                             std::span<const T> local_vals) {
+  HG_CHECK(local_vals.size() == g.n_loc());
+  struct Pair {
+    gvid_t gid;
+    T val;
+  };
+  std::vector<Pair> mine(g.n_loc());
+  for (lvid_t v = 0; v < g.n_loc(); ++v)
+    mine[v] = {g.global_id(v), local_vals[v]};
+  const std::vector<Pair> all = comm.allgatherv<Pair>(mine);
+  std::vector<T> out(g.n_global());
+  for (const Pair& p : all) out[p.gid] = p.val;
+  return out;
+}
+
+}  // namespace hpcgraph::analytics

@@ -1,0 +1,116 @@
+#include "analytics/community_stats.hpp"
+
+#include <algorithm>
+#include <unordered_map>
+
+#include "dgraph/ghost_exchange.hpp"
+#include "util/thread_queue.hpp"
+
+namespace hpcgraph::analytics {
+
+using dgraph::Adjacency;
+using dgraph::DistGraph;
+using dgraph::GhostExchange;
+using parcomm::Communicator;
+
+CommunityStatsResult community_stats(const DistGraph& g, Communicator& comm,
+                                     std::span<const std::uint64_t> labels,
+                                     const CommunityStatsOptions& opts) {
+  HG_CHECK(labels.size() == g.n_loc());
+  CommunityStatsResult res;
+
+  // ---- Ghost labels: one exchange over the full label array. ----
+  std::vector<std::uint64_t> full(g.n_total(), 0);
+  std::copy(labels.begin(), labels.end(), full.begin());
+  GhostExchange gx(g, comm, Adjacency::kBoth, opts.common.pool);
+  gx.exchange<std::uint64_t>(full, comm);
+
+  // ---- Local partial records per community. ----
+  struct Partial {
+    std::uint64_t n = 0, m_in = 0, m_cut = 0;
+    gvid_t rep = kNullGvid;
+  };
+  std::unordered_map<std::uint64_t, Partial> partials;
+  partials.reserve(g.n_loc() / 4 + 8);
+  for (lvid_t v = 0; v < g.n_loc(); ++v) {
+    Partial& pr = partials[labels[v]];
+    ++pr.n;
+    pr.rep = std::min(pr.rep, g.global_id(v));
+    for (const lvid_t u : g.out_neighbors(v)) {
+      if (full[u] == labels[v])
+        ++pr.m_in;
+      else
+        ++pr.m_cut;
+    }
+  }
+
+  // ---- Route records to owner(label) and finalize totals there. ----
+  struct Record {
+    std::uint64_t label;
+    std::uint64_t n, m_in, m_cut;
+    gvid_t rep;
+  };
+  const int p = comm.size();
+  const auto owner_of_label = [&](std::uint64_t label) {
+    // Labels are vertex ids, so the vertex partition also shards labels.
+    return g.owner_of_global(static_cast<gvid_t>(label) % g.n_global());
+  };
+  std::vector<std::uint64_t> counts(p, 0);
+  for (const auto& [label, pr] : partials) ++counts[owner_of_label(label)];
+  MultiQueue<Record> q(counts);
+  {
+    MultiQueue<Record>::Sink sink(q, opts.common.qsize);
+    for (const auto& [label, pr] : partials)
+      sink.push(static_cast<std::uint32_t>(owner_of_label(label)),
+                Record{label, pr.n, pr.m_in, pr.m_cut, pr.rep});
+  }
+  const std::vector<Record> recv = comm.alltoallv<Record>(q.buffer(), counts);
+
+  std::unordered_map<std::uint64_t, Partial> owned;
+  owned.reserve(recv.size());
+  for (const Record& r : recv) {
+    Partial& pr = owned[r.label];
+    pr.n += r.n;
+    pr.m_in += r.m_in;
+    pr.m_cut += r.m_cut;
+    pr.rep = std::min(pr.rep, r.rep);
+  }
+
+  // ---- Size histogram (Figure 5): element-wise allreduce of buckets. ----
+  {
+    std::vector<std::uint64_t> buckets(64, 0);
+    for (const auto& [label, pr] : owned)
+      ++buckets[Log2Histogram::bucket_of(pr.n)];
+    std::vector<std::uint64_t> gathered = comm.allgatherv<std::uint64_t>(buckets);
+    for (int r = 0; r < p; ++r)
+      for (unsigned b = 0; b < 64; ++b) {
+        const std::uint64_t c = gathered[static_cast<std::size_t>(r) * 64 + b];
+        if (c) res.size_histogram.add(std::uint64_t{1} << b, c);
+      }
+  }
+  res.num_communities =
+      comm.allreduce_sum<std::uint64_t>(owned.size());
+
+  // ---- Top-k by size: local top-k candidates, merged everywhere. ----
+  std::vector<CommunityRecord> local_top;
+  local_top.reserve(owned.size());
+  for (const auto& [label, pr] : owned)
+    local_top.push_back({label, pr.n, pr.m_in, pr.m_cut, pr.rep});
+  const auto by_size = [](const CommunityRecord& a, const CommunityRecord& b) {
+    if (a.n_in != b.n_in) return a.n_in > b.n_in;
+    return a.label < b.label;
+  };
+  const std::size_t keep = std::min(opts.top_k, local_top.size());
+  std::partial_sort(local_top.begin(), local_top.begin() + keep,
+                    local_top.end(), by_size);
+  local_top.resize(keep);
+
+  std::vector<CommunityRecord> all =
+      comm.allgatherv<CommunityRecord>(local_top);
+  std::sort(all.begin(), all.end(), by_size);
+  if (all.size() > opts.top_k) all.resize(opts.top_k);
+  res.top = std::move(all);
+  return res;
+}
+
+}  // namespace hpcgraph::analytics

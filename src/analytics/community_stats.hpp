@@ -1,0 +1,50 @@
+#pragma once
+/// \file community_stats.hpp
+/// Community audit for Label Propagation output — the machinery behind
+/// Table V (top communities with member/intra-edge/cut-edge counts and a
+/// representative vertex) and Figure 5 (community size distribution).
+///
+/// Each rank classifies its local out-edges as intra- or inter-community
+/// (ghost labels refreshed with one retained-queue exchange), aggregates
+/// partial (label, n, m_in, m_cut, min-member) records, and routes each
+/// record to owner(label) with one Alltoallv, where totals are finalized.
+
+#include <cstdint>
+#include <vector>
+
+#include "analytics/common.hpp"
+#include "util/histogram.hpp"
+
+namespace hpcgraph::analytics {
+
+/// Aggregate statistics of one community (Table V row).
+struct CommunityRecord {
+  std::uint64_t label = 0;        ///< community label (a global vertex id)
+  std::uint64_t n_in = 0;         ///< member count
+  std::uint64_t m_in = 0;         ///< intra-community directed edges
+  std::uint64_t m_cut = 0;        ///< directed edges leaving the community
+  gvid_t representative = kNullGvid;  ///< smallest member vertex id
+};
+
+struct CommunityStatsOptions {
+  std::size_t top_k = 10;  ///< how many largest communities to report
+  CommonOptions common;
+};
+
+struct CommunityStatsResult {
+  /// The top_k communities by member count, descending (replicated on all
+  /// ranks).
+  std::vector<CommunityRecord> top;
+  /// log2 histogram of community sizes (Figure 5), replicated.
+  Log2Histogram size_histogram;
+  std::uint64_t num_communities = 0;
+};
+
+/// Collective.  `labels` is this rank's per-local-vertex community labels
+/// (as returned by label_propagation).
+CommunityStatsResult community_stats(const dgraph::DistGraph& g,
+                                     parcomm::Communicator& comm,
+                                     std::span<const std::uint64_t> labels,
+                                     const CommunityStatsOptions& opts = {});
+
+}  // namespace hpcgraph::analytics

@@ -1,0 +1,43 @@
+#include "analytics/degree_stats.hpp"
+
+namespace hpcgraph::analytics {
+
+using dgraph::DistGraph;
+using parcomm::Communicator;
+
+DegreeStats degree_stats(const DistGraph& g, Communicator& comm) {
+  constexpr unsigned kBuckets = 64;
+  // Local bucket counts, reduced element-wise: [out buckets | in buckets].
+  std::vector<std::uint64_t> local(2 * kBuckets, 0);
+  std::uint64_t max_out = 0, max_in = 0, isolated = 0;
+  for (lvid_t v = 0; v < g.n_loc(); ++v) {
+    const std::uint64_t od = g.out_degree(v), id = g.in_degree(v);
+    ++local[Log2Histogram::bucket_of(od)];
+    ++local[kBuckets + Log2Histogram::bucket_of(id)];
+    max_out = std::max(max_out, od);
+    max_in = std::max(max_in, id);
+    if (od + id == 0) ++isolated;
+  }
+
+  const std::vector<std::uint64_t> all =
+      comm.allgatherv<std::uint64_t>(local);
+  DegreeStats out;
+  for (int r = 0; r < comm.size(); ++r)
+    for (unsigned b = 0; b < kBuckets; ++b) {
+      const std::size_t base = static_cast<std::size_t>(r) * 2 * kBuckets;
+      if (const auto c = all[base + b])
+        out.out_hist.add(std::uint64_t{1} << b, c);
+      if (const auto c = all[base + kBuckets + b])
+        out.in_hist.add(std::uint64_t{1} << b, c);
+    }
+  out.max_out = comm.allreduce_max(max_out);
+  out.max_in = comm.allreduce_max(max_in);
+  out.isolated = comm.allreduce_sum(isolated);
+  out.avg_degree = g.n_global()
+                       ? static_cast<double>(g.m_global()) /
+                             static_cast<double>(g.n_global())
+                       : 0;
+  return out;
+}
+
+}  // namespace hpcgraph::analytics

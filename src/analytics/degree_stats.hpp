@@ -1,0 +1,27 @@
+#pragma once
+/// \file degree_stats.hpp
+/// Global degree-distribution statistics — the in-/out-degree frequency
+/// plots of Meusel et al. that §VI compares Figure 5 against, computed
+/// distributed (local log2 histograms + one reduction).
+
+#include <cstdint>
+
+#include "analytics/common.hpp"
+#include "util/histogram.hpp"
+
+namespace hpcgraph::analytics {
+
+struct DegreeStats {
+  Log2Histogram out_hist;  ///< out-degree frequency (log2 buckets)
+  Log2Histogram in_hist;   ///< in-degree frequency
+  std::uint64_t max_out = 0;
+  std::uint64_t max_in = 0;
+  std::uint64_t isolated = 0;  ///< vertices with no edges at all
+  double avg_degree = 0;       ///< m / n
+};
+
+/// Collective; the result is replicated on every rank.
+DegreeStats degree_stats(const dgraph::DistGraph& g,
+                         parcomm::Communicator& comm);
+
+}  // namespace hpcgraph::analytics

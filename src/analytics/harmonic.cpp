@@ -1,0 +1,64 @@
+#include "analytics/harmonic.hpp"
+
+#include <algorithm>
+
+#include "analytics/bfs.hpp"
+
+namespace hpcgraph::analytics {
+
+using dgraph::DistGraph;
+using parcomm::Communicator;
+
+double harmonic_centrality(const DistGraph& g, Communicator& comm, gvid_t v,
+                           const HarmonicOptions& opts) {
+  BfsOptions bopts;
+  bopts.dir = Dir::kOut;
+  bopts.common = opts.common;
+  const BfsResult b = bfs(g, comm, v, bopts);
+
+  double sum_local = 0;
+  for (lvid_t u = 0; u < g.n_loc(); ++u)
+    if (b.level[u] > 0)  // level 0 is v itself
+      sum_local += 1.0 / static_cast<double>(b.level[u]);
+  return comm.allreduce_sum(sum_local);
+}
+
+std::vector<ScoredVertex> harmonic_top_k(const DistGraph& g,
+                                         Communicator& comm, std::size_t k,
+                                         const HarmonicOptions& opts) {
+  // ---- Distributed top-k by total degree: local top-k, then a global
+  // merge over the (k * nranks)-candidate union. ----
+  struct DegGid {
+    std::uint64_t deg;
+    gvid_t gid;
+  };
+  std::vector<DegGid> local(g.n_loc());
+  for (lvid_t v = 0; v < g.n_loc(); ++v)
+    local[v] = {g.out_degree(v) + g.in_degree(v), g.global_id(v)};
+  const auto by_degree = [](const DegGid& a, const DegGid& b) {
+    if (a.deg != b.deg) return a.deg > b.deg;
+    return a.gid < b.gid;
+  };
+  const std::size_t keep = std::min(k, local.size());
+  std::partial_sort(local.begin(), local.begin() + keep, local.end(),
+                    by_degree);
+  local.resize(keep);
+
+  std::vector<DegGid> candidates = comm.allgatherv<DegGid>(local);
+  std::sort(candidates.begin(), candidates.end(), by_degree);
+  if (candidates.size() > k) candidates.resize(k);
+
+  // ---- One BFS per selected vertex. ----
+  std::vector<ScoredVertex> out;
+  out.reserve(candidates.size());
+  for (const DegGid& c : candidates)
+    out.push_back({c.gid, harmonic_centrality(g, comm, c.gid, opts)});
+  std::sort(out.begin(), out.end(),
+            [](const ScoredVertex& a, const ScoredVertex& b) {
+              if (a.score != b.score) return a.score > b.score;
+              return a.gid < b.gid;
+            });
+  return out;
+}
+
+}  // namespace hpcgraph::analytics

@@ -1,0 +1,40 @@
+#pragma once
+/// \file harmonic.hpp
+/// Harmonic Centrality (Boldi & Vigna's axioms-for-centrality measure — the
+/// paper's [1]): HC(v) = sum over u != v of 1/d(v, u), computed with one
+/// distributed BFS per vertex.  Exact all-vertices HC is O(nm) and
+/// "prohibitively expensive for large graphs"; the paper instead scores the
+/// top-k vertices ranked by degree (k = 1000 for WC) and reports the time of
+/// a single-vertex evaluation.
+
+#include <cstdint>
+#include <vector>
+
+#include "analytics/common.hpp"
+
+namespace hpcgraph::analytics {
+
+struct HarmonicOptions {
+  CommonOptions common;
+};
+
+/// Collective.  Harmonic centrality of one vertex (distances along
+/// out-edges; one BFS + one Allreduce).
+double harmonic_centrality(const dgraph::DistGraph& g,
+                           parcomm::Communicator& comm, gvid_t v,
+                           const HarmonicOptions& opts = {});
+
+struct ScoredVertex {
+  gvid_t gid = kNullGvid;
+  double score = 0;
+};
+
+/// Collective.  The paper's top-k protocol: select the k globally
+/// highest-degree vertices (total degree, ties to smaller id), then compute
+/// HC for each.  Returned in descending HC order.
+std::vector<ScoredVertex> harmonic_top_k(const dgraph::DistGraph& g,
+                                         parcomm::Communicator& comm,
+                                         std::size_t k,
+                                         const HarmonicOptions& opts = {});
+
+}  // namespace hpcgraph::analytics

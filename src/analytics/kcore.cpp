@@ -1,0 +1,174 @@
+#include "analytics/kcore.hpp"
+
+#include "analytics/bfs.hpp"
+#include "util/thread_queue.hpp"
+
+namespace hpcgraph::analytics {
+
+using dgraph::DistGraph;
+using parcomm::Communicator;
+
+KCoreResult kcore_approx(const DistGraph& g, Communicator& comm,
+                         const KCoreOptions& opts) {
+  const int p = comm.size();
+  KCoreResult res;
+  res.bound.assign(g.n_loc(), std::uint64_t{1} << opts.max_i);
+
+  std::vector<std::uint64_t> deg(g.n_loc());
+  std::vector<std::uint8_t> alive(g.n_loc(), 1);
+  for (lvid_t v = 0; v < g.n_loc(); ++v)
+    deg[v] = g.out_degree(v) + g.in_degree(v);
+  std::uint64_t alive_local = g.n_loc();
+
+  std::vector<gvid_t> ghost_decrements;  // one entry per remote decrement
+
+  for (unsigned i = 1; i <= opts.max_i; ++i) {
+    const std::uint64_t threshold = std::uint64_t{1} << i;
+    KCoreStage stage;
+    stage.i = i;
+    stage.threshold = threshold;
+
+    // ---- Peel to the 2^i-core fixpoint. ----
+    for (;;) {
+      ++stage.peel_sweeps;
+      std::uint64_t removed_sweep = 0;
+      ghost_decrements.clear();
+      for (lvid_t v = 0; v < g.n_loc(); ++v) {
+        if (!alive[v] || deg[v] >= threshold) continue;
+        alive[v] = 0;
+        res.bound[v] = threshold;
+        ++removed_sweep;
+        --alive_local;
+        const auto notify = [&](lvid_t u) {
+          if (g.is_ghost(u)) {
+            ghost_decrements.push_back(g.global_id(u));
+          } else if (alive[u] && deg[u] > 0) {
+            --deg[u];
+          }
+        };
+        for (const lvid_t u : g.out_neighbors(v)) notify(u);
+        for (const lvid_t u : g.in_neighbors(v)) notify(u);
+      }
+
+      // Route remote decrements to the owners (BFS-like exchange).
+      std::vector<std::uint64_t> counts(p, 0);
+      for (const gvid_t gid : ghost_decrements)
+        ++counts[g.owner_of_global(gid)];
+      MultiQueue<gvid_t> q(counts);
+      {
+        MultiQueue<gvid_t>::Sink sink(q, opts.common.qsize);
+        for (const gvid_t gid : ghost_decrements)
+          sink.push(static_cast<std::uint32_t>(g.owner_of_global(gid)), gid);
+      }
+      const std::vector<gvid_t> recv =
+          comm.alltoallv<gvid_t>(q.buffer(), counts);
+      for (const gvid_t gid : recv) {
+        const lvid_t l = g.local_id_checked(gid);
+        if (alive[l] && deg[l] > 0) --deg[l];
+      }
+
+      const std::uint64_t removed_global =
+          comm.allreduce_sum(removed_sweep);
+      stage.removed += removed_global;
+      if (removed_global == 0) break;
+    }
+
+    stage.alive_after = comm.allreduce_sum(alive_local);
+
+    // ---- Largest surviving component: one alive-masked BFS from the
+    // highest-degree survivor (the paper's per-stage BFS). ----
+    if (opts.track_components && stage.alive_after > 0) {
+      struct Cand {
+        std::uint64_t deg = 0;
+        gvid_t gid = kNullGvid;
+      };
+      Cand best;
+      for (lvid_t v = 0; v < g.n_loc(); ++v) {
+        if (!alive[v]) continue;
+        if (deg[v] > best.deg || (deg[v] == best.deg && g.global_id(v) < best.gid))
+          best = {deg[v], g.global_id(v)};
+      }
+      best = comm.allreduce(best, [](Cand a, Cand b) {
+        if (a.deg != b.deg) return a.deg > b.deg ? a : b;
+        return a.gid <= b.gid ? a : b;
+      });
+      BfsOptions bopts;
+      bopts.dir = Dir::kBoth;
+      bopts.alive = alive;
+      bopts.common = opts.common;
+      const BfsResult cc = bfs(g, comm, best.gid, bopts);
+      stage.largest_cc = cc.visited;
+    }
+
+    res.stages.push_back(stage);
+    if (stage.alive_after == 0) break;
+  }
+  return res;
+}
+
+KCoreExactResult kcore_exact(const DistGraph& g, Communicator& comm,
+                             const CommonOptions& opts) {
+  const int p = comm.size();
+  KCoreExactResult res;
+  res.core.assign(g.n_loc(), 0);
+
+  std::vector<std::uint64_t> deg(g.n_loc());
+  std::vector<std::uint8_t> alive(g.n_loc(), 1);
+  for (lvid_t v = 0; v < g.n_loc(); ++v)
+    deg[v] = g.out_degree(v) + g.in_degree(v);
+  std::uint64_t alive_local = g.n_loc();
+  std::vector<gvid_t> ghost_decrements;
+
+  std::uint64_t k = 0;
+  while (comm.allreduce_sum(alive_local) > 0) {
+    ++k;
+    ++res.stages;
+    // Peel to the k-core fixpoint; every vertex removed here survived the
+    // (k-1)-core, so its coreness is exactly k-1.
+    for (;;) {
+      std::uint64_t removed_sweep = 0;
+      ghost_decrements.clear();
+      for (lvid_t v = 0; v < g.n_loc(); ++v) {
+        if (!alive[v] || deg[v] >= k) continue;
+        alive[v] = 0;
+        res.core[v] = k - 1;
+        ++removed_sweep;
+        --alive_local;
+        const auto notify = [&](lvid_t u) {
+          if (g.is_ghost(u)) {
+            ghost_decrements.push_back(g.global_id(u));
+          } else if (alive[u] && deg[u] > 0) {
+            --deg[u];
+          }
+        };
+        for (const lvid_t u : g.out_neighbors(v)) notify(u);
+        for (const lvid_t u : g.in_neighbors(v)) notify(u);
+      }
+
+      std::vector<std::uint64_t> counts(p, 0);
+      for (const gvid_t gid : ghost_decrements)
+        ++counts[g.owner_of_global(gid)];
+      MultiQueue<gvid_t> q(counts);
+      {
+        MultiQueue<gvid_t>::Sink sink(q, opts.qsize);
+        for (const gvid_t gid : ghost_decrements)
+          sink.push(static_cast<std::uint32_t>(g.owner_of_global(gid)), gid);
+      }
+      const std::vector<gvid_t> recv =
+          comm.alltoallv<gvid_t>(q.buffer(), counts);
+      for (const gvid_t gid : recv) {
+        const lvid_t l = g.local_id_checked(gid);
+        if (alive[l] && deg[l] > 0) --deg[l];
+      }
+
+      if (comm.allreduce_sum(removed_sweep) == 0) break;
+    }
+  }
+
+  std::uint64_t max_local = 0;
+  for (const std::uint64_t c : res.core) max_local = std::max(max_local, c);
+  res.max_core = comm.allreduce_max(max_local);
+  return res;
+}
+
+}  // namespace hpcgraph::analytics

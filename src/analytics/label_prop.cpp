@@ -1,0 +1,71 @@
+#include "analytics/label_prop.hpp"
+
+#include <atomic>
+
+#include "util/label_counter.hpp"
+
+namespace hpcgraph::analytics {
+
+using dgraph::Adjacency;
+using dgraph::DistGraph;
+using dgraph::GhostExchange;
+using parcomm::Communicator;
+
+LabelPropResult label_propagation(const DistGraph& g, Communicator& comm,
+                                  const LabelPropOptions& opts) {
+  ThreadPool inline_pool(1);
+  ThreadPool& tp = opts.common.pool ? *opts.common.pool : inline_pool;
+
+  // Labels flow both directions -> boundary set w.r.t. in+out adjacency.
+  GhostExchange gx(g, comm, Adjacency::kBoth, opts.common.pool);
+
+  std::vector<std::uint64_t> labels(g.n_total());
+  for (lvid_t l = 0; l < g.n_total(); ++l) labels[l] = g.global_id(l);
+  std::vector<std::uint64_t> next(g.n_loc());
+
+  LabelPropResult res;
+  for (int it = 0; it < opts.iterations; ++it) {
+    const std::uint64_t round_seed =
+        opts.tie_seed + static_cast<std::uint64_t>(it);
+
+    std::atomic<bool> changed{false};
+    tp.for_range(0, g.n_loc(), [&](unsigned, std::uint64_t lo,
+                                   std::uint64_t hi) {
+      LabelCounter lmap;
+      bool changed_chunk = false;
+      for (std::uint64_t vi = lo; vi < hi; ++vi) {
+        const lvid_t v = static_cast<lvid_t>(vi);
+        lmap.clear();
+        for (const lvid_t u : g.out_neighbors(v)) lmap.add(labels[u]);
+        for (const lvid_t u : g.in_neighbors(v)) lmap.add(labels[u]);
+        const std::uint64_t picked = lmap.argmax(round_seed, labels[v]);
+        changed_chunk |= picked != labels[v];
+        if (opts.in_place) {
+          labels[v] = picked;  // Gauss-Seidel within the task (paper Alg. 1)
+        } else {
+          next[vi] = picked;
+        }
+      }
+      if (changed_chunk) changed.store(true, std::memory_order_relaxed);
+    });
+    if (!opts.in_place)
+      std::copy(next.begin(), next.end(), labels.begin());
+
+    if (opts.retain_queues) {
+      gx.exchange<std::uint64_t>(labels, comm);
+    } else {
+      GhostExchange fresh(g, comm, Adjacency::kBoth, opts.common.pool);
+      fresh.exchange<std::uint64_t>(labels, comm);
+    }
+    ++res.iterations_run;
+
+    if (opts.stop_when_stable &&
+        !comm.allreduce_lor(changed.load(std::memory_order_relaxed)))
+      break;
+  }
+
+  res.labels.assign(labels.begin(), labels.begin() + g.n_loc());
+  return res;
+}
+
+}  // namespace hpcgraph::analytics

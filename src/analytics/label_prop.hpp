@@ -1,0 +1,50 @@
+#pragma once
+/// \file label_prop.hpp
+/// Distributed Label Propagation community detection (Raghavan et al., the
+/// paper's [25]) — Algorithm 1 of the paper, with the Algorithm-3
+/// thread-queue scheme and retained send queues.
+///
+/// Labels start as global vertex ids; each iteration every vertex adopts the
+/// most frequent label among its in- and out-neighbours (edge direction is
+/// ignored, as in the paper), ties broken pseudo-randomly but
+/// deterministically.  Ghost labels are refreshed once per iteration through
+/// the retained queues.
+///
+/// Update schedule: by default updates are *synchronous* (all vertices read
+/// the previous iteration's labels), which makes results independent of rank
+/// count and bit-identical to the sequential reference.  The paper's
+/// pseudocode updates local labels in place (Gauss-Seidel within a task,
+/// stale across tasks); that mode is available via `in_place = true` for
+/// faithfulness, at the cost of partition-dependent results (see DESIGN.md).
+
+#include <cstdint>
+#include <vector>
+
+#include "analytics/common.hpp"
+#include "dgraph/ghost_exchange.hpp"
+
+namespace hpcgraph::analytics {
+
+struct LabelPropOptions {
+  int iterations = 10;
+  /// Stop early once no label changed globally ("a stopping criterion
+  /// other than a fixed iteration count is also common" — §III-D1).
+  bool stop_when_stable = false;
+  std::uint64_t tie_seed = 0;
+  bool in_place = false;      ///< paper-pseudocode update order (see above)
+  bool retain_queues = true;  ///< §III-D1 ablation flag
+  CommonOptions common;
+};
+
+struct LabelPropResult {
+  /// Per local vertex community labels (label values are global vertex ids).
+  std::vector<std::uint64_t> labels;
+  int iterations_run = 0;
+};
+
+/// Collective.
+LabelPropResult label_propagation(const dgraph::DistGraph& g,
+                                  parcomm::Communicator& comm,
+                                  const LabelPropOptions& opts = {});
+
+}  // namespace hpcgraph::analytics

@@ -1,0 +1,83 @@
+#include "analytics/pagerank.hpp"
+
+#include <atomic>
+#include <cmath>
+
+namespace hpcgraph::analytics {
+
+using dgraph::Adjacency;
+using dgraph::DistGraph;
+using dgraph::GhostExchange;
+using parcomm::Communicator;
+
+PageRankResult pagerank(const DistGraph& g, Communicator& comm,
+                        const PageRankOptions& opts) {
+  ThreadPool inline_pool(1);
+  ThreadPool& tp = opts.common.pool ? *opts.common.pool : inline_pool;
+  const double n = static_cast<double>(g.n_global());
+  HG_CHECK(g.n_global() > 0);
+
+  // A local vertex u is needed by exactly the owners of u's out-neighbours
+  // (they read u's contribution through their in-edge lists).
+  GhostExchange gx(g, comm, Adjacency::kOut, opts.common.pool);
+
+  // contrib[l] = damping * rank(l) / outdeg(l); ghost slots filled by the
+  // exchange.  rank[] covers locals only — ghost ranks are never needed.
+  std::vector<double> rank(g.n_loc(), 1.0 / n);
+  std::vector<double> next(g.n_loc());
+  std::vector<double> contrib(g.n_total(), 0.0);
+
+  PageRankResult res;
+  for (int it = 0; it < opts.max_iterations; ++it) {
+    // Dangling mass (vertices with no out-edges leak rank otherwise).
+    double dangling_local = 0;
+    for (lvid_t v = 0; v < g.n_loc(); ++v)
+      if (g.out_degree(v) == 0) dangling_local += rank[v];
+    const double dangling = comm.allreduce_sum(dangling_local);
+    const double base =
+        (1.0 - opts.damping) / n + opts.damping * dangling / n;
+
+    tp.for_range(0, g.n_loc(), [&](unsigned, std::uint64_t lo,
+                                   std::uint64_t hi) {
+      for (std::uint64_t v = lo; v < hi; ++v) {
+        const std::uint64_t d = g.out_degree(static_cast<lvid_t>(v));
+        contrib[v] = d ? opts.damping * rank[v] / static_cast<double>(d) : 0.0;
+      }
+    });
+
+    if (opts.retain_queues) {
+      gx.exchange<double>(contrib, comm);
+    } else {
+      // Ablation: pay the full setup cost every iteration.
+      GhostExchange fresh(g, comm, Adjacency::kOut, opts.common.pool);
+      fresh.exchange<double>(contrib, comm);
+    }
+
+    double delta_local = 0;
+    tp.for_range(0, g.n_loc(), [&](unsigned, std::uint64_t lo,
+                                   std::uint64_t hi) {
+      double delta_chunk = 0;
+      for (std::uint64_t v = lo; v < hi; ++v) {
+        double sum = base;
+        for (const lvid_t u : g.in_neighbors(static_cast<lvid_t>(v)))
+          sum += contrib[u];
+        next[v] = sum;
+        delta_chunk += std::fabs(sum - rank[v]);
+      }
+      // Threads write distinct ranges; fold the partial delta atomically.
+      static_assert(sizeof(double) == 8);
+      std::atomic_ref<double>(delta_local)
+          .fetch_add(delta_chunk, std::memory_order_relaxed);
+    });
+    rank.swap(next);
+    ++res.iterations_run;
+
+    res.l1_delta = comm.allreduce_sum(delta_local);
+    if (opts.tolerance > 0 && res.l1_delta < opts.tolerance) break;
+  }
+
+  res.scores = std::move(rank);
+  return res;
+}
+
+}  // namespace hpcgraph::analytics

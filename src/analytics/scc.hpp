@@ -1,0 +1,55 @@
+#pragma once
+/// \file scc.hpp
+/// Largest strongly connected component by the Forward–Backward method
+/// (Fleischer, Hendrickson, Pinar — the paper's [9]): pick a pivot likely to
+/// sit in the giant SCC (maximum in-degree × out-degree product), run one
+/// forward BFS (out-edges) and one backward BFS (in-edges); the intersection
+/// of the two reachability sets is exactly the SCC containing the pivot.
+/// Both sweeps are instances of the Algorithm-2 BFS engine.
+
+#include <cstdint>
+#include <vector>
+
+#include "analytics/common.hpp"
+
+namespace hpcgraph::analytics {
+
+struct SccOptions {
+  /// Pivot override (kNullGvid = choose by max degree product).
+  gvid_t pivot = kNullGvid;
+  /// Trim step (Multistep-style, the paper's [31]): iteratively discard
+  /// vertices with zero in- or zero out-degree in the remaining subgraph —
+  /// all singleton SCCs — before pivot selection and the two sweeps.
+  /// Shrinks the sweeps and keeps the pivot off trivial SCCs.
+  bool trim = false;
+  CommonOptions common;
+};
+
+struct SccResult {
+  /// Per local vertex: 1 if in the pivot's SCC.
+  std::vector<std::uint8_t> member;
+  gvid_t pivot = kNullGvid;
+  gvid_t label = kNullGvid;   ///< min global id in the SCC
+  std::uint64_t size = 0;     ///< global SCC size
+  std::uint64_t fw_reached = 0, bw_reached = 0;
+  int fw_levels = 0, bw_levels = 0;
+  std::uint64_t trimmed = 0;  ///< vertices discarded by the trim step
+  int trim_sweeps = 0;
+};
+
+/// Collective.  Extracts the SCC containing the pivot (with the default
+/// pivot heuristic, the largest SCC on web-like graphs).
+SccResult largest_scc(const dgraph::DistGraph& g, parcomm::Communicator& comm,
+                      const SccOptions& opts = {});
+
+namespace detail {
+/// Multistep-style trim shared by largest_scc and scc_decompose: discard
+/// alive vertices whose in- or out-degree within the alive subgraph is zero
+/// (each is a singleton SCC).  Updates `alive`; returns local removals.
+std::uint64_t trim_trivial_sccs(const dgraph::DistGraph& g,
+                                parcomm::Communicator& comm,
+                                std::vector<std::uint8_t>& alive,
+                                std::size_t qsize, int* sweeps);
+}  // namespace detail
+
+}  // namespace hpcgraph::analytics

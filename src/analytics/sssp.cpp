@@ -1,0 +1,93 @@
+#include "analytics/sssp.hpp"
+
+#include "util/thread_queue.hpp"
+
+namespace hpcgraph::analytics {
+
+using dgraph::DistGraph;
+using parcomm::Communicator;
+
+SsspResult sssp(const DistGraph& g, Communicator& comm, gvid_t root,
+                const SsspOptions& opts) {
+  HG_CHECK(root < g.n_global());
+  const int p = comm.size();
+  const int me = comm.rank();
+
+  SsspResult res;
+  res.dist.assign(g.n_loc(), kInfDistance);
+
+  // Active set as a dense flag + list (vertices can re-activate, unlike
+  // BFS, so the kQueued claim trick does not apply).
+  std::vector<std::uint8_t> active(g.n_loc(), 0);
+  std::vector<lvid_t> frontier, frontier_next;
+
+  if (g.owner_of_global(root) == me) {
+    const lvid_t l = g.local_id_checked(root);
+    res.dist[l] = 0;
+    active[l] = 1;
+    frontier.push_back(l);
+  }
+
+  struct Relax {
+    gvid_t gid;
+    std::uint64_t dist;
+  };
+
+  std::uint64_t global_active = comm.allreduce_sum<std::uint64_t>(frontier.size());
+  while (global_active != 0) {
+    ++res.rounds;
+
+    // ---- Relax out-edges of the frontier. ----
+    std::vector<Relax> remote;
+    frontier_next.clear();
+    const auto relax_local = [&](lvid_t u, std::uint64_t cand) {
+      if (cand < res.dist[u]) {
+        res.dist[u] = cand;
+        if (!active[u]) {
+          active[u] = 1;
+          frontier_next.push_back(u);
+        }
+      }
+    };
+    for (const lvid_t v : frontier) {
+      active[v] = 0;
+      const gvid_t vg = g.global_id(v);
+      const std::uint64_t base = res.dist[v];
+      for (const lvid_t u : g.out_neighbors(v)) {
+        const gvid_t ug = g.global_id(u);
+        const std::uint64_t cand = base + edge_weight(vg, ug, opts.max_weight);
+        if (g.is_ghost(u)) {
+          remote.push_back({ug, cand});
+        } else {
+          relax_local(u, cand);
+        }
+      }
+    }
+    // Vertices in `frontier` may also appear in frontier_next (re-improved
+    // by a same-round local relaxation) — handled by the active flag.
+
+    // ---- Ship remote relaxations to the owners. ----
+    std::vector<std::uint64_t> counts(p, 0);
+    for (const Relax& r : remote) ++counts[g.owner_of_global(r.gid)];
+    MultiQueue<Relax> q(counts);
+    {
+      MultiQueue<Relax>::Sink sink(q, opts.common.qsize);
+      for (const Relax& r : remote)
+        sink.push(static_cast<std::uint32_t>(g.owner_of_global(r.gid)), r);
+    }
+    const std::vector<Relax> recv = comm.alltoallv<Relax>(q.buffer(), counts);
+    for (const Relax& r : recv)
+      relax_local(g.local_id_checked(r.gid), r.dist);
+
+    std::swap(frontier, frontier_next);
+    global_active = comm.allreduce_sum<std::uint64_t>(frontier.size());
+  }
+
+  std::uint64_t reached_local = 0;
+  for (const std::uint64_t d : res.dist)
+    if (d != kInfDistance) ++reached_local;
+  res.reached = comm.allreduce_sum(reached_local);
+  return res;
+}
+
+}  // namespace hpcgraph::analytics

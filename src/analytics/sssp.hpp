@@ -1,0 +1,47 @@
+#pragma once
+/// \file sssp.hpp
+/// Single-source shortest paths — part of the paper's third §VII
+/// future-work direction ("We also plan to extend this collection of
+/// analytics with other implementations").
+///
+/// The input format carries no weights, so edge weights are synthesized
+/// deterministically from the endpoint ids (both the distributed code and
+/// the sequential reference compute the same function).  The algorithm is a
+/// frontier-driven distributed Bellman–Ford: each round relaxes the
+/// out-edges of vertices whose distance improved, routing cross-rank
+/// relaxations as (vertex, candidate distance) pairs through the
+/// Algorithm-3 queues + Alltoallv — the BFS-like communication class with
+/// re-activation.
+
+#include <cstdint>
+#include <vector>
+
+#include "analytics/common.hpp"
+
+namespace hpcgraph::analytics {
+
+inline constexpr std::uint64_t kInfDistance = ~std::uint64_t{0};
+
+/// Deterministic synthetic weight of edge (u, v), in [1, max_weight].
+inline std::uint64_t edge_weight(gvid_t u, gvid_t v,
+                                 std::uint64_t max_weight) {
+  return 1 + splitmix64(u * 0x9ddfea08eb382d69ULL + v) % max_weight;
+}
+
+struct SsspOptions {
+  std::uint64_t max_weight = 64;  ///< weights drawn from [1, max_weight]
+  CommonOptions common;
+};
+
+struct SsspResult {
+  /// Per local vertex: distance from the root, or kInfDistance.
+  std::vector<std::uint64_t> dist;
+  std::uint64_t reached = 0;  ///< vertices with finite distance (global)
+  int rounds = 0;             ///< relaxation rounds until quiescence
+};
+
+/// Collective.  Shortest paths along out-edges from `root`.
+SsspResult sssp(const dgraph::DistGraph& g, parcomm::Communicator& comm,
+                gvid_t root, const SsspOptions& opts = {});
+
+}  // namespace hpcgraph::analytics

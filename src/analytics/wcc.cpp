@@ -1,0 +1,122 @@
+#include "analytics/wcc.hpp"
+
+#include <unordered_map>
+
+#include "analytics/bfs.hpp"
+#include "dgraph/ghost_exchange.hpp"
+#include "util/thread_queue.hpp"
+
+namespace hpcgraph::analytics {
+
+using dgraph::Adjacency;
+using dgraph::DistGraph;
+using dgraph::GhostExchange;
+using parcomm::Communicator;
+
+namespace {
+
+/// (degree, id) pair ordered by higher degree, then smaller id.
+struct DegVertex {
+  std::uint64_t deg = 0;
+  gvid_t gid = kNullGvid;
+
+  static DegVertex better(DegVertex a, DegVertex b) {
+    if (a.deg != b.deg) return a.deg > b.deg ? a : b;
+    return a.gid <= b.gid ? a : b;
+  }
+};
+
+}  // namespace
+
+gvid_t max_degree_vertex(const DistGraph& g, Communicator& comm) {
+  DegVertex best;
+  for (lvid_t v = 0; v < g.n_loc(); ++v) {
+    const DegVertex cand{g.out_degree(v) + g.in_degree(v), g.global_id(v)};
+    best = DegVertex::better(best, cand);
+  }
+  return comm.allreduce(best, DegVertex::better).gid;
+}
+
+WccResult wcc(const DistGraph& g, Communicator& comm, const WccOptions& opts) {
+  WccResult res;
+
+  // ---- Step 1 (BFS-like): sweep the giant component. ----
+  const gvid_t root = max_degree_vertex(g, comm);
+  BfsOptions bopts;
+  bopts.dir = Dir::kBoth;
+  bopts.common = opts.common;
+  const BfsResult b = bfs(g, comm, root, bopts);
+  res.bfs_levels = b.num_levels;
+
+  // Canonical label of the giant = min global id among its members.
+  gvid_t giant_min_local = kNullGvid;
+  for (lvid_t v = 0; v < g.n_loc(); ++v)
+    if (b.level[v] >= 0)
+      giant_min_local = std::min(giant_min_local, g.global_id(v));
+  const gvid_t giant_min = comm.allreduce_min(giant_min_local);
+
+  // ---- Step 2 (PageRank-like): HashMin coloring of the leftovers. ----
+  GhostExchange gx(g, comm, Adjacency::kBoth, opts.common.pool);
+  std::vector<gvid_t> color(g.n_total());
+  for (lvid_t l = 0; l < g.n_total(); ++l) color[l] = g.global_id(l);
+  for (lvid_t v = 0; v < g.n_loc(); ++v)
+    if (b.level[v] >= 0) color[v] = giant_min;
+  gx.exchange<gvid_t>(color, comm);
+
+  bool changed_global = true;
+  while (changed_global) {
+    ++res.coloring_iters;
+    bool changed_local = false;
+    for (lvid_t v = 0; v < g.n_loc(); ++v) {
+      if (b.level[v] >= 0) continue;  // giant members are settled
+      gvid_t m = color[v];
+      for (const lvid_t u : g.out_neighbors(v)) m = std::min(m, color[u]);
+      for (const lvid_t u : g.in_neighbors(v)) m = std::min(m, color[u]);
+      if (m < color[v]) {
+        color[v] = m;
+        changed_local = true;
+      }
+    }
+    gx.exchange<gvid_t>(color, comm);
+    changed_global = comm.allreduce_lor(changed_local);
+  }
+
+  res.comp.assign(color.begin(), color.begin() + g.n_loc());
+
+  // ---- Largest component: aggregate per-label counts at the label's
+  // owner, then a global max-reduce. ----
+  std::unordered_map<gvid_t, std::uint64_t> local_counts;
+  local_counts.reserve(g.n_loc() / 4 + 8);
+  for (lvid_t v = 0; v < g.n_loc(); ++v) ++local_counts[res.comp[v]];
+
+  struct LabelCount {
+    gvid_t label;
+    std::uint64_t count;
+  };
+  const int p = comm.size();
+  std::vector<std::uint64_t> counts(p, 0);
+  for (const auto& [label, cnt] : local_counts)
+    ++counts[g.owner_of_global(label)];
+  MultiQueue<LabelCount> q(counts);
+  {
+    MultiQueue<LabelCount>::Sink sink(q, opts.common.qsize);
+    for (const auto& [label, cnt] : local_counts)
+      sink.push(static_cast<std::uint32_t>(g.owner_of_global(label)),
+                LabelCount{label, cnt});
+  }
+  const std::vector<LabelCount> recv =
+      comm.alltoallv<LabelCount>(q.buffer(), counts);
+
+  std::unordered_map<gvid_t, std::uint64_t> owned_totals;
+  for (const LabelCount& lc : recv) owned_totals[lc.label] += lc.count;
+
+  DegVertex best;  // reuse: deg = component size, gid = label
+  for (const auto& [label, total] : owned_totals)
+    best = DegVertex::better(best, DegVertex{total, label});
+  best = comm.allreduce(best, DegVertex::better);
+  res.largest_label = best.gid;
+  res.largest_size = best.deg;
+  return res;
+}
+
+}  // namespace hpcgraph::analytics

@@ -1,0 +1,47 @@
+#pragma once
+/// \file wcc.hpp
+/// Weakly connected components via the distributed Multistep algorithm
+/// (Slota, Rajamanickam, Madduri, IPDPS'14 — the paper's [31]), the source
+/// of the paper's WCC speedups over single-stage approaches:
+///
+///   1. **BFS step** (BFS-like class): one undirected BFS from the
+///      highest-degree vertex sweeps up the giant component in a few
+///      synchronous levels.
+///   2. **Coloring step** (PageRank-like class): HashMin label propagation
+///      over the leftover vertices until no color changes globally.
+///
+/// Labels are canonical: every component is named by the smallest global
+/// vertex id it contains (the giant's BFS-root label is remapped at the
+/// end), so results are directly comparable to the sequential reference.
+
+#include <cstdint>
+#include <vector>
+
+#include "analytics/common.hpp"
+
+namespace hpcgraph::analytics {
+
+struct WccOptions {
+  CommonOptions common;
+};
+
+struct WccResult {
+  /// Per local vertex: component label = min global id in the component.
+  std::vector<gvid_t> comp;
+  gvid_t largest_label = kNullGvid;
+  std::uint64_t largest_size = 0;
+  int bfs_levels = 0;       ///< step-1 frontier expansions
+  int coloring_iters = 0;   ///< step-2 iterations to convergence
+};
+
+/// Collective.
+WccResult wcc(const dgraph::DistGraph& g, parcomm::Communicator& comm,
+              const WccOptions& opts = {});
+
+/// Collective helper: the global vertex with the maximum total degree
+/// (ties to the smallest id) — the Multistep BFS root and the paper's
+/// harmonic-centrality pivot family.
+gvid_t max_degree_vertex(const dgraph::DistGraph& g,
+                         parcomm::Communicator& comm);
+
+}  // namespace hpcgraph::analytics

@@ -1,0 +1,78 @@
+#pragma once
+/// \file edgestream.hpp
+/// Semi-external edge-streaming engine — the FlashGraph stand-in of the
+/// Figure-4 comparison (see DESIGN.md §1).
+///
+/// Single process; per-vertex state lives in memory, the edge list is
+/// scanned once per iteration:
+///   * **kExternal**: edges are re-read from the binary file every
+///     iteration (models FlashGraph pulling edge pages from SSD — "FG" in
+///     Figure 4);
+///   * **kStandalone**: edges are held in one in-memory array ("FG-SA").
+///
+/// Implements the same two kernels the comparison runs: PageRank and WCC
+/// (HashMin to convergence).
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "gen/edge_list.hpp"
+#include "io/binary_edge_io.hpp"
+
+namespace hpcgraph::baselines {
+
+enum class StreamMode {
+  kExternal,    ///< stream edges from disk every iteration
+  kStandalone,  ///< edges resident in memory
+};
+
+/// Edge supplier abstraction over the two modes.
+class EdgeStream {
+ public:
+  /// External mode: edges come from a binary edge file.
+  EdgeStream(std::string path, io::EdgeFormat format, gvid_t n);
+  /// Standalone mode: edges held in memory.
+  explicit EdgeStream(gen::EdgeList edges);
+
+  gvid_t n() const { return n_; }
+  std::uint64_t m() const { return m_; }
+  StreamMode mode() const { return mode_; }
+
+  /// Invoke fn(src, dst) for every edge, in file order.  External mode
+  /// reads the file in bounded batches (constant memory in m).
+  template <typename F>
+  void for_each_edge(F&& fn) const {
+    if (mode_ == StreamMode::kStandalone) {
+      for (const gen::Edge& e : mem_.edges) fn(e.src, e.dst);
+      return;
+    }
+    constexpr std::uint64_t kBatch = 1 << 18;
+    for (std::uint64_t at = 0; at < m_; at += kBatch) {
+      const std::uint64_t take = std::min(kBatch, m_ - at);
+      const std::vector<gen::Edge> batch =
+          io::read_edge_chunk(path_, format_, at, take);
+      for (const gen::Edge& e : batch) fn(e.src, e.dst);
+    }
+  }
+
+ private:
+  StreamMode mode_;
+  gvid_t n_ = 0;
+  std::uint64_t m_ = 0;
+  std::string path_;
+  io::EdgeFormat format_ = io::EdgeFormat::kU32;
+  gen::EdgeList mem_;
+};
+
+/// PageRank over an edge stream (same semantics as the tuned code, including
+/// dangling redistribution, so results are comparable).
+std::vector<double> stream_pagerank(const EdgeStream& stream, int iterations,
+                                    double damping = 0.85);
+
+/// WCC by HashMin over the edge stream, iterated to convergence.
+/// Returns canonical labels (min vertex id per component).
+std::vector<gvid_t> stream_wcc(const EdgeStream& stream,
+                               int* iterations_run = nullptr);
+
+}  // namespace hpcgraph::baselines

@@ -1,0 +1,82 @@
+#pragma once
+/// \file gas_engine.hpp
+/// miniGAS: a synchronous gather–apply–scatter vertex-program engine in the
+/// style of PowerGraph/PowerLyra/GraphX — the stand-in for the frameworks of
+/// the paper's Figure 4 comparison (see DESIGN.md §1).
+///
+/// The engine runs on the same communicator and distributed graph as the
+/// tuned analytics, but deliberately pays the generality costs the paper
+/// attributes to frameworks:
+///
+///   * one materialized message **per edge** per superstep (the tuned codes
+///     send one value per boundary *vertex*);
+///   * remote messages carry global vertex ids that are resolved through
+///     the hash map **every superstep** (the tuned codes decode once and
+///     retain local ids);
+///   * send buffers are **rebuilt** every superstep (no retained queues);
+///   * vertex programs are invoked through virtual dispatch.
+///
+/// This isolates the abstraction penalty on identical hardware, which is
+/// the quantity Figure 4 measures across frameworks.
+
+#include <cstdint>
+#include <vector>
+
+#include "analytics/common.hpp"
+#include "dgraph/dist_graph.hpp"
+#include "parcomm/comm.hpp"
+
+namespace hpcgraph::baselines {
+
+/// A gather-apply-scatter vertex program over vertex data V and message M.
+template <typename V, typename M>
+class GasProgram {
+ public:
+  virtual ~GasProgram() = default;
+
+  /// Initial vertex state.
+  virtual V init(gvid_t gid, std::uint64_t out_deg,
+                 std::uint64_t in_deg) const = 0;
+
+  /// Identity element of the gather combiner.
+  virtual M gather_zero() const = 0;
+
+  /// Commutative-associative message combiner.
+  virtual M gather(const M& a, const M& b) const = 0;
+
+  /// New vertex state from the gathered aggregate; set `changed` when the
+  /// state moved (drives convergence detection).
+  virtual V apply(const V& cur, const M& acc, bool& changed) const = 0;
+
+  /// Message emitted along each out-edge (and each in-edge when the engine
+  /// runs undirected).
+  virtual M scatter(const V& v) const = 0;
+};
+
+enum class GasDirection { kOutEdges, kUndirected };
+
+struct GasOptions {
+  int max_supersteps = 10;
+  GasDirection direction = GasDirection::kOutEdges;
+  /// Stop when no vertex changed in a superstep (requires programs to
+  /// report `changed` faithfully).
+  bool run_to_convergence = false;
+};
+
+struct GasStats {
+  int supersteps = 0;
+  std::uint64_t messages_sent = 0;     ///< this rank, cumulative
+  std::uint64_t hash_lookups = 0;      ///< this rank, cumulative
+};
+
+/// Collective.  Runs the program to completion; returns final per-local-
+/// vertex states.
+template <typename V, typename M>
+std::vector<V> gas_run(const dgraph::DistGraph& g,
+                       parcomm::Communicator& comm,
+                       const GasProgram<V, M>& program,
+                       const GasOptions& opts, GasStats* stats = nullptr);
+
+}  // namespace hpcgraph::baselines
+
+#include "baselines/gas_engine_impl.hpp"  // IWYU pragma: keep

@@ -1,0 +1,76 @@
+#pragma once
+/// \file gas_programs.hpp
+/// The two vertex programs the Figure-4 comparison runs on miniGAS:
+/// PageRank and (weakly) connected components, matching "the supplied
+/// implementations of PageRank and (weakly) connected components in each of
+/// the frameworks".
+
+#include <algorithm>
+
+#include "baselines/gas_engine.hpp"
+
+namespace hpcgraph::baselines {
+
+/// Vertex state of GasPageRank: the rank plus a cached out-degree (needed
+/// by scatter, which only sees vertex data).
+struct PrVData {
+  double rank;
+  double out_deg;
+};
+
+/// PageRank the framework way: rank/outdeg along every out-edge, no
+/// dangling-mass redistribution (as in the stock PowerGraph/GraphX
+/// examples).
+class GasPageRank final : public GasProgram<PrVData, double> {
+ public:
+  using VData = PrVData;
+
+  GasPageRank(gvid_t n_global, double damping = 0.85)
+      : n_(static_cast<double>(n_global)), damping_(damping) {}
+
+  VData init(gvid_t, std::uint64_t out_deg, std::uint64_t) const override {
+    return {1.0 / n_, static_cast<double>(out_deg)};
+  }
+  double gather_zero() const override { return 0.0; }
+  double gather(const double& a, const double& b) const override {
+    return a + b;
+  }
+  VData apply(const VData& cur, const double& acc,
+              bool& changed) const override {
+    const double next = (1.0 - damping_) / n_ + damping_ * acc;
+    changed = next != cur.rank;
+    return {next, cur.out_deg};
+  }
+  double scatter(const VData& v) const override {
+    return v.out_deg > 0 ? v.rank / v.out_deg : 0.0;
+  }
+
+ private:
+  double n_;
+  double damping_;
+};
+
+/// Connected components by HashMin label propagation over the undirected
+/// view (the standard framework CC example).  Run with
+/// GasDirection::kUndirected and run_to_convergence = true.
+class GasConnectedComponents final
+    : public GasProgram<std::uint64_t, std::uint64_t> {
+ public:
+  std::uint64_t init(gvid_t gid, std::uint64_t, std::uint64_t) const override {
+    return gid;
+  }
+  std::uint64_t gather_zero() const override { return ~std::uint64_t{0}; }
+  std::uint64_t gather(const std::uint64_t& a,
+                       const std::uint64_t& b) const override {
+    return std::min(a, b);
+  }
+  std::uint64_t apply(const std::uint64_t& cur, const std::uint64_t& acc,
+                      bool& changed) const override {
+    const std::uint64_t next = std::min(cur, acc);
+    changed = next != cur;
+    return next;
+  }
+  std::uint64_t scatter(const std::uint64_t& v) const override { return v; }
+};
+
+}  // namespace hpcgraph::baselines

@@ -1,0 +1,131 @@
+#pragma once
+/// \file pregel_engine_impl.hpp
+/// Template implementation of miniPregel (see pregel_engine.hpp).
+
+#include "util/error.hpp"
+
+namespace hpcgraph::baselines {
+
+namespace pregel_detail {
+
+/// Context implementation: buffers the current vertex's sends.
+template <typename M>
+class ContextImpl final : public PregelContext<M> {
+ public:
+  ContextImpl(const dgraph::DistGraph& g, PregelStats& stats,
+              std::vector<std::vector<M>>& local_inbox,
+              std::vector<std::pair<gvid_t, M>>& remote_outbox)
+      : g_(g),
+        stats_(stats),
+        local_inbox_(local_inbox),
+        remote_outbox_(remote_outbox) {}
+
+  void set_vertex(lvid_t v) { v_ = v; }
+  bool halted() const { return halted_; }
+  void reset_vote() { halted_ = false; }
+
+  void send_to_out_neighbors(const M& msg) override {
+    for (const lvid_t u : g_.out_neighbors(v_)) deliver(u, msg);
+  }
+
+  void send_to_in_neighbors(const M& msg) override {
+    for (const lvid_t u : g_.in_neighbors(v_)) deliver(u, msg);
+  }
+
+  void vote_to_halt() override { halted_ = true; }
+
+ private:
+  void deliver(lvid_t u, const M& msg) {
+    ++stats_.messages_sent;
+    if (g_.is_ghost(u)) {
+      remote_outbox_.emplace_back(g_.global_id(u), msg);
+    } else {
+      local_inbox_[u].push_back(msg);
+    }
+  }
+
+  const dgraph::DistGraph& g_;
+  PregelStats& stats_;
+  std::vector<std::vector<M>>& local_inbox_;
+  std::vector<std::pair<gvid_t, M>>& remote_outbox_;
+  lvid_t v_ = 0;
+  bool halted_ = false;
+};
+
+}  // namespace pregel_detail
+
+template <typename V, typename M>
+std::vector<V> pregel_run(const dgraph::DistGraph& g,
+                          parcomm::Communicator& comm,
+                          const PregelProgram<V, M>& program,
+                          const PregelOptions& opts, PregelStats* stats) {
+  const int p = comm.size();
+
+  std::vector<V> value(g.n_loc());
+  for (lvid_t v = 0; v < g.n_loc(); ++v)
+    value[v] = program.init(g.global_id(v), g.out_degree(v), g.in_degree(v));
+
+  // Per-vertex inboxes, double-buffered (the Pregel model's materialized
+  // message lists).
+  std::vector<std::vector<M>> inbox(g.n_loc()), inbox_next(g.n_loc());
+  std::vector<std::uint8_t> active(g.n_loc(), 1);
+
+  struct WireMsg {
+    gvid_t dst;
+    M payload;
+  };
+
+  PregelStats local_stats;
+  std::vector<std::pair<gvid_t, M>> remote_outbox;
+
+  for (int step = 0; step < opts.max_supersteps; ++step) {
+    ++local_stats.supersteps;
+    remote_outbox.clear();
+    pregel_detail::ContextImpl<M> ctx(g, local_stats, inbox_next,
+                                      remote_outbox);
+
+    std::uint64_t active_local = 0;
+    for (lvid_t v = 0; v < g.n_loc(); ++v) {
+      // A vertex computes if it is active or received messages.
+      if (!active[v] && inbox[v].empty()) continue;
+      ++active_local;
+      ctx.set_vertex(v);
+      ctx.reset_vote();
+      program.compute(step, value[v], inbox[v], ctx);
+      active[v] = ctx.halted() ? 0 : 1;
+      inbox[v].clear();
+    }
+
+    // ---- Route remote messages through the Algorithm-3 queues. ----
+    std::vector<std::uint64_t> counts(p, 0);
+    for (const auto& [dst, msg] : remote_outbox)
+      ++counts[g.owner_of_global(dst)];
+    MultiQueue<WireMsg> q(counts);
+    {
+      typename MultiQueue<WireMsg>::Sink sink(q);
+      for (const auto& [dst, msg] : remote_outbox)
+        sink.push(static_cast<std::uint32_t>(g.owner_of_global(dst)),
+                  WireMsg{dst, msg});
+    }
+    const std::vector<WireMsg> recv =
+        comm.alltoallv<WireMsg>(q.buffer(), counts);
+    std::uint64_t delivered = recv.size();
+    for (const WireMsg& m : recv)
+      inbox_next[g.local_id_checked(m.dst)].push_back(m.payload);
+
+    std::swap(inbox, inbox_next);
+    // Count local deliveries too: any nonempty inbox re-activates.
+    for (const auto& box : inbox) delivered += box.size();
+    (void)active_local;
+
+    // Quiescence: nobody un-halted and no message in any inbox.
+    std::uint64_t still_active = delivered;
+    for (const auto a : active) still_active += a;
+    if (comm.allreduce_sum(still_active) == 0) break;
+  }
+
+  if (stats) *stats = local_stats;
+  return value;
+}
+
+}  // namespace hpcgraph::baselines

@@ -1,0 +1,98 @@
+#pragma once
+/// \file pregel_programs.hpp
+/// The two vertex programs the paper's §V Giraph comparison runs:
+/// PageRank and Label Propagation, written against the miniPregel API the
+/// way the Giraph examples are written.
+
+#include <algorithm>
+#include <span>
+
+#include "baselines/pregel_engine.hpp"
+#include "util/label_counter.hpp"
+
+namespace hpcgraph::baselines {
+
+/// Pregel PageRank, with the out-degree carried in the vertex value (the
+/// published Giraph example reads getNumEdges(); our value plays that
+/// role).  Superstep 0 seeds 1/n and scatters; supersteps 1..k apply the
+/// damped sum and scatter again; every vertex halts at k.  Framework
+/// semantics: no dangling-mass redistribution, like the stock example.
+struct PregelPrValue {
+  double rank;
+  double out_deg;
+};
+
+class PregelPageRank final : public PregelProgram<PregelPrValue, double> {
+ public:
+  PregelPageRank(gvid_t n_global, int iterations, double damping = 0.85)
+      : n_(static_cast<double>(n_global)),
+        iterations_(iterations),
+        damping_(damping) {}
+
+  PregelPrValue init(gvid_t, std::uint64_t out_deg,
+                     std::uint64_t) const override {
+    return {1.0 / n_, static_cast<double>(out_deg)};
+  }
+
+  void compute(int superstep, PregelPrValue& value,
+               std::span<const double> messages,
+               PregelContext<double>& ctx) const override {
+    if (superstep >= 1) {
+      double sum = 0;
+      for (const double m : messages) sum += m;
+      value.rank = (1.0 - damping_) / n_ + damping_ * sum;
+    }
+    if (superstep < iterations_) {
+      if (value.out_deg > 0)
+        ctx.send_to_out_neighbors(value.rank / value.out_deg);
+    } else {
+      ctx.vote_to_halt();
+    }
+  }
+
+ private:
+  double n_;
+  int iterations_;
+  double damping_;
+};
+
+/// Pregel Label Propagation over the undirected view: each superstep every
+/// vertex adopts the plurality label among the messages from all its in-
+/// and out-neighbours, then re-broadcasts.  Identical semantics (and
+/// tie-break) to analytics::label_propagation's synchronous mode.
+class PregelLabelProp final
+    : public PregelProgram<std::uint64_t, std::uint64_t> {
+ public:
+  PregelLabelProp(int iterations, std::uint64_t tie_seed = 0)
+      : iterations_(iterations), tie_seed_(tie_seed) {}
+
+  std::uint64_t init(gvid_t gid, std::uint64_t,
+                     std::uint64_t) const override {
+    return gid;
+  }
+
+  void compute(int superstep, std::uint64_t& value,
+               std::span<const std::uint64_t> messages,
+               PregelContext<std::uint64_t>& ctx) const override {
+    if (superstep >= 1) {
+      LabelCounter lmap;
+      for (const std::uint64_t m : messages) lmap.add(m);
+      value = lmap.argmax(
+          tie_seed_ + static_cast<std::uint64_t>(superstep - 1), value);
+    }
+    if (superstep < iterations_) {
+      // Broadcast both directions: u's label must reach both u's in- and
+      // out-neighbours (LP ignores edge direction).
+      ctx.send_to_out_neighbors(value);
+      ctx.send_to_in_neighbors(value);
+    } else {
+      ctx.vote_to_halt();
+    }
+  }
+
+ private:
+  int iterations_;
+  std::uint64_t tie_seed_;
+};
+
+}  // namespace hpcgraph::baselines

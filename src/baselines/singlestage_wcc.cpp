@@ -1,0 +1,41 @@
+#include "baselines/singlestage_wcc.hpp"
+
+#include "dgraph/ghost_exchange.hpp"
+
+namespace hpcgraph::baselines {
+
+using dgraph::Adjacency;
+using dgraph::DistGraph;
+using dgraph::GhostExchange;
+using parcomm::Communicator;
+
+SingleStageWccResult wcc_singlestage(const DistGraph& g, Communicator& comm,
+                                     const analytics::CommonOptions& opts) {
+  SingleStageWccResult res;
+  GhostExchange gx(g, comm, Adjacency::kBoth, opts.pool);
+
+  std::vector<gvid_t> color(g.n_total());
+  for (lvid_t l = 0; l < g.n_total(); ++l) color[l] = g.global_id(l);
+
+  bool changed_global = true;
+  while (changed_global) {
+    ++res.iterations;
+    bool changed_local = false;
+    for (lvid_t v = 0; v < g.n_loc(); ++v) {
+      gvid_t m = color[v];
+      for (const lvid_t u : g.out_neighbors(v)) m = std::min(m, color[u]);
+      for (const lvid_t u : g.in_neighbors(v)) m = std::min(m, color[u]);
+      if (m < color[v]) {
+        color[v] = m;
+        changed_local = true;
+      }
+    }
+    gx.exchange<gvid_t>(color, comm);
+    changed_global = comm.allreduce_lor(changed_local);
+  }
+
+  res.comp.assign(color.begin(), color.begin() + g.n_loc());
+  return res;
+}
+
+}  // namespace hpcgraph::baselines

@@ -1,0 +1,29 @@
+#pragma once
+/// \file singlestage_wcc.hpp
+/// Traditional single-stage WCC: HashMin color propagation over the whole
+/// graph, no Multistep BFS phase.  This is the approach the paper credits
+/// its WCC speedups against ("our speedups for WCC are larger ... due to
+/// our use of the efficient Multistep algorithm, instead of traditional
+/// single-stage WCC approaches") — kept as an in-tree baseline so the claim
+/// is directly measurable (bench/fig4_frameworks).
+
+#include <cstdint>
+#include <vector>
+
+#include "analytics/common.hpp"
+
+namespace hpcgraph::baselines {
+
+struct SingleStageWccResult {
+  /// Per local vertex: canonical component label (min global id).
+  std::vector<gvid_t> comp;
+  int iterations = 0;  ///< HashMin rounds to convergence
+};
+
+/// Collective.  Same output as analytics::wcc (labels are canonical), very
+/// different iteration count on small-world graphs with a giant component.
+SingleStageWccResult wcc_singlestage(const dgraph::DistGraph& g,
+                                     parcomm::Communicator& comm,
+                                     const analytics::CommonOptions& opts = {});
+
+}  // namespace hpcgraph::baselines

@@ -1,0 +1,48 @@
+#include "dgraph/compressed_csr.hpp"
+
+#include <algorithm>
+
+namespace hpcgraph::dgraph {
+
+namespace {
+
+void encode_varint(std::vector<std::uint8_t>& out, std::uint32_t v) {
+  while (v >= 0x80) {
+    out.push_back(static_cast<std::uint8_t>(v) | 0x80);
+    v >>= 7;
+  }
+  out.push_back(static_cast<std::uint8_t>(v));
+}
+
+}  // namespace
+
+CompressedAdjacency CompressedAdjacency::encode(
+    std::span<const ecnt_t> index, std::span<const lvid_t> edges) {
+  HG_CHECK(!index.empty());
+  const lvid_t n = static_cast<lvid_t>(index.size() - 1);
+
+  CompressedAdjacency c;
+  c.num_edges_ = edges.size();
+  c.offsets_.reserve(n + 1);
+  c.degrees_.reserve(n);
+  // Typical web graphs compress to ~1.5-2 bytes/edge; reserve optimistically.
+  c.bytes_.reserve(edges.size() * 2);
+
+  std::vector<lvid_t> sorted;
+  for (lvid_t v = 0; v < n; ++v) {
+    c.offsets_.push_back(c.bytes_.size());
+    sorted.assign(edges.begin() + index[v], edges.begin() + index[v + 1]);
+    std::sort(sorted.begin(), sorted.end());
+    c.degrees_.push_back(static_cast<std::uint32_t>(sorted.size()));
+    lvid_t prev = 0;
+    for (const lvid_t u : sorted) {
+      encode_varint(c.bytes_, u - prev);  // first gap is from 0
+      prev = u;
+    }
+  }
+  c.offsets_.push_back(c.bytes_.size());
+  c.bytes_.shrink_to_fit();
+  return c;
+}
+
+}  // namespace hpcgraph::dgraph

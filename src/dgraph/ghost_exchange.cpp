@@ -1,0 +1,100 @@
+#include "dgraph/ghost_exchange.hpp"
+
+#include "util/thread_queue.hpp"
+
+namespace hpcgraph::dgraph {
+
+using parcomm::Communicator;
+
+GhostExchange::GhostExchange(const DistGraph& g, Communicator& comm,
+                             Adjacency adj, ThreadPool* pool) {
+  const int p = comm.size();
+  const int me = comm.rank();
+  ThreadPool inline_pool(1);
+  ThreadPool& tp = pool ? *pool : inline_pool;
+  const unsigned nt = tp.num_threads();
+
+  // Whether u (a local-or-ghost id adjacent to v) marks v as needed by u's
+  // owner, per the requested direction.
+  const auto scan_vertex = [&](lvid_t v, auto&& mark) {
+    if (adj == Adjacency::kOut || adj == Adjacency::kBoth)
+      for (const lvid_t u : g.out_neighbors(v))
+        if (g.is_ghost(u)) mark(g.owner_of(u));
+    if (adj == Adjacency::kIn || adj == Adjacency::kBoth)
+      for (const lvid_t u : g.in_neighbors(v))
+        if (g.is_ghost(u)) mark(g.owner_of(u));
+  };
+
+  // ---- Pass 1: count (v, task) pairs (Algorithm 1 lines 4-11). ----
+  std::vector<std::vector<std::uint64_t>> tcounts(
+      nt, std::vector<std::uint64_t>(p, 0));
+  std::vector<std::vector<std::uint32_t>> tmarked(
+      nt, std::vector<std::uint32_t>(p, 0));
+  tp.for_range(0, g.n_loc(), [&](unsigned tid, std::uint64_t lo,
+                                 std::uint64_t hi) {
+    auto& counts = tcounts[tid];
+    auto& marked = tmarked[tid];
+    for (std::uint64_t v = lo; v < hi; ++v) {
+      const std::uint32_t epoch = static_cast<std::uint32_t>(v) + 1;
+      scan_vertex(static_cast<lvid_t>(v), [&](int t) {
+        if (t == me || marked[t] == epoch) return;
+        marked[t] = epoch;
+        ++counts[t];
+      });
+    }
+  });
+
+  send_counts_.assign(p, 0);
+  for (unsigned t = 0; t < nt; ++t)
+    for (int r = 0; r < p; ++r) send_counts_[r] += tcounts[t][r];
+
+  // ---- Pass 2: fill the retained queue (Algorithm 3 thread queuing). ----
+  struct Slot {
+    gvid_t gid;
+    lvid_t lid;
+  };
+  MultiQueue<Slot> q(send_counts_);
+  tp.for_range(0, g.n_loc(), [&](unsigned tid, std::uint64_t lo,
+                                 std::uint64_t hi) {
+    MultiQueue<Slot>::Sink sink(q);
+    auto& marked = tmarked[tid];
+    std::fill(marked.begin(), marked.end(), 0);
+    for (std::uint64_t v = lo; v < hi; ++v) {
+      const std::uint32_t epoch = static_cast<std::uint32_t>(v) + 1;
+      const lvid_t lv = static_cast<lvid_t>(v);
+      scan_vertex(lv, [&](int t) {
+        if (t == me || marked[t] == epoch) return;
+        marked[t] = epoch;
+        sink.push(static_cast<std::uint32_t>(t),
+                  Slot{g.global_id(lv), lv});
+      });
+    }
+  });
+  HG_CHECK(q.complete());
+
+  // Split the queue into the retained local-id array and the one-shot
+  // global-id payload for the initial exchange.
+  send_local_.resize(q.total());
+  std::vector<gvid_t> send_gids(q.total());
+  {
+    const auto& buf = q.buffer();
+    for (std::size_t i = 0; i < buf.size(); ++i) {
+      send_local_[i] = buf[i].lid;
+      send_gids[i] = buf[i].gid;
+    }
+  }
+
+  // ---- Initial id exchange; receivers decode to ghost ids once. ----
+  const std::vector<gvid_t> recv_gids =
+      comm.alltoallv<gvid_t>(send_gids, send_counts_);
+  recv_local_.resize(recv_gids.size());
+  for (std::size_t i = 0; i < recv_gids.size(); ++i) {
+    const lvid_t l = g.local_id_checked(recv_gids[i]);
+    HG_CHECK_MSG(g.is_ghost(l), "ghost exchange received a non-ghost vertex");
+    recv_local_[i] = l;
+  }
+
+  n_total_ = g.n_total();
+}
+
+}  // namespace hpcgraph::dgraph

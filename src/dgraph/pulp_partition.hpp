@@ -1,0 +1,42 @@
+#pragma once
+/// \file pulp_partition.hpp
+/// PuLP-style label-propagation partitioning — the paper's second §VII
+/// future-work direction ("We are exploring better partitioning strategies
+/// to improve load balance and overall scalability") and the authors' own
+/// follow-up work, cited as [30] (Slota, Madduri, Rajamanickam, "PuLP:
+/// Scalable multi-objective multi-constraint partitioning for small-world
+/// networks").
+///
+/// Simplified single-constraint variant: start from a balanced random
+/// assignment; for a fixed number of sweeps, move each vertex to the part
+/// that the plurality of its (in+out) neighbours occupy, subject to vertex-
+/// and edge-balance caps.  Runs as an offline preprocessing step over the
+/// raw edge list (like running (Par)METIS before ingestion would);
+/// feed the result to Partition::explicit_map / Builder overloads.
+
+#include <cstdint>
+#include <span>
+#include <vector>
+
+#include "gen/edge_list.hpp"
+
+namespace hpcgraph::dgraph {
+
+struct PulpParams {
+  int sweeps = 8;              ///< label-propagation refinement passes
+  double vertex_balance = 1.10;  ///< cap: max part verts / (n/p)
+  double edge_balance = 1.50;    ///< cap: max part degree-sum / (2m/p)
+  std::uint64_t seed = 1;
+};
+
+/// Per-vertex owner map in [0, nparts).  Deterministic in all params.
+std::vector<std::int32_t> pulp_partition(const gen::EdgeList& graph,
+                                         int nparts,
+                                         const PulpParams& params = {});
+
+/// Quality metric: number of directed edges whose endpoints live in
+/// different parts (the paper's "edge cut").
+std::uint64_t edge_cut(const gen::EdgeList& graph,
+                       std::span<const std::int32_t> owner);
+
+}  // namespace hpcgraph::dgraph

@@ -1,0 +1,53 @@
+#include "gen/aggregate.hpp"
+
+#include <algorithm>
+#include <unordered_map>
+
+#include "util/error.hpp"
+
+namespace hpcgraph::gen {
+
+AggregatedGraph aggregate_graph(const EdgeList& graph,
+                                std::span<const std::uint64_t> labels,
+                                const AggregateOptions& opts) {
+  HG_CHECK(labels.size() == graph.n);
+  AggregatedGraph out;
+
+  // Dense supernode ids in ascending label order (deterministic).
+  out.group_label.assign(labels.begin(), labels.end());
+  std::sort(out.group_label.begin(), out.group_label.end());
+  out.group_label.erase(
+      std::unique(out.group_label.begin(), out.group_label.end()),
+      out.group_label.end());
+  std::unordered_map<std::uint64_t, gvid_t> id_of;
+  id_of.reserve(out.group_label.size());
+  for (gvid_t i = 0; i < out.group_label.size(); ++i)
+    id_of[out.group_label[i]] = i;
+
+  out.group_of.resize(graph.n);
+  out.group_size.assign(out.group_label.size(), 0);
+  for (gvid_t v = 0; v < graph.n; ++v) {
+    out.group_of[v] = id_of.at(labels[v]);
+    ++out.group_size[out.group_of[v]];
+  }
+
+  out.graph.n = static_cast<gvid_t>(out.group_label.size());
+  out.graph.name = graph.name + "-aggregated";
+  out.graph.edges.reserve(graph.edges.size() / 4 + 16);
+  for (const Edge& e : graph.edges) {
+    const gvid_t s = out.group_of[e.src], d = out.group_of[e.dst];
+    if (s == d && !opts.keep_self_loops) continue;
+    out.graph.edges.push_back({s, d});
+  }
+  if (opts.dedup_edges) {
+    auto& es = out.graph.edges;
+    std::sort(es.begin(), es.end(), [](const Edge& a, const Edge& b) {
+      if (a.src != b.src) return a.src < b.src;
+      return a.dst < b.dst;
+    });
+    es.erase(std::unique(es.begin(), es.end()), es.end());
+  }
+  return out;
+}
+
+}  // namespace hpcgraph::gen

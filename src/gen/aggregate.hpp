@@ -1,0 +1,42 @@
+#pragma once
+/// \file aggregate.hpp
+/// Graph aggregation: collapse groups of vertices into supernodes.
+///
+/// The paper's Host and Pay datasets *are* aggregations of the page-level
+/// WDC crawl ("available at three levels of aggregation: at page level ...
+/// at the granularity of subdomains or hosts ... and at the granularity of
+/// pay-level-domain").  This transform produces the same kind of quotient
+/// graph from any grouping — e.g. the communities Label Propagation finds,
+/// enabling the analyze-communities-as-a-graph workflow.
+
+#include <cstdint>
+#include <span>
+#include <vector>
+
+#include "gen/edge_list.hpp"
+
+namespace hpcgraph::gen {
+
+struct AggregateOptions {
+  bool keep_self_loops = false;  ///< keep intra-group edges as self loops
+  bool dedup_edges = true;       ///< collapse parallel supernode edges
+};
+
+struct AggregatedGraph {
+  /// The quotient graph; vertex ids are dense group indices.
+  EdgeList graph;
+  /// Per supernode: the original group label (ascending, so supernode ids
+  /// are assigned in sorted-label order — deterministic).
+  std::vector<std::uint64_t> group_label;
+  /// Per original vertex: its supernode id.
+  std::vector<gvid_t> group_of;
+  /// Per supernode: number of original member vertices.
+  std::vector<std::uint64_t> group_size;
+};
+
+/// Collapse `graph` by `labels` (one label per original vertex).
+AggregatedGraph aggregate_graph(const EdgeList& graph,
+                                std::span<const std::uint64_t> labels,
+                                const AggregateOptions& opts = {});
+
+}  // namespace hpcgraph::gen

@@ -1,0 +1,42 @@
+#include "gen/degree_tools.hpp"
+
+#include <algorithm>
+
+namespace hpcgraph::gen {
+
+std::vector<std::uint32_t> out_degrees(const EdgeList& g) {
+  std::vector<std::uint32_t> deg(g.n, 0);
+  for (const Edge& e : g.edges) ++deg[e.src];
+  return deg;
+}
+
+std::vector<std::uint32_t> in_degrees(const EdgeList& g) {
+  std::vector<std::uint32_t> deg(g.n, 0);
+  for (const Edge& e : g.edges) ++deg[e.dst];
+  return deg;
+}
+
+std::vector<std::uint32_t> total_degrees(const EdgeList& g) {
+  std::vector<std::uint32_t> deg(g.n, 0);
+  for (const Edge& e : g.edges) {
+    ++deg[e.src];
+    ++deg[e.dst];
+  }
+  return deg;
+}
+
+std::vector<gvid_t> top_k_by_degree(const EdgeList& g, std::size_t k) {
+  const std::vector<std::uint32_t> deg = total_degrees(g);
+  std::vector<gvid_t> ids(g.n);
+  for (gvid_t v = 0; v < g.n; ++v) ids[v] = v;
+  k = std::min<std::size_t>(k, ids.size());
+  std::partial_sort(ids.begin(), ids.begin() + k, ids.end(),
+                    [&](gvid_t a, gvid_t b) {
+                      if (deg[a] != deg[b]) return deg[a] > deg[b];
+                      return a < b;
+                    });
+  ids.resize(k);
+  return ids;
+}
+
+}  // namespace hpcgraph::gen

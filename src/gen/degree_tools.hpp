@@ -1,0 +1,28 @@
+#pragma once
+/// \file degree_tools.hpp
+/// Degree computations over raw edge lists: used by edge-block partitioning
+/// (which needs global out-degrees), harmonic-centrality vertex selection
+/// ("top 1000 vertices ranked by their vertex degree"), and the structural
+/// reports.
+
+#include <cstdint>
+#include <vector>
+
+#include "gen/edge_list.hpp"
+
+namespace hpcgraph::gen {
+
+/// Out-degree of every vertex (indexed by global id).
+std::vector<std::uint32_t> out_degrees(const EdgeList& g);
+
+/// In-degree of every vertex (indexed by global id).
+std::vector<std::uint32_t> in_degrees(const EdgeList& g);
+
+/// Total degree (in + out) of every vertex.
+std::vector<std::uint32_t> total_degrees(const EdgeList& g);
+
+/// The k vertices with the highest total degree, descending; ties broken by
+/// lower id first (deterministic).
+std::vector<gvid_t> top_k_by_degree(const EdgeList& g, std::size_t k);
+
+}  // namespace hpcgraph::gen

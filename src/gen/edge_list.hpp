@@ -1,0 +1,37 @@
+#pragma once
+/// \file edge_list.hpp
+/// In-memory directed edge list — the generator output and ingestion input.
+/// Matches the paper's data model: "the input data is available as an
+/// unsorted list of edges", each edge a pair of unsigned integers.
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "util/types.hpp"
+
+namespace hpcgraph::gen {
+
+/// One directed edge src -> dst (global ids).
+struct Edge {
+  gvid_t src = 0;
+  gvid_t dst = 0;
+
+  friend bool operator==(const Edge&, const Edge&) = default;
+};
+
+/// A generated graph: vertex-id space [0, n) plus an unsorted directed edge
+/// list.  Vertex ids are used exactly as generated — the paper does not
+/// preprocess, prune, or relabel its inputs.
+struct EdgeList {
+  gvid_t n = 0;
+  std::vector<Edge> edges;
+  std::string name;  ///< dataset label, e.g. "WC" / "R-MAT" / "Rand-ER"
+
+  std::uint64_t m() const { return edges.size(); }
+  double avg_degree() const {
+    return n ? static_cast<double>(edges.size()) / static_cast<double>(n) : 0;
+  }
+};
+
+}  // namespace hpcgraph::gen

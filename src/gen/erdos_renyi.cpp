@@ -1,0 +1,20 @@
+#include "gen/erdos_renyi.hpp"
+
+#include "util/error.hpp"
+#include "util/rng.hpp"
+
+namespace hpcgraph::gen {
+
+EdgeList erdos_renyi(const ErParams& p) {
+  HG_CHECK(p.n >= 1);
+  EdgeList out;
+  out.n = p.n;
+  out.name = "Rand-ER";
+  out.edges.reserve(p.m);
+  Rng rng(p.seed ^ 0x4552ULL /* "ER" */);
+  for (std::uint64_t e = 0; e < p.m; ++e)
+    out.edges.push_back({rng.below(p.n), rng.below(p.n)});
+  return out;
+}
+
+}  // namespace hpcgraph::gen

@@ -1,0 +1,22 @@
+#pragma once
+/// \file erdos_renyi.hpp
+/// Erdős–Rényi G(n, m) random digraph ("Rand-ER" in the paper): m directed
+/// edges with independently uniform endpoints.  The paper's best-case input:
+/// no skew, no locality.
+
+#include <cstdint>
+
+#include "gen/edge_list.hpp"
+
+namespace hpcgraph::gen {
+
+struct ErParams {
+  gvid_t n = 1 << 16;
+  std::uint64_t m = 1 << 20;
+  std::uint64_t seed = 1;
+};
+
+/// Generate a Rand-ER edge list.  Deterministic in all params.
+EdgeList erdos_renyi(const ErParams& params);
+
+}  // namespace hpcgraph::gen

@@ -1,0 +1,105 @@
+#include "gen/reorder.hpp"
+
+#include <algorithm>
+#include <deque>
+#include <numeric>
+
+#include "gen/degree_tools.hpp"
+#include "util/error.hpp"
+#include "util/prefix_sum.hpp"
+
+namespace hpcgraph::gen {
+
+namespace {
+
+std::vector<gvid_t> bfs_order(const EdgeList& graph) {
+  const gvid_t n = graph.n;
+  // Undirected CSR.
+  std::vector<std::uint64_t> deg(n, 0);
+  for (const Edge& e : graph.edges) {
+    ++deg[e.src];
+    ++deg[e.dst];
+  }
+  const auto index = csr_offsets(std::span<const std::uint64_t>(deg));
+  std::vector<gvid_t> adj(index.back());
+  {
+    std::vector<std::uint64_t> cur(index.begin(), index.end() - 1);
+    for (const Edge& e : graph.edges) {
+      adj[cur[e.src]++] = e.dst;
+      adj[cur[e.dst]++] = e.src;
+    }
+  }
+
+  // Roots in decreasing degree (ties: lower old id), restarting per
+  // component so isolated regions still get compact id ranges.
+  std::vector<gvid_t> roots(n);
+  std::iota(roots.begin(), roots.end(), 0);
+  std::sort(roots.begin(), roots.end(), [&](gvid_t a, gvid_t b) {
+    if (deg[a] != deg[b]) return deg[a] > deg[b];
+    return a < b;
+  });
+
+  std::vector<gvid_t> new_id(n, kNullGvid);
+  gvid_t next = 0;
+  std::deque<gvid_t> q;
+  for (const gvid_t root : roots) {
+    if (new_id[root] != kNullGvid) continue;
+    new_id[root] = next++;
+    q.push_back(root);
+    while (!q.empty()) {
+      const gvid_t v = q.front();
+      q.pop_front();
+      for (std::uint64_t i = index[v]; i < index[v + 1]; ++i) {
+        const gvid_t u = adj[i];
+        if (new_id[u] == kNullGvid) {
+          new_id[u] = next++;
+          q.push_back(u);
+        }
+      }
+    }
+  }
+  HG_CHECK(next == n);
+  return new_id;
+}
+
+std::vector<gvid_t> degree_order(const EdgeList& graph) {
+  const auto deg = total_degrees(graph);
+  std::vector<gvid_t> by_degree(graph.n);
+  std::iota(by_degree.begin(), by_degree.end(), 0);
+  std::sort(by_degree.begin(), by_degree.end(), [&](gvid_t a, gvid_t b) {
+    if (deg[a] != deg[b]) return deg[a] > deg[b];
+    return a < b;
+  });
+  std::vector<gvid_t> new_id(graph.n);
+  for (gvid_t pos = 0; pos < graph.n; ++pos) new_id[by_degree[pos]] = pos;
+  return new_id;
+}
+
+}  // namespace
+
+std::vector<gvid_t> reorder_permutation(const EdgeList& graph,
+                                        ReorderKind kind) {
+  switch (kind) {
+    case ReorderKind::kBfs: return bfs_order(graph);
+    case ReorderKind::kDegree: return degree_order(graph);
+  }
+  HG_CHECK_MSG(false, "unreachable reorder kind");
+}
+
+EdgeList apply_permutation(const EdgeList& graph,
+                           std::span<const gvid_t> new_id) {
+  HG_CHECK(new_id.size() == graph.n);
+  EdgeList out;
+  out.n = graph.n;
+  out.name = graph.name;
+  out.edges.reserve(graph.edges.size());
+  for (const Edge& e : graph.edges)
+    out.edges.push_back({new_id[e.src], new_id[e.dst]});
+  return out;
+}
+
+EdgeList reorder(const EdgeList& graph, ReorderKind kind) {
+  return apply_permutation(graph, reorder_permutation(graph, kind));
+}
+
+}  // namespace hpcgraph::gen

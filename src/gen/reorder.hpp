@@ -1,0 +1,42 @@
+#pragma once
+/// \file reorder.hpp
+/// Vertex reordering — §III-B's "each task gets n/p vertices distributed in
+/// natural (or some computed) ordering".  The WDC crawl's natural order is
+/// crawl order, which is why block partitioning enjoys locality there; a
+/// scrambled graph (R-MAT with id scrambling, uploads with hashed ids) has
+/// none, and a *computed* ordering restores it before block partitioning.
+///
+/// Two classic computed orderings:
+///   * BFS order: vertices labeled by undirected BFS discovery (restarted
+///     per component, in decreasing-degree root order) — neighbours get
+///     nearby ids, cutting ghost counts under block partitioning;
+///   * degree order: hubs first — clusters the heavy rows together so edge-
+///     block partitioning isolates them.
+///
+/// Applied as an offline preprocessing step over the raw edge list.
+
+#include <cstdint>
+#include <span>
+#include <vector>
+
+#include "gen/edge_list.hpp"
+
+namespace hpcgraph::gen {
+
+enum class ReorderKind {
+  kBfs,     ///< undirected BFS discovery order
+  kDegree,  ///< decreasing total degree
+};
+
+/// Permutation: new_id[old_id].  Deterministic.
+std::vector<gvid_t> reorder_permutation(const EdgeList& graph,
+                                        ReorderKind kind);
+
+/// Apply a permutation (new_id[old_id]) to every endpoint.
+EdgeList apply_permutation(const EdgeList& graph,
+                           std::span<const gvid_t> new_id);
+
+/// Convenience: permute the graph by the computed ordering.
+EdgeList reorder(const EdgeList& graph, ReorderKind kind);
+
+}  // namespace hpcgraph::gen

@@ -1,0 +1,60 @@
+#include "gen/rmat.hpp"
+
+#include "util/error.hpp"
+#include "util/rng.hpp"
+
+namespace hpcgraph::gen {
+
+namespace {
+
+/// Feistel-style id scrambler: a bijection on [0, 2^scale) so that the
+/// natural vertex ordering of the recursive construction (which clusters
+/// high-degree vertices at low ids) is destroyed, as Graph500 requires.
+gvid_t scramble(gvid_t v, unsigned scale, std::uint64_t key) {
+  const gvid_t mask = (scale >= 64) ? ~gvid_t{0} : ((gvid_t{1} << scale) - 1);
+  // Two rounds of multiply-xorshift confined to `scale` bits.
+  v = (v * 0x9e3779b97f4a7c15ULL + key) & mask;
+  v ^= v >> (scale / 2 + 1);
+  v = (v * 0xbf58476d1ce4e5b9ULL + (key >> 32)) & mask;
+  v ^= v >> (scale / 2 + 1);
+  v &= mask;
+  return v;
+}
+
+}  // namespace
+
+EdgeList rmat(const RmatParams& p) {
+  HG_CHECK(p.scale >= 1 && p.scale <= 40);
+  const double sum = p.a + p.b + p.c + p.d;
+  HG_CHECK_MSG(sum > 0.999 && sum < 1.001, "R-MAT probabilities must sum to 1");
+
+  EdgeList out;
+  out.n = gvid_t{1} << p.scale;
+  out.name = "R-MAT";
+  const std::uint64_t m =
+      static_cast<std::uint64_t>(p.avg_degree * static_cast<double>(out.n));
+  out.edges.reserve(m);
+
+  Rng rng(p.seed ^ 0x524d4154ULL /* "RMAT" */);
+  const double ab = p.a + p.b;
+  const double a_frac = p.a / ab;           // P(left | top)
+  const double c_frac = p.c / (p.c + p.d);  // P(left | bottom)
+
+  for (std::uint64_t e = 0; e < m; ++e) {
+    gvid_t src = 0, dst = 0;
+    for (unsigned bit = 0; bit < p.scale; ++bit) {
+      const bool top = rng.uniform() < ab;
+      const bool left = rng.uniform() < (top ? a_frac : c_frac);
+      src = (src << 1) | (top ? 0 : 1);
+      dst = (dst << 1) | (left ? 0 : 1);
+    }
+    if (p.scramble_ids) {
+      src = scramble(src, p.scale, p.seed * 0x2545f4914f6cdd1dULL + 7);
+      dst = scramble(dst, p.scale, p.seed * 0x2545f4914f6cdd1dULL + 7);
+    }
+    out.edges.push_back({src, dst});
+  }
+  return out;
+}
+
+}  // namespace hpcgraph::gen

@@ -1,0 +1,25 @@
+#pragma once
+/// \file rmat.hpp
+/// R-MAT recursive-matrix graph generator (Chakrabarti, Zhan, Faloutsos,
+/// SDM'04 — the paper's reference [3]).  Used for Table IV, Figure 1 and
+/// Figure 2 synthetic inputs; produces the heavy degree skew that drives the
+/// paper's load-imbalance observations.
+
+#include <cstdint>
+
+#include "gen/edge_list.hpp"
+
+namespace hpcgraph::gen {
+
+struct RmatParams {
+  unsigned scale = 16;       ///< n = 2^scale vertices
+  double avg_degree = 16;    ///< m = n * avg_degree directed edges
+  double a = 0.57, b = 0.19, c = 0.19, d = 0.05;  ///< Graph500 defaults
+  std::uint64_t seed = 1;
+  bool scramble_ids = true;  ///< permute ids so vertex order carries no info
+};
+
+/// Generate an R-MAT edge list.  Deterministic in all params.
+EdgeList rmat(const RmatParams& params);
+
+}  // namespace hpcgraph::gen

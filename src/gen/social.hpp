@@ -1,0 +1,42 @@
+#pragma once
+/// \file social.hpp
+/// Scaled-down stand-ins for the paper's real comparison graphs (Table I):
+/// Twitter, LiveJournal, Google, and the Host/Pay aggregations of the WDC
+/// crawl.  Each preset is a parameterization of one power-law digraph
+/// generator, chosen to preserve the published size ordering
+/// (Host > Twitter ~ Pay > LiveJournal > Google), average degree, and degree
+/// skew of the originals at 1/64 of their scale — the properties that drive
+/// the relative framework performance in Figure 4.
+
+#include <cstdint>
+
+#include "gen/edge_list.hpp"
+
+namespace hpcgraph::gen {
+
+struct SocialParams {
+  gvid_t n = 1 << 16;
+  double avg_degree = 14;
+  double skew_alpha = 2.2;     ///< out-degree power-law exponent
+  double reciprocity = 0.2;    ///< fraction of edges mirrored dst->src
+  double locality = 0.5;       ///< fraction of edges within an id window
+  gvid_t window = 4096;        ///< locality window width
+  std::uint64_t seed = 1;
+  const char* name = "social";
+};
+
+/// Generate a power-law social-style digraph.  Deterministic in all params.
+EdgeList social(const SocialParams& params);
+
+/// \name Table I presets (scaled by `scale_div`, default 64x smaller).
+/// Published sizes: Twitter 53M/2.0B, LiveJournal 4.8M/69M, Google 875K/5.1M,
+/// Host 89M/2.0B, Pay 39M/623M.
+///@{
+EdgeList twitter_like(unsigned scale_div = 64, std::uint64_t seed = 1);
+EdgeList livejournal_like(unsigned scale_div = 64, std::uint64_t seed = 1);
+EdgeList google_like(unsigned scale_div = 64, std::uint64_t seed = 1);
+EdgeList host_like(unsigned scale_div = 64, std::uint64_t seed = 1);
+EdgeList pay_like(unsigned scale_div = 64, std::uint64_t seed = 1);
+///@}
+
+}  // namespace hpcgraph::gen

@@ -1,0 +1,192 @@
+#include "gen/webgraph.hpp"
+
+#include <algorithm>
+#include <cmath>
+
+#include "util/error.hpp"
+#include "util/rng.hpp"
+
+namespace hpcgraph::gen {
+
+namespace {
+
+/// Discrete power-law sample in [lo, hi] with exponent alpha (>1), via
+/// inverse-CDF of the continuous Pareto then truncation.
+gvid_t powerlaw_sample(Rng& rng, double alpha, gvid_t lo, gvid_t hi) {
+  HG_DCHECK(lo >= 1 && hi >= lo);
+  const double u = rng.uniform();
+  const double x =
+      static_cast<double>(lo) / std::pow(1.0 - u, 1.0 / (alpha - 1.0));
+  const gvid_t v = static_cast<gvid_t>(x);
+  return std::min(std::max(v, lo), hi);
+}
+
+/// Skewed pick inside [r.begin, r.end): low offsets (community heads /
+/// segment heads) are preferred, modelling preferential attachment.
+gvid_t skewed_pick(Rng& rng, VidRange r) {
+  HG_DCHECK(r.size() > 0);
+  const double u = rng.uniform();
+  return r.begin + static_cast<gvid_t>(u * u * static_cast<double>(r.size()));
+}
+
+const char* const kHubNames[] = {
+    "creativecommons.org/",
+    "wordpress.org/",
+    "tripadvisor.com/",
+    "gmpg.org/xfn/",
+    "askville.amazon.com/",
+    "youtube.com/",
+    "en.wikipedia.org/",
+    "twitter.com/",
+    "facebook.com/",
+    "google.com/",
+    "blogspot.com/",
+    "flickr.com/",
+    "apache.org/",
+    "w3.org/",
+    "adobe.com/",
+    "miibeian.gov.cn/",
+};
+
+}  // namespace
+
+WebGraph webgraph(const WebGraphParams& p) {
+  HG_CHECK(p.n >= 64);
+  HG_CHECK(p.frac_disc + p.frac_in + p.frac_core + p.frac_out <= 1.0);
+  WebGraph wg;
+  wg.graph.n = p.n;
+  wg.graph.name = "WC";
+
+  // ---- Bow-tie segment layout (contiguous id ranges). ----
+  const auto cut = [&](double f, gvid_t at) {
+    return std::min<gvid_t>(p.n, at + static_cast<gvid_t>(f * p.n));
+  };
+  wg.disc = {0, cut(p.frac_disc, 0)};
+  wg.in = {wg.disc.end, cut(p.frac_in, wg.disc.end)};
+  wg.core = {wg.in.end, cut(p.frac_core, wg.in.end)};
+  wg.out = {wg.core.end, cut(p.frac_out, wg.core.end)};
+  wg.tendril = {wg.out.end, p.n};
+  HG_CHECK(wg.core.size() > p.num_hubs);
+
+  // ---- Planted communities: contiguous blocks with power-law sizes. ----
+  Rng rng(p.seed ^ 0x57454243ULL /* "WEBC" */);
+  const gvid_t comm_max = p.comm_max ? p.comm_max : std::max<gvid_t>(p.n / 64, 4);
+  wg.comm_of.resize(p.n);
+  {
+    std::uint32_t comm = 0;
+    gvid_t v = 0;
+    const VidRange segments[] = {wg.disc, wg.in, wg.core, wg.out, wg.tendril};
+    for (const VidRange& seg : segments) {
+      v = seg.begin;
+      while (v < seg.end) {
+        // DISC islands stay small so they remain disconnected pieces.
+        const gvid_t hi =
+            (seg.begin == wg.disc.begin && seg.end == wg.disc.end)
+                ? std::min<gvid_t>(comm_max, 32)
+                : comm_max;
+        gvid_t sz = powerlaw_sample(rng, p.comm_alpha, p.comm_min, hi);
+        sz = std::min(sz, seg.end - v);
+        for (gvid_t i = 0; i < sz; ++i) wg.comm_of[v + i] = comm;
+        v += sz;
+        ++comm;
+      }
+    }
+    wg.num_communities = comm;
+  }
+
+  // Community ranges, for intra-community edge routing.
+  std::vector<VidRange> comm_range(wg.num_communities);
+  for (gvid_t v = 0; v < p.n; ++v) {
+    VidRange& r = comm_range[wg.comm_of[v]];
+    if (r.end == 0) r.begin = v;
+    r.end = v + 1;
+  }
+
+  // ---- Hubs: the first vertices of CORE. ----
+  const unsigned nhubs = std::min<unsigned>(
+      p.num_hubs, sizeof(kHubNames) / sizeof(kHubNames[0]));
+  for (unsigned h = 0; h < nhubs; ++h) wg.hubs.push_back(wg.core.begin + h);
+
+  // ---- Per-vertex out-degrees: power-law weights scaled to hit m. ----
+  const std::uint64_t m_target =
+      static_cast<std::uint64_t>(p.avg_degree * static_cast<double>(p.n));
+  std::vector<std::uint32_t> degree(p.n);
+  {
+    std::vector<double> w(p.n);
+    double total = 0;
+    for (gvid_t v = 0; v < p.n; ++v)
+      total += (w[v] = static_cast<double>(
+                    powerlaw_sample(rng, p.degree_alpha, 1, p.n / 16 + 1)));
+    // Reserve ~0.5 edge/vertex of the budget for the CORE ring below.
+    const double budget =
+        static_cast<double>(m_target) - static_cast<double>(wg.core.size());
+    const double scale = std::max(budget, 0.0) / total;
+    for (gvid_t v = 0; v < p.n; ++v) {
+      degree[v] = static_cast<std::uint32_t>(w[v] * scale + rng.uniform());
+      // Everything outside DISC keeps at least one out-link so the giant
+      // weak component spans IN+CORE+OUT+TENDRIL.
+      if (degree[v] == 0 && v >= wg.in.begin) degree[v] = 1;
+    }
+  }
+
+  std::uint64_t m_estimate = wg.core.size();
+  for (gvid_t v = 0; v < p.n; ++v) m_estimate += degree[v];
+  wg.graph.edges.reserve(m_estimate);
+
+  // ---- Deterministic CORE ring: guarantees CORE is one SCC. ----
+  for (gvid_t v = wg.core.begin; v < wg.core.end; ++v) {
+    const gvid_t nxt = (v + 1 == wg.core.end) ? wg.core.begin : v + 1;
+    wg.graph.edges.push_back({v, nxt});
+  }
+
+  // ---- Random edges per the routing rules. ----
+  for (gvid_t v = 0; v < p.n; ++v) {
+    const VidRange my_comm = comm_range[wg.comm_of[v]];
+    const bool in_disc = wg.disc.contains(v);
+    for (std::uint32_t e = 0; e < degree[v]; ++e) {
+      gvid_t dst;
+      const double roll = rng.uniform();
+      if (in_disc) {
+        // Islands link only inside their own community.
+        dst = my_comm.begin + rng.below(my_comm.size());
+      } else if (roll < p.p_intra && my_comm.size() > 1) {
+        dst = skewed_pick(rng, my_comm);
+      } else if (roll < p.p_intra + p.p_hub &&
+                 (wg.in.contains(v) || wg.core.contains(v))) {
+        // Hub links come only from IN/CORE: an OUT->hub edge would be a
+        // back-edge into CORE and grow the SCC beyond the planted core,
+        // destroying the ground truth tests rely on.
+        dst = wg.hubs[rng.below(wg.hubs.size())];
+      } else if (wg.in.contains(v)) {
+        // IN links forward: mostly CORE, sometimes deeper into IN.
+        dst = (rng.uniform() < 0.7) ? skewed_pick(rng, wg.core)
+                                    : skewed_pick(rng, wg.in);
+      } else if (wg.core.contains(v)) {
+        // CORE links: mostly CORE, some leakage into OUT.
+        dst = (rng.uniform() < 0.85) ? skewed_pick(rng, wg.core)
+                                     : skewed_pick(rng, wg.out);
+      } else if (wg.out.contains(v)) {
+        dst = skewed_pick(rng, wg.out);
+      } else {
+        // TENDRIL: hangs off the OUT side, never reaches back.
+        dst = skewed_pick(rng, wg.out);
+      }
+      wg.graph.edges.push_back({v, dst});
+    }
+  }
+
+  return wg;
+}
+
+std::string webgraph_vertex_name(const WebGraph& wg, gvid_t v) {
+  for (std::size_t h = 0; h < wg.hubs.size(); ++h)
+    if (wg.hubs[h] == v) return kHubNames[h];
+  const std::uint32_t c = wg.comm_of[v];
+  // Find offset within the community block for a stable page path.
+  gvid_t start = v;
+  while (start > 0 && wg.comm_of[start - 1] == c) --start;
+  return "site" + std::to_string(c) + ".example/page" +
+         std::to_string(v - start);
+}
+
+}  // namespace hpcgraph::gen

@@ -1,0 +1,87 @@
+#pragma once
+/// \file webgraph.hpp
+/// Synthetic stand-in for the 2012 Web Data Commons page-level hyperlink
+/// graph ("WC" in the paper).
+///
+/// The real WC graph (3.56 B vertices, 128.7 B edges) is not available here;
+/// this generator reproduces, at configurable scale, the structural features
+/// the paper's analytics exercise and Section VI measures:
+///
+///   * **Bow-tie macro structure** (Meusel et al., the paper's [19]/[20]):
+///     a giant strongly connected CORE, an IN set that reaches the core, an
+///     OUT set reached from it, TENDRILs, and small DISConnected islands.
+///     A deterministic ring through CORE guarantees it forms one SCC, and the
+///     segment linking rules guarantee the largest SCC is *exactly* CORE —
+///     giving tests a ground truth.
+///   * **Power-law in/out degrees** with a handful of global hub pages
+///     (creativecommons.org-style) that receive a constant fraction of all
+///     links — the source of the load imbalance the paper studies.
+///   * **Planted communities**: contiguous vertex blocks with power-law
+///     sizes (down to size 1 and 2, matching Figure 5's head) and a tunable
+///     intra-community link fraction, so Label Propagation has real
+///     structure to find (Table V, Figure 5).
+///   * **Locality in the natural vertex order** (communities are contiguous
+///     id blocks), which is what makes vertex/edge-block partitioning
+///     cache-friendlier than random partitioning in Figure 3.
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "gen/edge_list.hpp"
+
+namespace hpcgraph::gen {
+
+struct WebGraphParams {
+  gvid_t n = gvid_t{1} << 18;
+  double avg_degree = 16;
+  std::uint64_t seed = 1;
+
+  // Bow-tie segment fractions (tendril = remainder).
+  double frac_disc = 0.08;
+  double frac_in = 0.15;
+  double frac_core = 0.52;
+  double frac_out = 0.18;
+
+  // Edge routing.
+  double p_intra = 0.62;  ///< fraction of links staying in own community
+  double p_hub = 0.08;    ///< fraction of links going to global hubs
+  unsigned num_hubs = 16;
+
+  // Degree / community-size distributions.
+  double degree_alpha = 2.1;  ///< out-degree power-law exponent
+  double comm_alpha = 2.0;    ///< community-size power-law exponent
+  gvid_t comm_min = 1;
+  gvid_t comm_max = 0;        ///< 0 -> n/64
+};
+
+/// Half-open vertex-id range.
+struct VidRange {
+  gvid_t begin = 0, end = 0;
+  gvid_t size() const { return end - begin; }
+  bool contains(gvid_t v) const { return v >= begin && v < end; }
+};
+
+/// Generated graph plus the ground truth the tests validate against.
+struct WebGraph {
+  EdgeList graph;
+
+  // Bow-tie segments, in id order: disc < in < core < out < tendril.
+  VidRange disc, in, core, out, tendril;
+
+  /// comm_of[v] = planted community id (communities are contiguous blocks).
+  std::vector<std::uint32_t> comm_of;
+  std::uint32_t num_communities = 0;
+
+  /// Global hub vertices (all inside CORE).
+  std::vector<gvid_t> hubs;
+};
+
+/// Generate the synthetic web crawl.  Deterministic in all params.
+WebGraph webgraph(const WebGraphParams& params);
+
+/// Human-readable synthetic URL for a vertex (hubs get recognizable names,
+/// mirroring Table V's "representative vertex" column).
+std::string webgraph_vertex_name(const WebGraph& wg, gvid_t v);
+
+}  // namespace hpcgraph::gen

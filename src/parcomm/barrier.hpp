@@ -1,0 +1,65 @@
+#pragma once
+/// \file barrier.hpp
+/// Sense-reversing barrier used by every collective in the simulated
+/// message-passing runtime.
+///
+/// Blocking (condition-variable based) rather than spinning: ranks are
+/// threads and on an oversubscribed machine a spinning barrier would
+/// serialize horribly.  Supports abort propagation so one failing rank
+/// releases the others instead of deadlocking the world.
+
+#include <condition_variable>
+#include <mutex>
+#include <stdexcept>
+
+namespace hpcgraph::parcomm {
+
+/// Thrown out of a barrier when another rank aborted the world.
+class WorldAborted : public std::runtime_error {
+ public:
+  WorldAborted() : std::runtime_error("parcomm: world aborted by a rank") {}
+};
+
+/// Reusable N-party barrier with abort support.
+class Barrier {
+ public:
+  explicit Barrier(int parties) : parties_(parties) {}
+
+  /// Block until all parties arrive.  Throws WorldAborted if abort() was
+  /// called by any rank (after releasing all waiters).
+  void wait() {
+    std::unique_lock lk(mu_);
+    if (aborted_) throw WorldAborted();
+    if (++arrived_ == parties_) {
+      arrived_ = 0;
+      ++generation_;
+      cv_.notify_all();
+      return;
+    }
+    const unsigned long my_gen = generation_;
+    cv_.wait(lk, [&] { return generation_ != my_gen || aborted_; });
+    if (aborted_ && generation_ == my_gen) throw WorldAborted();
+  }
+
+  /// Release all current and future waiters with WorldAborted.
+  void abort() {
+    std::lock_guard lk(mu_);
+    aborted_ = true;
+    cv_.notify_all();
+  }
+
+  bool aborted() const {
+    std::lock_guard lk(mu_);
+    return aborted_;
+  }
+
+ private:
+  const int parties_;
+  mutable std::mutex mu_;
+  std::condition_variable cv_;
+  int arrived_ = 0;
+  unsigned long generation_ = 0;
+  bool aborted_ = false;
+};
+
+}  // namespace hpcgraph::parcomm

@@ -1,0 +1,52 @@
+#include "parcomm/comm.hpp"
+
+namespace hpcgraph::parcomm {
+
+CommWorld::CommWorld(int nranks) : nranks_(nranks) {
+  HG_CHECK_MSG(nranks >= 1, "CommWorld needs at least one rank");
+}
+
+void CommWorld::run(const std::function<void(Communicator&)>& fn) {
+  barrier_ = std::make_unique<Barrier>(nranks_);
+  board_.ptr.assign(nranks_, nullptr);
+  board_.cnt.assign(nranks_, nullptr);
+  board_.displ.assign(nranks_, nullptr);
+  board_.scalar.assign(nranks_, 0);
+  last_stats_.assign(nranks_, CommStats{});
+
+  std::vector<std::exception_ptr> errors(nranks_);
+  std::vector<std::thread> threads;
+  threads.reserve(nranks_);
+
+  const auto rank_main = [&](int r) {
+    Communicator comm(*this, r);
+    try {
+      fn(comm);
+    } catch (...) {
+      errors[r] = std::current_exception();
+      barrier_->abort();  // release peers stuck in collectives
+    }
+    last_stats_[r] = comm.stats();
+  };
+
+  for (int r = 1; r < nranks_; ++r) threads.emplace_back(rank_main, r);
+  rank_main(0);
+  for (auto& t : threads) t.join();
+
+  for (int r = 0; r < nranks_; ++r) {
+    if (!errors[r]) continue;
+    try {
+      std::rethrow_exception(errors[r]);
+    } catch (const WorldAborted&) {
+      continue;  // secondary casualty; keep looking for the root cause
+    } catch (...) {
+      throw;
+    }
+  }
+  // Only WorldAborted exceptions found (can happen if a rank aborted after
+  // recording its real error elsewhere): surface the first one.
+  for (int r = 0; r < nranks_; ++r)
+    if (errors[r]) std::rethrow_exception(errors[r]);
+}
+
+}  // namespace hpcgraph::parcomm

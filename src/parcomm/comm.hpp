@@ -1,0 +1,348 @@
+#pragma once
+/// \file comm.hpp
+/// The simulated message-passing runtime: CommWorld spawns N ranks (threads)
+/// and Communicator gives each rank the MPI collective subset the paper's
+/// algorithms use (Barrier, Alltoall(v), Allreduce, Allgather(v), Bcast,
+/// Gatherv, Reduce).
+///
+/// Substitution note (see DESIGN.md §1): the paper runs MPI across Blue
+/// Waters nodes.  Here each rank is an OS thread; ranks share no data except
+/// through these collectives, so algorithm code is structured exactly as an
+/// MPI program (task-local arrays, explicit send-queue construction, ghost
+/// exchange).  All collectives are bulk-synchronous board exchanges:
+///
+///     post local buffer pointer -> barrier -> copy peers' payload -> barrier
+///
+/// The second barrier guarantees a sender's buffer is not reused before all
+/// receivers have copied, mirroring MPI collective completion semantics.
+///
+/// Usage pattern:
+///
+///     CommWorld world(16);
+///     std::vector<double> result(world.size());
+///     world.run([&](Communicator& comm) {
+///       ... comm.alltoallv(...) ...
+///       result[comm.rank()] = local_answer;   // distinct slot per rank
+///     });
+///
+/// Every collective is *lockstep*: all ranks must call the same collectives
+/// in the same order (standard MPI discipline; violations deadlock real MPI
+/// and abort this runtime via the barrier).
+
+#include <cstdint>
+#include <cstring>
+#include <exception>
+#include <functional>
+#include <memory>
+#include <span>
+#include <thread>
+#include <vector>
+
+#include "parcomm/barrier.hpp"
+#include "parcomm/comm_stats.hpp"
+#include "parcomm/phase_timer.hpp"
+#include "util/error.hpp"
+#include "util/prefix_sum.hpp"
+#include "util/timer.hpp"
+
+namespace hpcgraph::parcomm {
+
+class Communicator;
+
+/// Owns the shared state for one group of ranks and runs SPMD regions.
+class CommWorld {
+ public:
+  /// \param nranks  Number of simulated MPI tasks (>= 1).
+  explicit CommWorld(int nranks);
+
+  int size() const { return nranks_; }
+
+  /// Execute fn(comm) on every rank concurrently; blocks until all ranks
+  /// return.  If any rank throws, the world is aborted (other ranks are
+  /// released from barriers) and the lowest-rank exception is rethrown.
+  void run(const std::function<void(Communicator&)>& fn);
+
+  /// Communication counters of each rank, captured at the end of the last
+  /// run().
+  const std::vector<CommStats>& last_stats() const { return last_stats_; }
+
+ private:
+  friend class Communicator;
+
+  // Exchange board: per-rank posted pointers, read between two barriers.
+  struct Board {
+    std::vector<const void*> ptr;
+    std::vector<const std::uint64_t*> cnt;
+    std::vector<const std::uint64_t*> displ;
+    std::vector<std::uint64_t> scalar;
+  };
+
+  const int nranks_;
+  std::unique_ptr<Barrier> barrier_;
+  Board board_;
+  std::vector<CommStats> last_stats_;
+};
+
+/// One rank's handle to the world: rank id + collectives + instrumentation.
+class Communicator {
+ public:
+  int rank() const { return rank_; }
+  int size() const { return world_.nranks_; }
+
+  /// Synchronize all ranks. Wait time is accounted as idle.
+  void barrier() {
+    ++stats_.barrier_calls;
+    timed_barrier();
+  }
+
+  /// Personalized all-to-all exchange (MPI_Alltoallv).
+  ///
+  /// \param send        Concatenated per-destination segments.
+  /// \param sendcounts  Items destined to each rank; segments are laid out
+  ///                    in rank order (displs are derived internally).
+  /// \param recvcounts  Optional out-param: items received from each rank.
+  /// \returns items received, concatenated in source-rank order.
+  template <typename T>
+  std::vector<T> alltoallv(std::span<const T> send,
+                           std::span<const std::uint64_t> sendcounts,
+                           std::vector<std::uint64_t>* recvcounts = nullptr) {
+    static_assert(std::is_trivially_copyable_v<T>);
+    HG_CHECK(static_cast<int>(sendcounts.size()) == size());
+    ++stats_.collective_calls;
+
+    std::vector<std::uint64_t> displs(size());
+    const std::uint64_t total =
+        exclusive_prefix_sum(sendcounts, std::span<std::uint64_t>(displs));
+    HG_CHECK_MSG(total == send.size(),
+                 "alltoallv: counts sum " << total << " != payload "
+                                          << send.size());
+
+    stats_.bytes_sent += total * sizeof(T);
+    stats_.bytes_remote +=
+        (total - sendcounts[rank_]) * sizeof(T);
+
+    CommWorld::Board& b = world_.board_;
+    b.ptr[rank_] = send.data();
+    b.cnt[rank_] = sendcounts.data();
+    b.displ[rank_] = displs.data();
+    timed_barrier();
+
+    // Gather per-source counts, then copy payload segments in rank order.
+    std::vector<std::uint64_t> rcounts(size());
+    std::uint64_t rtotal = 0;
+    for (int s = 0; s < size(); ++s) rtotal += (rcounts[s] = b.cnt[s][rank_]);
+
+    std::vector<T> recv(rtotal);
+    {
+      Timer t;
+      std::uint64_t off = 0;
+      for (int s = 0; s < size(); ++s) {
+        if (rcounts[s] == 0) continue;
+        const auto* src = static_cast<const T*>(b.ptr[s]);
+        std::memcpy(recv.data() + off, src + b.displ[s][rank_],
+                    rcounts[s] * sizeof(T));
+        off += rcounts[s];
+      }
+      phase_.add_comm(t.elapsed());
+    }
+    stats_.bytes_received += rtotal * sizeof(T);
+    timed_barrier();  // senders may now reuse their buffers
+
+    if (recvcounts) *recvcounts = std::move(rcounts);
+    return recv;
+  }
+
+  /// Fixed-size all-to-all: rank r's send[d] lands in rank d's result[r].
+  template <typename T>
+  std::vector<T> alltoall(std::span<const T> send) {
+    HG_CHECK(static_cast<int>(send.size()) == size());
+    std::vector<std::uint64_t> counts(size(), 1);
+    return alltoallv<T>(send, counts);
+  }
+
+  /// All-reduce with a caller-supplied combiner, applied in rank order
+  /// (deterministic floating-point results).
+  template <typename T, typename F>
+  T allreduce(const T& value, F&& combine) {
+    static_assert(std::is_trivially_copyable_v<T>);
+    ++stats_.collective_calls;
+    stats_.bytes_sent += sizeof(T);
+    stats_.bytes_remote += static_cast<std::uint64_t>(size() - 1) * sizeof(T);
+
+    CommWorld::Board& b = world_.board_;
+    b.ptr[rank_] = &value;
+    timed_barrier();
+    T acc = *static_cast<const T*>(b.ptr[0]);
+    for (int s = 1; s < size(); ++s)
+      acc = combine(acc, *static_cast<const T*>(b.ptr[s]));
+    timed_barrier();
+    return acc;
+  }
+
+  template <typename T>
+  T allreduce_sum(const T& v) {
+    return allreduce(v, [](T a, T b) { return a + b; });
+  }
+  template <typename T>
+  T allreduce_max(const T& v) {
+    return allreduce(v, [](T a, T b) { return a > b ? a : b; });
+  }
+  template <typename T>
+  T allreduce_min(const T& v) {
+    return allreduce(v, [](T a, T b) { return a < b ? a : b; });
+  }
+  bool allreduce_lor(bool v) {
+    return allreduce(static_cast<int>(v), [](int a, int b) { return a | b; }) !=
+           0;
+  }
+
+  /// Gather one item from every rank, at every rank.
+  template <typename T>
+  std::vector<T> allgather(const T& value) {
+    static_assert(std::is_trivially_copyable_v<T>);
+    ++stats_.collective_calls;
+    stats_.bytes_sent += sizeof(T);
+
+    CommWorld::Board& b = world_.board_;
+    b.ptr[rank_] = &value;
+    timed_barrier();
+    std::vector<T> out(size());
+    for (int s = 0; s < size(); ++s)
+      out[s] = *static_cast<const T*>(b.ptr[s]);
+    timed_barrier();
+    return out;
+  }
+
+  /// Gather variable-length vectors from every rank, at every rank;
+  /// concatenated in rank order.  Optional out-param: per-source counts.
+  template <typename T>
+  std::vector<T> allgatherv(std::span<const T> local,
+                            std::vector<std::uint64_t>* counts = nullptr) {
+    static_assert(std::is_trivially_copyable_v<T>);
+    ++stats_.collective_calls;
+    stats_.bytes_sent += local.size() * sizeof(T);
+    stats_.bytes_remote += local.size() * sizeof(T);
+
+    CommWorld::Board& b = world_.board_;
+    b.ptr[rank_] = local.data();
+    b.scalar[rank_] = local.size();
+    timed_barrier();
+    std::vector<std::uint64_t> cnts(size());
+    std::uint64_t total = 0;
+    for (int s = 0; s < size(); ++s) total += (cnts[s] = b.scalar[s]);
+    std::vector<T> out(total);
+    {
+      Timer t;
+      std::uint64_t off = 0;
+      for (int s = 0; s < size(); ++s) {
+        if (cnts[s] == 0) continue;
+        std::memcpy(out.data() + off, b.ptr[s], cnts[s] * sizeof(T));
+        off += cnts[s];
+      }
+      phase_.add_comm(t.elapsed());
+    }
+    stats_.bytes_received += total * sizeof(T);
+    timed_barrier();
+    if (counts) *counts = std::move(cnts);
+    return out;
+  }
+
+  /// Broadcast `value` from `root` to all ranks.
+  template <typename T>
+  T broadcast(const T& value, int root) {
+    static_assert(std::is_trivially_copyable_v<T>);
+    ++stats_.collective_calls;
+    CommWorld::Board& b = world_.board_;
+    if (rank_ == root) {
+      b.ptr[root] = &value;
+      stats_.bytes_sent += sizeof(T) * (size() - 1);
+      stats_.bytes_remote += sizeof(T) * (size() - 1);
+    }
+    timed_barrier();
+    T out = *static_cast<const T*>(b.ptr[root]);
+    timed_barrier();
+    return out;
+  }
+
+  /// Broadcast a vector from `root`; all ranks return the root's vector.
+  template <typename T>
+  std::vector<T> broadcast_vec(std::span<const T> local, int root) {
+    static_assert(std::is_trivially_copyable_v<T>);
+    ++stats_.collective_calls;
+    CommWorld::Board& b = world_.board_;
+    if (rank_ == root) {
+      b.ptr[root] = local.data();
+      b.scalar[root] = local.size();
+      stats_.bytes_sent += local.size() * sizeof(T) * (size() - 1);
+      stats_.bytes_remote += local.size() * sizeof(T) * (size() - 1);
+    }
+    timed_barrier();
+    std::vector<T> out(b.scalar[root]);
+    {
+      Timer t;
+      if (!out.empty())
+        std::memcpy(out.data(), b.ptr[root], out.size() * sizeof(T));
+      phase_.add_comm(t.elapsed());
+    }
+    timed_barrier();
+    return out;
+  }
+
+  /// Gather variable-length vectors at `root` (others receive empty).
+  template <typename T>
+  std::vector<T> gatherv(std::span<const T> local, int root,
+                         std::vector<std::uint64_t>* counts = nullptr) {
+    static_assert(std::is_trivially_copyable_v<T>);
+    ++stats_.collective_calls;
+    stats_.bytes_sent += local.size() * sizeof(T);
+    if (rank_ != root) stats_.bytes_remote += local.size() * sizeof(T);
+
+    CommWorld::Board& b = world_.board_;
+    b.ptr[rank_] = local.data();
+    b.scalar[rank_] = local.size();
+    timed_barrier();
+    std::vector<T> out;
+    if (rank_ == root) {
+      std::vector<std::uint64_t> cnts(size());
+      std::uint64_t total = 0;
+      for (int s = 0; s < size(); ++s) total += (cnts[s] = b.scalar[s]);
+      out.resize(total);
+      Timer t;
+      std::uint64_t off = 0;
+      for (int s = 0; s < size(); ++s) {
+        if (cnts[s] == 0) continue;
+        std::memcpy(out.data() + off, b.ptr[s], cnts[s] * sizeof(T));
+        off += cnts[s];
+      }
+      phase_.add_comm(t.elapsed());
+      stats_.bytes_received += total * sizeof(T);
+      if (counts) *counts = std::move(cnts);
+    }
+    timed_barrier();
+    return out;
+  }
+
+  /// Communication counters for this rank (reset with stats().reset()).
+  CommStats& stats() { return stats_; }
+  const CommStats& stats() const { return stats_; }
+
+  /// Per-rank comp/comm/idle instrumentation (Figure 3).
+  PhaseTimer& phase_timer() { return phase_; }
+
+ private:
+  friend class CommWorld;
+  Communicator(CommWorld& world, int rank) : world_(world), rank_(rank) {}
+
+  void timed_barrier() {
+    Timer t;
+    world_.barrier_->wait();
+    phase_.add_idle(t.elapsed());
+  }
+
+  CommWorld& world_;
+  const int rank_;
+  CommStats stats_;
+  PhaseTimer phase_;
+};
+
+}  // namespace hpcgraph::parcomm

@@ -1,0 +1,33 @@
+#pragma once
+/// \file comm_stats.hpp
+/// Per-rank communication counters.
+///
+/// Wall-clock times on a 1-core simulation machine are only part of the
+/// story; bytes and message counts are machine-independent, so the scaling
+/// benches report both.  `bytes_remote` excludes the rank's self-segment in
+/// collectives — that is the quantity a real network would carry.
+
+#include <cstdint>
+
+namespace hpcgraph::parcomm {
+
+struct CommStats {
+  std::uint64_t bytes_sent = 0;         ///< all payload bytes posted
+  std::uint64_t bytes_remote = 0;       ///< payload bytes to *other* ranks
+  std::uint64_t bytes_received = 0;     ///< all payload bytes copied in
+  std::uint64_t collective_calls = 0;   ///< alltoallv/allreduce/... count
+  std::uint64_t barrier_calls = 0;      ///< explicit + internal barriers
+
+  void reset() { *this = CommStats{}; }
+
+  CommStats& operator+=(const CommStats& o) {
+    bytes_sent += o.bytes_sent;
+    bytes_remote += o.bytes_remote;
+    bytes_received += o.bytes_received;
+    collective_calls += o.collective_calls;
+    barrier_calls += o.barrier_calls;
+    return *this;
+  }
+};
+
+}  // namespace hpcgraph::parcomm

@@ -1,0 +1,60 @@
+#pragma once
+/// \file phase_timer.hpp
+/// Per-rank computation / communication / idle time accounting — the
+/// instrument behind Figure 3 of the paper.
+///
+/// The communicator attributes time inside collectives as follows:
+///   * waiting at a barrier for other ranks  -> idle
+///   * copying payload between rank buffers  -> comm
+/// Everything else between reset() and snapshot() is computation.  This
+/// matches the paper's decomposition: "the time that each task spends in
+/// computation, the time that a task is idle waiting for updates from other
+/// tasks, and the total time spent in communication."
+
+#include "util/timer.hpp"
+
+namespace hpcgraph::parcomm {
+
+/// One rank's measured breakdown over a region.
+struct PhaseBreakdown {
+  double comp = 0;   ///< seconds in local computation
+  double comm = 0;   ///< seconds moving payload
+  double idle = 0;   ///< seconds waiting for other ranks
+  double total = 0;  ///< wall seconds of the region
+
+  double comp_ratio() const { return total > 0 ? comp / total : 0; }
+  double comm_ratio() const { return total > 0 ? comm / total : 0; }
+  double idle_ratio() const { return total > 0 ? idle / total : 0; }
+};
+
+/// Accumulates comm/idle inside the communicator; comp is derived.
+class PhaseTimer {
+ public:
+  /// Start (or restart) a measured region.
+  void reset() {
+    comm_.reset();
+    idle_.reset();
+    region_ = Timer{};
+  }
+
+  void add_comm(double s) { comm_.add(s); }
+  void add_idle(double s) { idle_.add(s); }
+
+  /// Breakdown of the region so far.
+  PhaseBreakdown snapshot() const {
+    PhaseBreakdown b;
+    b.total = region_.elapsed();
+    b.comm = comm_.total();
+    b.idle = idle_.total();
+    b.comp = b.total - b.comm - b.idle;
+    if (b.comp < 0) b.comp = 0;  // clock noise at microsecond scale
+    return b;
+  }
+
+ private:
+  AccumTimer comm_;
+  AccumTimer idle_;
+  Timer region_;
+};
+
+}  // namespace hpcgraph::parcomm

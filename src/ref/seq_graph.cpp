@@ -1,0 +1,30 @@
+#include "ref/seq_graph.hpp"
+
+#include "util/prefix_sum.hpp"
+
+namespace hpcgraph::ref {
+
+SeqGraph SeqGraph::from(const gen::EdgeList& el) {
+  SeqGraph g;
+  g.n_ = el.n;
+
+  std::vector<std::uint64_t> odeg(el.n, 0), ideg(el.n, 0);
+  for (const gen::Edge& e : el.edges) {
+    ++odeg[e.src];
+    ++ideg[e.dst];
+  }
+  g.out_index_ = csr_offsets(std::span<const std::uint64_t>(odeg));
+  g.in_index_ = csr_offsets(std::span<const std::uint64_t>(ideg));
+  g.out_edges_.resize(el.edges.size());
+  g.in_edges_.resize(el.edges.size());
+
+  std::vector<std::uint64_t> ocur(g.out_index_.begin(), g.out_index_.end() - 1);
+  std::vector<std::uint64_t> icur(g.in_index_.begin(), g.in_index_.end() - 1);
+  for (const gen::Edge& e : el.edges) {
+    g.out_edges_[ocur[e.src]++] = e.dst;
+    g.in_edges_[icur[e.dst]++] = e.src;
+  }
+  return g;
+}
+
+}  // namespace hpcgraph::ref

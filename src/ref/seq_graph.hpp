@@ -1,0 +1,45 @@
+#pragma once
+/// \file seq_graph.hpp
+/// Compact single-process CSR graph used by the sequential reference
+/// implementations (golden results for the test suite) and the
+/// framework-baseline engines.
+
+#include <cstdint>
+#include <span>
+#include <vector>
+
+#include "gen/edge_list.hpp"
+#include "util/types.hpp"
+
+namespace hpcgraph::ref {
+
+/// Immutable out+in CSR built from an edge list (edge order preserved).
+class SeqGraph {
+ public:
+  static SeqGraph from(const gen::EdgeList& el);
+
+  gvid_t n() const { return n_; }
+  std::uint64_t m() const { return out_edges_.size(); }
+
+  std::span<const gvid_t> out_neighbors(gvid_t v) const {
+    return {out_edges_.data() + out_index_[v],
+            out_index_[v + 1] - out_index_[v]};
+  }
+  std::span<const gvid_t> in_neighbors(gvid_t v) const {
+    return {in_edges_.data() + in_index_[v], in_index_[v + 1] - in_index_[v]};
+  }
+
+  std::uint64_t out_degree(gvid_t v) const {
+    return out_index_[v + 1] - out_index_[v];
+  }
+  std::uint64_t in_degree(gvid_t v) const {
+    return in_index_[v + 1] - in_index_[v];
+  }
+
+ private:
+  gvid_t n_ = 0;
+  std::vector<std::uint64_t> out_index_, in_index_;
+  std::vector<gvid_t> out_edges_, in_edges_;
+};
+
+}  // namespace hpcgraph::ref

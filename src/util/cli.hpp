@@ -1,0 +1,38 @@
+#pragma once
+/// \file cli.hpp
+/// Minimal command-line flag parsing for the bench harnesses and examples.
+/// Flags use the form --name=value or --name value; unknown flags are
+/// reported.  No external dependency, per the paper's "no other external
+/// library dependencies" stance.
+
+#include <cstdint>
+#include <map>
+#include <string>
+#include <vector>
+
+namespace hpcgraph {
+
+/// Parsed command line: flag map plus positional arguments.
+class Cli {
+ public:
+  Cli(int argc, char** argv);
+
+  bool has(const std::string& name) const;
+
+  std::string get(const std::string& name, const std::string& dflt) const;
+  std::int64_t get_int(const std::string& name, std::int64_t dflt) const;
+  double get_double(const std::string& name, double dflt) const;
+  bool get_bool(const std::string& name, bool dflt) const;
+
+  const std::vector<std::string>& positional() const { return positional_; }
+
+  /// Flags present on the command line but never queried via get*/has.
+  std::vector<std::string> unknown_flags() const;
+
+ private:
+  std::map<std::string, std::string> flags_;
+  mutable std::map<std::string, bool> queried_;
+  std::vector<std::string> positional_;
+};
+
+}  // namespace hpcgraph

@@ -1,0 +1,54 @@
+#pragma once
+/// \file error.hpp
+/// Fail-fast invariant checking.
+///
+/// Distributed graph code is dominated by index arithmetic; a silent
+/// out-of-range access corrupts a neighbouring rank's result long before it
+/// crashes.  HG_CHECK stays on in release builds (the cost is negligible next
+/// to memory traffic), HG_DCHECK compiles out when NDEBUG is set.
+
+#include <sstream>
+#include <stdexcept>
+#include <string>
+
+namespace hpcgraph {
+
+/// Thrown by HG_CHECK failures; carries file:line and the failed expression.
+class CheckError : public std::runtime_error {
+ public:
+  explicit CheckError(const std::string& what) : std::runtime_error(what) {}
+};
+
+namespace detail {
+[[noreturn]] inline void check_failed(const char* expr, const char* file,
+                                      int line, const std::string& msg) {
+  std::ostringstream os;
+  os << file << ':' << line << ": check failed: " << expr;
+  if (!msg.empty()) os << " — " << msg;
+  throw CheckError(os.str());
+}
+}  // namespace detail
+
+}  // namespace hpcgraph
+
+#define HG_CHECK(expr)                                                     \
+  do {                                                                     \
+    if (!(expr))                                                           \
+      ::hpcgraph::detail::check_failed(#expr, __FILE__, __LINE__, {});     \
+  } while (0)
+
+#define HG_CHECK_MSG(expr, msg)                                            \
+  do {                                                                     \
+    if (!(expr)) {                                                         \
+      std::ostringstream hg_os_;                                           \
+      hg_os_ << msg;                                                       \
+      ::hpcgraph::detail::check_failed(#expr, __FILE__, __LINE__,          \
+                                       hg_os_.str());                      \
+    }                                                                      \
+  } while (0)
+
+#ifdef NDEBUG
+#define HG_DCHECK(expr) ((void)0)
+#else
+#define HG_DCHECK(expr) HG_CHECK(expr)
+#endif

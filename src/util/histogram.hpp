@@ -1,0 +1,82 @@
+#pragma once
+/// \file histogram.hpp
+/// Log-scale histograms and CDFs for the structural plots:
+/// Figure 5 (community-size frequency, log-log) and Figure 6
+/// (cumulative coreness distribution).
+
+#include <cstdint>
+#include <vector>
+
+namespace hpcgraph {
+
+/// Histogram over power-of-two buckets: bucket i counts values in
+/// [2^i, 2^(i+1)), with value 0 counted in bucket 0 alongside value 1.
+class Log2Histogram {
+ public:
+  void add(std::uint64_t value, std::uint64_t weight = 1) {
+    const unsigned b = bucket_of(value);
+    if (buckets_.size() <= b) buckets_.resize(b + 1, 0);
+    buckets_[b] += weight;
+    total_ += weight;
+  }
+
+  static unsigned bucket_of(std::uint64_t value) {
+    if (value <= 1) return 0;
+    return 63u - static_cast<unsigned>(__builtin_clzll(value));
+  }
+
+  /// Lower edge of bucket b.
+  static std::uint64_t bucket_lo(unsigned b) { return 1ULL << b; }
+
+  std::size_t num_buckets() const { return buckets_.size(); }
+  std::uint64_t count(unsigned b) const {
+    return b < buckets_.size() ? buckets_[b] : 0;
+  }
+  std::uint64_t total() const { return total_; }
+
+  /// Cumulative fraction of mass in buckets [0, b].
+  double cdf(unsigned b) const {
+    if (total_ == 0) return 0.0;
+    std::uint64_t run = 0;
+    for (unsigned i = 0; i <= b && i < buckets_.size(); ++i) run += buckets_[i];
+    return static_cast<double>(run) / static_cast<double>(total_);
+  }
+
+ private:
+  std::vector<std::uint64_t> buckets_;
+  std::uint64_t total_ = 0;
+};
+
+/// Exact frequency counter over small integer keys (e.g. coreness exponents).
+class ExactHistogram {
+ public:
+  explicit ExactHistogram(std::size_t max_key) : buckets_(max_key + 1, 0) {}
+
+  void add(std::size_t key, std::uint64_t weight = 1) {
+    if (key >= buckets_.size()) buckets_.resize(key + 1, 0);
+    buckets_[key] += weight;
+    total_ += weight;
+  }
+
+  std::uint64_t count(std::size_t key) const {
+    return key < buckets_.size() ? buckets_[key] : 0;
+  }
+
+  std::size_t num_keys() const { return buckets_.size(); }
+  std::uint64_t total() const { return total_; }
+
+  /// Cumulative fraction of mass at keys <= key.
+  double cdf(std::size_t key) const {
+    if (total_ == 0) return 0.0;
+    std::uint64_t run = 0;
+    for (std::size_t i = 0; i <= key && i < buckets_.size(); ++i)
+      run += buckets_[i];
+    return static_cast<double>(run) / static_cast<double>(total_);
+  }
+
+ private:
+  std::vector<std::uint64_t> buckets_;
+  std::uint64_t total_ = 0;
+};
+
+}  // namespace hpcgraph

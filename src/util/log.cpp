@@ -1,0 +1,24 @@
+#include "util/log.hpp"
+
+namespace hpcgraph {
+
+LogLevel& log_level() {
+  static LogLevel level = LogLevel::kInfo;
+  return level;
+}
+
+void log_emit(LogLevel level, const std::string& line) {
+  if (level < log_level()) return;
+  static std::mutex mu;
+  std::lock_guard lk(mu);
+  const char* tag = "";
+  switch (level) {
+    case LogLevel::kDebug: tag = "[debug] "; break;
+    case LogLevel::kInfo: tag = "[info]  "; break;
+    case LogLevel::kWarn: tag = "[warn]  "; break;
+    case LogLevel::kError: tag = "[error] "; break;
+  }
+  std::cerr << tag << line << '\n';
+}
+
+}  // namespace hpcgraph

@@ -1,0 +1,45 @@
+#pragma once
+/// \file log.hpp
+/// Tiny leveled logger.  Rank-0-only logging is handled at call sites (the
+/// communicator exposes rank()); this logger just serializes concurrent
+/// writers so interleaved rank output stays line-atomic.
+
+#include <iostream>
+#include <mutex>
+#include <sstream>
+#include <string>
+
+namespace hpcgraph {
+
+enum class LogLevel { kDebug = 0, kInfo = 1, kWarn = 2, kError = 3 };
+
+/// Global minimum level (default Info). Not synchronized; set before
+/// spawning ranks.
+LogLevel& log_level();
+
+/// Internal: emit one line under the global log mutex.
+void log_emit(LogLevel level, const std::string& line);
+
+namespace detail {
+class LogLine {
+ public:
+  explicit LogLine(LogLevel level) : level_(level) {}
+  ~LogLine() { log_emit(level_, os_.str()); }
+  template <typename T>
+  LogLine& operator<<(const T& v) {
+    os_ << v;
+    return *this;
+  }
+
+ private:
+  LogLevel level_;
+  std::ostringstream os_;
+};
+}  // namespace detail
+
+}  // namespace hpcgraph
+
+#define HG_LOG(level) ::hpcgraph::detail::LogLine(level)
+#define HG_INFO() HG_LOG(::hpcgraph::LogLevel::kInfo)
+#define HG_WARN() HG_LOG(::hpcgraph::LogLevel::kWarn)
+#define HG_DEBUG() HG_LOG(::hpcgraph::LogLevel::kDebug)

@@ -1,0 +1,139 @@
+#pragma once
+/// \file parallel_for.hpp
+/// Intra-rank (shared-memory) worker pool.
+///
+/// Substitutes for the paper's OpenMP threading: each MPI-style rank can run
+/// its vertex loops over several threads.  The pool is persistent (threads
+/// are created once per rank, not per loop) because the paper's analytics
+/// enter a parallel region every iteration and thread spawn cost would
+/// dominate at small scale.
+///
+/// With one thread the pool degenerates to inline execution with zero
+/// synchronization, which is the configuration used by default on this
+/// single-core reproduction machine; multi-thread paths are exercised by the
+/// test suite.
+
+#include <algorithm>
+#include <atomic>
+#include <condition_variable>
+#include <cstdint>
+#include <functional>
+#include <mutex>
+#include <thread>
+#include <vector>
+
+#include "util/error.hpp"
+
+namespace hpcgraph {
+
+/// Persistent worker pool executing SPMD regions.
+class ThreadPool {
+ public:
+  /// \param nthreads  Total threads participating in each region (>= 1).
+  ///                  The calling thread participates as thread id 0, so only
+  ///                  nthreads-1 OS threads are spawned.
+  explicit ThreadPool(unsigned nthreads = 1) : nthreads_(nthreads) {
+    HG_CHECK(nthreads >= 1);
+    workers_.reserve(nthreads_ - 1);
+    for (unsigned t = 1; t < nthreads_; ++t)
+      workers_.emplace_back([this, t] { worker_loop(t); });
+  }
+
+  ~ThreadPool() {
+    {
+      std::lock_guard lk(mu_);
+      stop_ = true;
+      ++generation_;
+    }
+    cv_.notify_all();
+    for (auto& w : workers_) w.join();
+  }
+
+  ThreadPool(const ThreadPool&) = delete;
+  ThreadPool& operator=(const ThreadPool&) = delete;
+
+  unsigned num_threads() const { return nthreads_; }
+
+  /// Run fn(thread_id) on all nthreads threads; returns when all are done.
+  void run(const std::function<void(unsigned)>& fn) {
+    if (nthreads_ == 1) {
+      fn(0);
+      return;
+    }
+    {
+      std::lock_guard lk(mu_);
+      job_ = &fn;
+      pending_.store(static_cast<int>(nthreads_) - 1,
+                     std::memory_order_relaxed);
+      ++generation_;
+    }
+    cv_.notify_all();
+    fn(0);
+    // Wait for workers to finish this generation.
+    std::unique_lock lk(mu_);
+    done_cv_.wait(lk, [this] {
+      return pending_.load(std::memory_order_acquire) == 0;
+    });
+    job_ = nullptr;
+  }
+
+  /// Statically-chunked parallel loop over [begin, end).
+  /// fn(thread_id, i) is invoked for each index.
+  template <typename F>
+  void for_each(std::uint64_t begin, std::uint64_t end, F&& fn) {
+    for_range(begin, end,
+              [&fn](unsigned tid, std::uint64_t lo, std::uint64_t hi) {
+                for (std::uint64_t i = lo; i < hi; ++i) fn(tid, i);
+              });
+  }
+
+  /// Statically-chunked parallel loop; fn(thread_id, lo, hi) gets one
+  /// contiguous sub-range per thread.
+  template <typename F>
+  void for_range(std::uint64_t begin, std::uint64_t end, F&& fn) {
+    const std::uint64_t n = end - begin;
+    if (nthreads_ == 1 || n == 0) {
+      fn(0u, begin, end);
+      return;
+    }
+    run([&](unsigned tid) {
+      const std::uint64_t chunk = (n + nthreads_ - 1) / nthreads_;
+      const std::uint64_t lo = begin + std::min<std::uint64_t>(n, tid * chunk);
+      const std::uint64_t hi =
+          begin + std::min<std::uint64_t>(n, (tid + 1) * chunk);
+      fn(tid, lo, hi);
+    });
+  }
+
+ private:
+  void worker_loop(unsigned tid) {
+    std::uint64_t seen = 0;
+    for (;;) {
+      const std::function<void(unsigned)>* job = nullptr;
+      {
+        std::unique_lock lk(mu_);
+        cv_.wait(lk, [&] { return generation_ != seen; });
+        seen = generation_;
+        if (stop_) return;
+        job = job_;
+      }
+      if (job) (*job)(tid);
+      if (pending_.fetch_sub(1, std::memory_order_acq_rel) == 1) {
+        std::lock_guard lk(mu_);
+        done_cv_.notify_all();
+      }
+    }
+  }
+
+  const unsigned nthreads_;
+  std::vector<std::thread> workers_;
+  std::mutex mu_;
+  std::condition_variable cv_;
+  std::condition_variable done_cv_;
+  const std::function<void(unsigned)>* job_ = nullptr;
+  std::uint64_t generation_ = 0;
+  std::atomic<int> pending_{0};
+  bool stop_ = false;
+};
+
+}  // namespace hpcgraph

@@ -1,0 +1,44 @@
+#pragma once
+/// \file prefix_sum.hpp
+/// Prefix sums over send-count arrays (Algorithm 1, line 12: the SendOffs
+/// computation) and CSR index construction.
+
+#include <cstddef>
+#include <span>
+#include <vector>
+
+namespace hpcgraph {
+
+/// Exclusive prefix sum: out[i] = sum(in[0..i)).  Returns the grand total.
+template <typename T>
+T exclusive_prefix_sum(std::span<const T> in, std::span<T> out) {
+  T run{};
+  for (std::size_t i = 0; i < in.size(); ++i) {
+    const T v = in[i];
+    out[i] = run;
+    run += v;
+  }
+  return run;
+}
+
+/// In-place exclusive prefix sum; returns the grand total.
+template <typename T>
+T exclusive_prefix_sum(std::vector<T>& v) {
+  return exclusive_prefix_sum(std::span<const T>(v), std::span<T>(v));
+}
+
+/// Convenience: exclusive prefix sums into a fresh vector with one extra
+/// trailing element holding the total (CSR row-index layout).
+template <typename T>
+std::vector<T> csr_offsets(std::span<const T> counts) {
+  std::vector<T> offs(counts.size() + 1);
+  T run{};
+  for (std::size_t i = 0; i < counts.size(); ++i) {
+    offs[i] = run;
+    run += counts[i];
+  }
+  offs[counts.size()] = run;
+  return offs;
+}
+
+}  // namespace hpcgraph

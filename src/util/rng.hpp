@@ -1,0 +1,76 @@
+#pragma once
+/// \file rng.hpp
+/// Deterministic, splittable random number generation.
+///
+/// Every generator and analytic in hpcgraph is seeded, so any distributed run
+/// is bit-reproducible regardless of rank count.  SplitMix64 provides cheap
+/// stateless hashing/seeding; Xoshiro256** is the workhorse stream generator
+/// (fast, passes BigCrush, trivially splittable via SplitMix64-derived seeds).
+
+#include <array>
+#include <cstdint>
+
+namespace hpcgraph {
+
+/// One step of the SplitMix64 sequence starting at `x`.
+/// Also serves as a high-quality 64-bit integer hash (used for random
+/// vertex->task assignment, deterministic tie-breaking, etc.).
+inline std::uint64_t splitmix64(std::uint64_t x) {
+  x += 0x9e3779b97f4a7c15ULL;
+  x = (x ^ (x >> 30)) * 0xbf58476d1ce4e5b9ULL;
+  x = (x ^ (x >> 27)) * 0x94d049bb133111ebULL;
+  return x ^ (x >> 31);
+}
+
+/// Xoshiro256** PRNG.
+class Rng {
+ public:
+  using result_type = std::uint64_t;
+
+  /// Seeds the four state words from SplitMix64(seed).
+  explicit Rng(std::uint64_t seed = 0x853c49e6748fea9bULL) {
+    std::uint64_t x = seed;
+    for (auto& w : s_) w = (x = splitmix64(x));
+  }
+
+  static constexpr result_type min() { return 0; }
+  static constexpr result_type max() { return ~0ULL; }
+
+  result_type operator()() {
+    const std::uint64_t result = rotl(s_[1] * 5, 7) * 9;
+    const std::uint64_t t = s_[1] << 17;
+    s_[2] ^= s_[0];
+    s_[3] ^= s_[1];
+    s_[1] ^= s_[2];
+    s_[0] ^= s_[3];
+    s_[2] ^= t;
+    s_[3] = rotl(s_[3], 45);
+    return result;
+  }
+
+  /// Uniform integer in [0, bound) via Lemire's multiply-shift reduction.
+  std::uint64_t below(std::uint64_t bound) {
+    // 128-bit multiply keeps the bias at most 2^-64 — ignorable here.
+    return static_cast<std::uint64_t>(
+        (static_cast<unsigned __int128>((*this)()) * bound) >> 64);
+  }
+
+  /// Uniform double in [0, 1).
+  double uniform() {
+    return static_cast<double>((*this)() >> 11) * 0x1.0p-53;
+  }
+
+  /// A statistically independent child stream (for per-rank/per-thread use).
+  Rng split(std::uint64_t stream_id) {
+    return Rng(splitmix64(s_[0] ^ splitmix64(stream_id + 0x9e3779b9ULL)));
+  }
+
+ private:
+  static std::uint64_t rotl(std::uint64_t x, int k) {
+    return (x << k) | (x >> (64 - k));
+  }
+
+  std::array<std::uint64_t, 4> s_{};
+};
+
+}  // namespace hpcgraph

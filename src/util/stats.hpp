@@ -1,0 +1,58 @@
+#pragma once
+/// \file stats.hpp
+/// Small statistics helpers for bench reporting: min/avg/max summaries
+/// (Figure 3 reports per-task min/avg/max ratios) and geometric means
+/// (the paper's framework-comparison speedups are geometric means).
+
+#include <cmath>
+#include <cstddef>
+#include <limits>
+#include <span>
+#include <vector>
+
+namespace hpcgraph {
+
+/// Running min / max / mean / count accumulator.
+class MinMaxMean {
+ public:
+  void add(double x) {
+    if (x < min_) min_ = x;
+    if (x > max_) max_ = x;
+    sum_ += x;
+    ++n_;
+  }
+
+  double min() const { return n_ ? min_ : 0.0; }
+  double max() const { return n_ ? max_ : 0.0; }
+  double mean() const { return n_ ? sum_ / static_cast<double>(n_) : 0.0; }
+  std::size_t count() const { return n_; }
+
+ private:
+  double min_ = std::numeric_limits<double>::infinity();
+  double max_ = -std::numeric_limits<double>::infinity();
+  double sum_ = 0.0;
+  std::size_t n_ = 0;
+};
+
+/// Summary of a sample set.
+struct Summary {
+  double min = 0, mean = 0, max = 0;
+  /// max/mean, the load-imbalance factor used throughout the scaling study.
+  double imbalance() const { return mean > 0 ? max / mean : 0.0; }
+};
+
+inline Summary summarize(std::span<const double> xs) {
+  MinMaxMean m;
+  for (double x : xs) m.add(x);
+  return {m.min(), m.mean(), m.max()};
+}
+
+/// Geometric mean of a positive sample set (0 if empty).
+inline double geometric_mean(std::span<const double> xs) {
+  if (xs.empty()) return 0.0;
+  double log_sum = 0.0;
+  for (double x : xs) log_sum += std::log(x);
+  return std::exp(log_sum / static_cast<double>(xs.size()));
+}
+
+}  // namespace hpcgraph

@@ -1,0 +1,34 @@
+#pragma once
+/// \file table.hpp
+/// Fixed-width text table printer: the bench harnesses print the paper's
+/// tables/figures as aligned rows, one binary per table.
+
+#include <iosfwd>
+#include <string>
+#include <vector>
+
+namespace hpcgraph {
+
+/// Column-aligned table accumulated row-by-row, printed in one shot.
+class TablePrinter {
+ public:
+  explicit TablePrinter(std::vector<std::string> header);
+
+  /// Add a row (cells are pre-formatted strings).
+  void add_row(std::vector<std::string> cells);
+
+  /// Render with column alignment and a header separator to `os`.
+  void print(std::ostream& os) const;
+
+  /// Helpers for formatting numeric cells.
+  static std::string fmt(double v, int precision = 2);
+  static std::string fmt_int(long long v);
+  /// Engineer-style count: 1234567 -> "1.23 M".
+  static std::string fmt_si(double v, int precision = 2);
+
+ private:
+  std::vector<std::string> header_;
+  std::vector<std::vector<std::string>> rows_;
+};
+
+}  // namespace hpcgraph

@@ -1,0 +1,152 @@
+#pragma once
+/// \file thread_queue.hpp
+/// Two-level send-queue machinery — the paper's Algorithm 3.
+///
+/// Threads never push single items into the shared per-task send queues;
+/// instead each thread buffers up to QSIZE items locally, and on overflow (or
+/// at the end of its loop range) reserves one contiguous region per
+/// destination task with a single atomic capture, then scatters its buffered
+/// items.  This "improves cache performance and greatly decreases
+/// synchronization costs" (§III-D3); bench/micro_primitives quantifies the
+/// claim against the naive one-atomic-per-item scheme.
+///
+/// MultiQueue<T> owns the shared buffer partitioned by destination task;
+/// MultiQueue<T>::Sink is the per-thread handle.
+
+#include <algorithm>
+#include <atomic>
+#include <cstddef>
+#include <cstdint>
+#include <span>
+#include <vector>
+
+#include "util/error.hpp"
+#include "util/prefix_sum.hpp"
+
+namespace hpcgraph {
+
+/// Default thread-local queue capacity (items).  Tunable per the paper; this
+/// default keeps a queue of 16-byte records within a typical L1/L2 footprint.
+inline constexpr std::size_t kDefaultQSize = 2048;
+
+/// Shared multi-destination send buffer with per-task segments.
+///
+/// Lifecycle:  count items per task (algorithm-specific pass) ->
+/// MultiQueue q(counts) -> threads push via Sink -> q.task_segment(t) or
+/// q.buffer() feeds Alltoallv.
+template <typename T>
+class MultiQueue {
+ public:
+  /// \param counts  Exact number of items destined to each task.
+  explicit MultiQueue(std::span<const std::uint64_t> counts)
+      : ntasks_(counts.size()), offsets_(csr_offsets(counts)) {
+    buffer_.resize(offsets_.back());
+    cursors_ = std::vector<std::atomic<std::uint64_t>>(ntasks_);
+    for (std::size_t t = 0; t < ntasks_; ++t)
+      cursors_[t].store(offsets_[t], std::memory_order_relaxed);
+  }
+
+  std::size_t ntasks() const { return ntasks_; }
+  std::uint64_t total() const { return offsets_.back(); }
+
+  /// Items destined to task t (valid once all sinks have flushed).
+  std::span<const T> task_segment(std::size_t t) const {
+    return {buffer_.data() + offsets_[t], offsets_[t + 1] - offsets_[t]};
+  }
+
+  std::span<T> mutable_task_segment(std::size_t t) {
+    return {buffer_.data() + offsets_[t], offsets_[t + 1] - offsets_[t]};
+  }
+
+  const std::vector<T>& buffer() const { return buffer_; }
+  std::vector<T>& mutable_buffer() { return buffer_; }
+
+  /// Per-task segment start offsets (CSR layout, ntasks+1 entries).
+  std::span<const std::uint64_t> offsets() const { return offsets_; }
+
+  /// Per-task item counts, convenient for Alltoallv.
+  std::vector<std::uint64_t> counts() const {
+    std::vector<std::uint64_t> c(ntasks_);
+    for (std::size_t t = 0; t < ntasks_; ++t)
+      c[t] = offsets_[t + 1] - offsets_[t];
+    return c;
+  }
+
+  /// Verify every reserved slot was filled (all cursors at segment ends).
+  bool complete() const {
+    for (std::size_t t = 0; t < ntasks_; ++t)
+      if (cursors_[t].load(std::memory_order_acquire) != offsets_[t + 1])
+        return false;
+    return true;
+  }
+
+  /// Thread-local buffered writer (one per thread).
+  class Sink {
+   public:
+    Sink(MultiQueue& q, std::size_t qsize = kDefaultQSize)
+        : q_(q), qsize_(qsize ? qsize : 1), counts_(q.ntasks(), 0) {
+      items_.reserve(qsize_);
+    }
+
+    ~Sink() { flush(); }
+    Sink(const Sink&) = delete;
+    Sink& operator=(const Sink&) = delete;
+
+    /// Buffer one item destined to `task`; flushes when the local queue
+    /// reaches QSIZE.
+    void push(std::uint32_t task, const T& item) {
+      HG_DCHECK(task < q_.ntasks());
+      items_.push_back(Entry{item, task});
+      ++counts_[task];
+      if (items_.size() >= qsize_) flush();
+    }
+
+    /// Drain the local queue into the shared buffer.
+    void flush() {
+      if (items_.empty()) return;
+      // One atomic capture per destination task (Algorithm 3, line 22):
+      // reserve [off, off+count) in task t's segment.
+      std::vector<std::uint64_t>& offs = scratch_;
+      offs.assign(q_.ntasks(), 0);
+      for (std::size_t t = 0; t < q_.ntasks(); ++t) {
+        if (counts_[t] == 0) continue;
+        offs[t] = q_.cursors_[t].fetch_add(counts_[t],
+                                           std::memory_order_relaxed);
+        HG_DCHECK(offs[t] + counts_[t] <= q_.offsets_[t + 1]);
+      }
+      for (const Entry& e : items_) q_.buffer_[offs[e.task]++] = e.item;
+      items_.clear();
+      std::fill(counts_.begin(), counts_.end(), 0);
+    }
+
+   private:
+    struct Entry {
+      T item;
+      std::uint32_t task;
+    };
+
+    MultiQueue& q_;
+    const std::size_t qsize_;
+    std::vector<Entry> items_;
+    std::vector<std::uint64_t> counts_;
+    std::vector<std::uint64_t> scratch_;
+  };
+
+  /// Ablation baseline: push one item with one atomic RMW, no thread-local
+  /// buffering.  Used by bench/micro_primitives to measure what Algorithm 3
+  /// buys.
+  void push_shared(std::uint32_t task, const T& item) {
+    const std::uint64_t off =
+        cursors_[task].fetch_add(1, std::memory_order_relaxed);
+    HG_DCHECK(off < offsets_[task + 1]);
+    buffer_[off] = item;
+  }
+
+ private:
+  std::size_t ntasks_;
+  std::vector<std::uint64_t> offsets_;
+  std::vector<T> buffer_;
+  std::vector<std::atomic<std::uint64_t>> cursors_;
+};
+
+}  // namespace hpcgraph

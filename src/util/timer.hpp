@@ -1,0 +1,91 @@
+#pragma once
+/// \file timer.hpp
+/// Wall-clock timing utilities used by the construction/analytics stage
+/// reports (Table III) and the per-phase breakdown (Figure 3).
+
+#include <time.h>
+
+#include <chrono>
+#include <cstdint>
+
+namespace hpcgraph {
+
+/// CPU time consumed by the *calling thread*, in seconds.
+///
+/// On this single-core reproduction machine, simulated ranks (threads) are
+/// timesliced, so wall-clock scaling curves are meaningless; the benches
+/// instead report the maximum per-rank thread-CPU time, which is what the
+/// wall time would be with one core per rank (network transfer excluded —
+/// that is modelled separately from measured byte counts).  See DESIGN.md.
+inline double thread_cpu_seconds() {
+  timespec ts{};
+  ::clock_gettime(CLOCK_THREAD_CPUTIME_ID, &ts);
+  return static_cast<double>(ts.tv_sec) +
+         static_cast<double>(ts.tv_nsec) * 1e-9;
+}
+
+/// Monotonic wall-clock timer with seconds resolution as double.
+class Timer {
+ public:
+  Timer() : start_(clock::now()) {}
+
+  /// Restart the timer; returns the elapsed time before the restart.
+  double restart() {
+    const auto now = clock::now();
+    const double s = seconds_between(start_, now);
+    start_ = now;
+    return s;
+  }
+
+  /// Elapsed seconds since construction or last restart().
+  double elapsed() const { return seconds_between(start_, clock::now()); }
+
+ private:
+  using clock = std::chrono::steady_clock;
+
+  static double seconds_between(clock::time_point a, clock::time_point b) {
+    return std::chrono::duration<double>(b - a).count();
+  }
+
+  clock::time_point start_;
+};
+
+/// Accumulates elapsed time over multiple start/stop intervals.
+/// Used for the comp/comm/idle accounting of Figure 3.
+class AccumTimer {
+ public:
+  void start() { t_ = Timer{}; running_ = true; }
+
+  /// Stop and fold the interval into the running total.
+  /// Returns the interval length. No-op (returns 0) when not running.
+  double stop() {
+    if (!running_) return 0.0;
+    const double s = t_.elapsed();
+    total_ += s;
+    running_ = false;
+    return s;
+  }
+
+  void add(double seconds) { total_ += seconds; }
+  void reset() { total_ = 0.0; running_ = false; }
+  double total() const { return total_; }
+
+ private:
+  Timer t_;
+  double total_ = 0.0;
+  bool running_ = false;
+};
+
+/// RAII wrapper: accumulates the scope's duration into an AccumTimer.
+class ScopedAccum {
+ public:
+  explicit ScopedAccum(AccumTimer& acc) : acc_(acc) { acc_.start(); }
+  ~ScopedAccum() { acc_.stop(); }
+  ScopedAccum(const ScopedAccum&) = delete;
+  ScopedAccum& operator=(const ScopedAccum&) = delete;
+
+ private:
+  AccumTimer& acc_;
+};
+
+}  // namespace hpcgraph

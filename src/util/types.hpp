@@ -1,0 +1,30 @@
+#pragma once
+/// \file types.hpp
+/// Fundamental integer types used throughout hpcgraph.
+///
+/// The paper stores each directed edge as two 32-bit unsigned integers on
+/// disk (the 2012 WDC crawl has 3.56 B vertices, which fits in uint32).  In
+/// memory we use 64-bit global identifiers so the library is not limited to
+/// 2^32 vertices, and 32-bit *local* identifiers: after ghost relabeling every
+/// per-task vertex index is < n_loc + n_gst, which is far below 2^32 for any
+/// realistic per-task partition.
+
+#include <cstdint>
+
+namespace hpcgraph {
+
+/// Global vertex identifier (unique across all ranks).
+using gvid_t = std::uint64_t;
+
+/// Task-local vertex identifier after ghost relabeling.
+/// Local vertices occupy [0, n_loc); ghosts occupy [n_loc, n_loc + n_gst).
+using lvid_t = std::uint32_t;
+
+/// Edge count type (global edge counts exceed 2^32 at paper scale).
+using ecnt_t = std::uint64_t;
+
+/// Sentinel for "no vertex".
+inline constexpr gvid_t kNullGvid = static_cast<gvid_t>(-1);
+inline constexpr lvid_t kNullLvid = static_cast<lvid_t>(-1);
+
+}  // namespace hpcgraph

@@ -1,0 +1,298 @@
+// Tests for the framework baselines: miniGAS programs, the edge-streaming
+// engine (both modes), and cross-engine result agreement.
+
+#include <gtest/gtest.h>
+#include <unistd.h>
+
+#include <filesystem>
+#include <numeric>
+
+#include "analytics/pagerank.hpp"
+#include "baselines/edgestream.hpp"
+#include "baselines/gas_engine.hpp"
+#include "baselines/gas_programs.hpp"
+#include "baselines/pregel_engine.hpp"
+#include "baselines/pregel_programs.hpp"
+#include "baselines/singlestage_wcc.hpp"
+#include "analytics/label_prop.hpp"
+#include "gen/rmat.hpp"
+#include "io/binary_edge_io.hpp"
+#include "ref/ref_analytics.hpp"
+#include "test_helpers.hpp"
+
+namespace hpcgraph::baselines {
+namespace {
+
+using dgraph::DistGraph;
+using hpcgraph::testing::tiny_graph;
+using hpcgraph::testing::with_dist_graph;
+
+/// Reference PageRank *without* dangling redistribution, matching the
+/// framework-style GAS semantics.
+std::vector<double> ref_pagerank_no_dangling(const ref::SeqGraph& g,
+                                             int iters, double d = 0.85) {
+  const double n = static_cast<double>(g.n());
+  std::vector<double> rank(g.n(), 1.0 / n), next(g.n());
+  for (int it = 0; it < iters; ++it) {
+    std::fill(next.begin(), next.end(), (1.0 - d) / n);
+    for (gvid_t u = 0; u < g.n(); ++u) {
+      if (g.out_degree(u) == 0) continue;
+      const double share = d * rank[u] / static_cast<double>(g.out_degree(u));
+      for (const gvid_t v : g.out_neighbors(u)) next[v] += share;
+    }
+    rank.swap(next);
+  }
+  return rank;
+}
+
+// ---------- miniGAS ----------
+
+TEST(GasEngine, PageRankMatchesFrameworkSemantics) {
+  gen::RmatParams rp;
+  rp.scale = 8;
+  rp.avg_degree = 8;
+  const gen::EdgeList el = gen::rmat(rp);
+  const auto want = ref_pagerank_no_dangling(ref::SeqGraph::from(el), 10);
+
+  for (const int nranks : {1, 2, 4}) {
+    with_dist_graph(el, {nranks, dgraph::PartitionKind::kVertexBlock},
+                    [&](const DistGraph& g, parcomm::Communicator& comm) {
+      const GasPageRank program(g.n_global());
+      GasOptions opts;
+      opts.max_supersteps = 10;
+      GasStats stats;
+      const auto out = gas_run(g, comm, program, opts, &stats);
+      for (lvid_t v = 0; v < g.n_loc(); ++v)
+        ASSERT_NEAR(out[v].rank, want[g.global_id(v)], 1e-10)
+            << "vertex " << g.global_id(v);
+      EXPECT_EQ(stats.supersteps, 10);
+    });
+  }
+}
+
+TEST(GasEngine, ConnectedComponentsMatchReference) {
+  gen::RmatParams rp;
+  rp.scale = 8;
+  rp.avg_degree = 4;
+  const gen::EdgeList el = gen::rmat(rp);
+  const auto want = ref::wcc(ref::SeqGraph::from(el));
+
+  with_dist_graph(el, {3, dgraph::PartitionKind::kRandom},
+                  [&](const DistGraph& g, parcomm::Communicator& comm) {
+    const GasConnectedComponents program;
+    GasOptions opts;
+    opts.max_supersteps = 1000;
+    opts.direction = GasDirection::kUndirected;
+    opts.run_to_convergence = true;
+    const auto out = gas_run(g, comm, program, opts);
+    for (lvid_t v = 0; v < g.n_loc(); ++v)
+      ASSERT_EQ(out[v], want[g.global_id(v)]);
+  });
+}
+
+TEST(GasEngine, MessageCountEqualsEdgeWork) {
+  // Framework generality: one message per out-edge per superstep.
+  const gen::EdgeList el = tiny_graph();
+  with_dist_graph(el, {2, dgraph::PartitionKind::kVertexBlock},
+                  [&](const DistGraph& g, parcomm::Communicator& comm) {
+    const GasPageRank program(g.n_global());
+    GasOptions opts;
+    opts.max_supersteps = 3;
+    GasStats stats;
+    (void)gas_run(g, comm, program, opts, &stats);
+    EXPECT_EQ(stats.messages_sent, g.m_out() * 3);
+  });
+}
+
+TEST(GasEngine, ConvergenceStopsEarly) {
+  // Edgeless graph: PageRank fixpoint after one superstep.
+  gen::EdgeList el;
+  el.n = 8;
+  with_dist_graph(el, {2, dgraph::PartitionKind::kVertexBlock},
+                  [&](const DistGraph& g, parcomm::Communicator& comm) {
+    const GasConnectedComponents program;
+    GasOptions opts;
+    opts.max_supersteps = 100;
+    opts.direction = GasDirection::kUndirected;
+    opts.run_to_convergence = true;
+    GasStats stats;
+    (void)gas_run(g, comm, program, opts, &stats);
+    EXPECT_EQ(stats.supersteps, 1);
+  });
+}
+
+// ---------- miniPregel (Giraph stand-in, paper §V) ----------
+
+TEST(PregelEngine, PageRankMatchesFrameworkSemantics) {
+  gen::RmatParams rp;
+  rp.scale = 8;
+  rp.avg_degree = 8;
+  const gen::EdgeList el = gen::rmat(rp);
+  const auto want = ref_pagerank_no_dangling(ref::SeqGraph::from(el), 10);
+
+  for (const int nranks : {1, 3}) {
+    with_dist_graph(el, {nranks, dgraph::PartitionKind::kVertexBlock},
+                    [&](const DistGraph& g, parcomm::Communicator& comm) {
+      const PregelPageRank program(g.n_global(), 10);
+      PregelOptions opts;
+      opts.max_supersteps = 100;  // program halts itself after 10
+      PregelStats stats;
+      const auto out = pregel_run(g, comm, program, opts, &stats);
+      for (lvid_t v = 0; v < g.n_loc(); ++v)
+        ASSERT_NEAR(out[v].rank, want[g.global_id(v)], 1e-10)
+            << "vertex " << g.global_id(v);
+      EXPECT_LE(stats.supersteps, 12);
+    });
+  }
+}
+
+TEST(PregelEngine, LabelPropMatchesTunedImplementationExactly) {
+  gen::RmatParams rp;
+  rp.scale = 8;
+  rp.avg_degree = 6;
+  const gen::EdgeList el = gen::rmat(rp);
+  const auto want =
+      ref::label_propagation(ref::SeqGraph::from(el), 5, /*tie_seed=*/9);
+
+  with_dist_graph(el, {3, dgraph::PartitionKind::kRandom},
+                  [&](const DistGraph& g, parcomm::Communicator& comm) {
+    const PregelLabelProp program(5, 9);
+    PregelOptions opts;
+    opts.max_supersteps = 100;
+    const auto out = pregel_run(g, comm, program, opts);
+    for (lvid_t v = 0; v < g.n_loc(); ++v)
+      ASSERT_EQ(out[v], want[g.global_id(v)]) << g.global_id(v);
+  });
+}
+
+TEST(PregelEngine, HaltsOnQuiescence) {
+  gen::EdgeList el;
+  el.n = 8;  // no edges: PR halts after its fixed schedule, sending nothing
+  with_dist_graph(el, {2, dgraph::PartitionKind::kVertexBlock},
+                  [&](const DistGraph& g, parcomm::Communicator& comm) {
+    const PregelPageRank program(g.n_global(), 3);
+    PregelOptions opts;
+    opts.max_supersteps = 1000;
+    PregelStats stats;
+    (void)pregel_run(g, comm, program, opts, &stats);
+    EXPECT_LE(stats.supersteps, 5);
+    EXPECT_EQ(stats.messages_sent, 0u);
+  });
+}
+
+TEST(PregelEngine, MessageCountMatchesEdgeWork) {
+  const gen::EdgeList el = tiny_graph();
+  with_dist_graph(el, {2, dgraph::PartitionKind::kVertexBlock},
+                  [&](const DistGraph& g, parcomm::Communicator& comm) {
+    const PregelLabelProp program(2);
+    PregelOptions opts;
+    PregelStats stats;
+    (void)pregel_run(g, comm, program, opts, &stats);
+    // Each of supersteps 0..1 broadcasts along out- and in-edges.
+    EXPECT_EQ(stats.messages_sent, (g.m_out() + g.m_in()) * 2);
+  });
+}
+
+// ---------- edge streaming (FlashGraph stand-in) ----------
+
+class EdgeStreamTest : public ::testing::Test {
+ protected:
+  void SetUp() override {
+    dir_ = std::filesystem::temp_directory_path() /
+           ("hgstream_" + std::to_string(::getpid()));
+    std::filesystem::create_directories(dir_);
+  }
+  void TearDown() override { std::filesystem::remove_all(dir_); }
+  std::string path() const { return (dir_ / "g.bin").string(); }
+  std::filesystem::path dir_;
+};
+
+TEST_F(EdgeStreamTest, StandalonePageRankMatchesReference) {
+  gen::RmatParams rp;
+  rp.scale = 8;
+  rp.avg_degree = 8;
+  const gen::EdgeList el = gen::rmat(rp);
+  const auto want = ref::pagerank(ref::SeqGraph::from(el), 10);
+  const EdgeStream stream(el);
+  const auto got = stream_pagerank(stream, 10);
+  for (gvid_t v = 0; v < el.n; ++v) ASSERT_NEAR(got[v], want[v], 1e-12);
+}
+
+TEST_F(EdgeStreamTest, ExternalModeMatchesStandalone) {
+  gen::RmatParams rp;
+  rp.scale = 8;
+  rp.avg_degree = 6;
+  const gen::EdgeList el = gen::rmat(rp);
+  io::write_edge_file(path(), el);
+
+  const EdgeStream mem(el);
+  const EdgeStream disk(path(), io::EdgeFormat::kU32, el.n);
+  EXPECT_EQ(disk.m(), el.m());
+
+  const auto pr_mem = stream_pagerank(mem, 5);
+  const auto pr_disk = stream_pagerank(disk, 5);
+  for (gvid_t v = 0; v < el.n; ++v)
+    ASSERT_DOUBLE_EQ(pr_mem[v], pr_disk[v]);
+
+  const auto cc_mem = stream_wcc(mem);
+  const auto cc_disk = stream_wcc(disk);
+  EXPECT_EQ(cc_mem, cc_disk);
+}
+
+TEST_F(EdgeStreamTest, WccMatchesReference) {
+  gen::RmatParams rp;
+  rp.scale = 8;
+  rp.avg_degree = 4;
+  const gen::EdgeList el = gen::rmat(rp);
+  const auto want = ref::wcc(ref::SeqGraph::from(el));
+  int iters = 0;
+  const auto got = stream_wcc(EdgeStream(el), &iters);
+  EXPECT_GT(iters, 0);
+  for (gvid_t v = 0; v < el.n; ++v) ASSERT_EQ(got[v], want[v]);
+}
+
+TEST_F(EdgeStreamTest, TinyGraphWcc) {
+  const auto got = stream_wcc(EdgeStream(tiny_graph()));
+  EXPECT_EQ(got[4], 0u);
+  EXPECT_EQ(got[7], 5u);
+  EXPECT_EQ(got[8], 8u);
+  EXPECT_EQ(got[9], 9u);
+}
+
+// ---------- cross-engine agreement ----------
+
+TEST(CrossEngine, AllWccEnginesAgree) {
+  gen::RmatParams rp;
+  rp.scale = 8;
+  rp.avg_degree = 4;
+  const gen::EdgeList el = gen::rmat(rp);
+  const auto stream = stream_wcc(EdgeStream(el));
+  const auto want = ref::wcc(ref::SeqGraph::from(el));
+  EXPECT_EQ(stream, want);
+
+  with_dist_graph(el, {2, dgraph::PartitionKind::kVertexBlock},
+                  [&](const DistGraph& g, parcomm::Communicator& comm) {
+    const auto ss = wcc_singlestage(g, comm);
+    for (lvid_t v = 0; v < g.n_loc(); ++v)
+      ASSERT_EQ(ss.comp[v], want[g.global_id(v)]);
+  });
+}
+
+TEST(CrossEngine, TunedPageRankAgreesWithStreamEngine) {
+  gen::RmatParams rp;
+  rp.scale = 7;
+  rp.avg_degree = 8;
+  const gen::EdgeList el = gen::rmat(rp);
+  const auto stream = stream_pagerank(EdgeStream(el), 10);
+  with_dist_graph(el, {3, dgraph::PartitionKind::kRandom},
+                  [&](const DistGraph& g, parcomm::Communicator& comm) {
+    analytics::PageRankOptions opts;
+    opts.max_iterations = 10;
+    const auto res = analytics::pagerank(g, comm, opts);
+    for (lvid_t v = 0; v < g.n_loc(); ++v)
+      ASSERT_NEAR(res.scores[v], stream[g.global_id(v)], 1e-10);
+  });
+}
+
+}  // namespace
+}  // namespace hpcgraph::baselines

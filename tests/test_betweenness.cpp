@@ -1,0 +1,156 @@
+// Distributed k-source Brandes betweenness vs the sequential reference,
+// plus hand-verified exact values on small graphs.
+
+#include <gtest/gtest.h>
+
+#include "analytics/betweenness.hpp"
+#include "gen/rmat.hpp"
+#include "gen/webgraph.hpp"
+#include "ref/ref_analytics.hpp"
+#include "test_helpers.hpp"
+
+namespace hpcgraph::analytics {
+namespace {
+
+using dgraph::DistGraph;
+using hpcgraph::testing::DistConfig;
+using hpcgraph::testing::with_dist_graph;
+
+TEST(BetweennessSources, DeterministicDistinctAndClamped) {
+  const auto a = betweenness_sources(100, 8, 7);
+  const auto b = betweenness_sources(100, 8, 7);
+  EXPECT_EQ(a, b);
+  ASSERT_EQ(a.size(), 8u);
+  std::set<gvid_t> uniq(a.begin(), a.end());
+  EXPECT_EQ(uniq.size(), 8u);
+  for (const gvid_t v : a) EXPECT_LT(v, 100u);
+  // k >= n or k == 0 -> every vertex.
+  EXPECT_EQ(betweenness_sources(5, 100, 1).size(), 5u);
+  EXPECT_EQ(betweenness_sources(5, 0, 1).size(), 5u);
+}
+
+TEST(RefBetweenness, PathExactValues) {
+  // Directed path 0->1->2->3, all sources: BC(v) = #(s,t) pairs through v.
+  gen::EdgeList el;
+  el.n = 4;
+  el.edges = {{0, 1}, {1, 2}, {2, 3}};
+  const auto sources = betweenness_sources(4, 0, 1);
+  const auto bc =
+      ref::betweenness_brandes(ref::SeqGraph::from(el), sources);
+  EXPECT_DOUBLE_EQ(bc[0], 0.0);
+  EXPECT_DOUBLE_EQ(bc[1], 2.0);  // (0,2), (0,3)... via 1: pairs (0,2),(0,3)
+  EXPECT_DOUBLE_EQ(bc[2], 2.0);  // (0,3), (1,3)
+  EXPECT_DOUBLE_EQ(bc[3], 0.0);
+}
+
+TEST(RefBetweenness, DiamondSplitsDependency) {
+  // 0 -> {1,2} -> 3: two equal shortest paths; BC(1) = BC(2) = 0.5.
+  gen::EdgeList el;
+  el.n = 4;
+  el.edges = {{0, 1}, {0, 2}, {1, 3}, {2, 3}};
+  const auto bc = ref::betweenness_brandes(
+      ref::SeqGraph::from(el), betweenness_sources(4, 0, 1));
+  EXPECT_DOUBLE_EQ(bc[1], 0.5);
+  EXPECT_DOUBLE_EQ(bc[2], 0.5);
+  EXPECT_DOUBLE_EQ(bc[3], 0.0);
+}
+
+class BetweennessParam : public ::testing::TestWithParam<DistConfig> {};
+
+TEST_P(BetweennessParam, MatchesBrandesReference) {
+  gen::RmatParams rp;
+  rp.scale = 7;
+  rp.avg_degree = 6;
+  const gen::EdgeList el = gen::rmat(rp);
+  BetweennessOptions opts;
+  opts.num_sources = 6;
+  opts.seed = 11;
+  const auto sources = betweenness_sources(el.n, 6, 11);
+  const auto want =
+      ref::betweenness_brandes(ref::SeqGraph::from(el), sources);
+
+  with_dist_graph(el, GetParam(), [&](const DistGraph& g,
+                                      parcomm::Communicator& comm) {
+    const BetweennessResult res = betweenness(g, comm, opts);
+    ASSERT_EQ(res.sources, sources);
+    for (lvid_t v = 0; v < g.n_loc(); ++v) {
+      const double w = want[g.global_id(v)];
+      ASSERT_NEAR(res.score[v], w, std::abs(w) * 1e-9 + 1e-9)
+          << "vertex " << g.global_id(v);
+    }
+  });
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    Configs, BetweennessParam,
+    ::testing::ValuesIn(hpcgraph::testing::standard_configs()),
+    [](const ::testing::TestParamInfo<DistConfig>& info) {
+      return info.param.label();
+    });
+
+TEST(Betweenness, ExactModeOnTinyGraph) {
+  // tiny_graph path component: exact all-sources run distributed.
+  const gen::EdgeList el = hpcgraph::testing::tiny_graph();
+  const auto sources = betweenness_sources(el.n, 0, 1);
+  const auto want =
+      ref::betweenness_brandes(ref::SeqGraph::from(el), sources);
+  with_dist_graph(el, {3, dgraph::PartitionKind::kRandom},
+                  [&](const DistGraph& g, parcomm::Communicator& comm) {
+    BetweennessOptions opts;
+    opts.num_sources = 0;  // exact
+    const auto res = betweenness(g, comm, opts);
+    for (lvid_t v = 0; v < g.n_loc(); ++v)
+      ASSERT_NEAR(res.score[v], want[g.global_id(v)], 1e-9);
+  });
+}
+
+TEST(Betweenness, HubsDominateOnWebGraph) {
+  gen::WebGraphParams wp;
+  wp.n = 1 << 10;
+  const gen::WebGraph wg = gen::webgraph(wp);
+  with_dist_graph(wg.graph, {2, dgraph::PartitionKind::kVertexBlock},
+                  [&](const DistGraph& g, parcomm::Communicator& comm) {
+    BetweennessOptions opts;
+    opts.num_sources = 16;
+    const auto res = betweenness(g, comm, opts);
+    // Global mean score vs hub scores.
+    double local_sum = 0;
+    for (const double s : res.score) local_sum += s;
+    const double mean =
+        comm.allreduce_sum(local_sum) / static_cast<double>(g.n_global());
+    double hub_local = 0;
+    std::uint64_t hub_count_local = 0;
+    for (lvid_t v = 0; v < g.n_loc(); ++v)
+      for (const gvid_t h : wg.hubs)
+        if (g.global_id(v) == h) {
+          hub_local += res.score[v];
+          ++hub_count_local;
+        }
+    const double hub_mean = comm.allreduce_sum(hub_local) /
+                            static_cast<double>(comm.allreduce_sum(hub_count_local));
+    EXPECT_GT(hub_mean, mean * 5);
+  });
+}
+
+TEST(Betweenness, DisconnectedSourceContributesNothing) {
+  gen::EdgeList el;
+  el.n = 4;
+  el.edges = {{0, 1}, {1, 2}};  // vertex 3 isolated
+  with_dist_graph(el, {2, dgraph::PartitionKind::kVertexBlock},
+                  [&](const DistGraph& g, parcomm::Communicator& comm) {
+    BetweennessOptions opts;
+    opts.num_sources = 0;
+    const auto res = betweenness(g, comm, opts);
+    for (lvid_t v = 0; v < g.n_loc(); ++v) {
+      const gvid_t gid = g.global_id(v);
+      if (gid == 1) {
+        ASSERT_DOUBLE_EQ(res.score[v], 1.0);  // pair (0,2)
+      } else {
+        ASSERT_DOUBLE_EQ(res.score[v], 0.0);
+      }
+    }
+  });
+}
+
+}  // namespace
+}  // namespace hpcgraph::analytics

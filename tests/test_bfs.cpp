@@ -1,0 +1,272 @@
+// Distributed BFS (Algorithm 2) vs the sequential reference, across rank
+// counts, partitionings, directions, masks and thread counts.
+
+#include <gtest/gtest.h>
+
+#include "analytics/bfs.hpp"
+#include "gen/rmat.hpp"
+#include "gen/webgraph.hpp"
+#include "ref/ref_analytics.hpp"
+#include "test_helpers.hpp"
+
+namespace hpcgraph::analytics {
+namespace {
+
+using dgraph::DistGraph;
+using hpcgraph::testing::DistConfig;
+using hpcgraph::testing::standard_configs;
+using hpcgraph::testing::tiny_graph;
+using hpcgraph::testing::with_dist_graph;
+
+void expect_levels_match(const DistGraph& g, const BfsResult& got,
+                         const std::vector<std::int64_t>& want) {
+  for (lvid_t v = 0; v < g.n_loc(); ++v) {
+    const gvid_t gid = g.global_id(v);
+    const std::int64_t dist_level = got.level[v] >= 0 ? got.level[v] : -1;
+    ASSERT_EQ(dist_level, want[gid]) << "vertex " << gid;
+  }
+}
+
+class BfsParam : public ::testing::TestWithParam<DistConfig> {};
+
+TEST_P(BfsParam, DirectedLevelsMatchReference) {
+  gen::RmatParams rp;
+  rp.scale = 9;
+  rp.avg_degree = 8;
+  const gen::EdgeList el = gen::rmat(rp);
+  const ref::SeqGraph sg = ref::SeqGraph::from(el);
+  const gvid_t root = 5;
+  const auto want = ref::bfs_levels(sg, root, /*directed=*/true);
+
+  with_dist_graph(el, GetParam(), [&](const DistGraph& g,
+                                      parcomm::Communicator& comm) {
+    BfsOptions opts;
+    opts.dir = Dir::kOut;
+    const BfsResult res = bfs(g, comm, root, opts);
+    expect_levels_match(g, res, want);
+    std::uint64_t want_visited = 0;
+    for (const auto l : want)
+      if (l >= 0) ++want_visited;
+    EXPECT_EQ(res.visited, want_visited);
+  });
+}
+
+TEST_P(BfsParam, UndirectedLevelsMatchReference) {
+  gen::RmatParams rp;
+  rp.scale = 9;
+  rp.avg_degree = 4;
+  const gen::EdgeList el = gen::rmat(rp);
+  const ref::SeqGraph sg = ref::SeqGraph::from(el);
+  const gvid_t root = 17;
+  const auto want = ref::bfs_levels(sg, root, /*directed=*/false);
+
+  with_dist_graph(el, GetParam(), [&](const DistGraph& g,
+                                      parcomm::Communicator& comm) {
+    BfsOptions opts;
+    opts.dir = Dir::kBoth;
+    const BfsResult res = bfs(g, comm, root, opts);
+    expect_levels_match(g, res, want);
+  });
+}
+
+TEST_P(BfsParam, BackwardBfsEqualsReferenceOnReversedGraph) {
+  gen::RmatParams rp;
+  rp.scale = 8;
+  rp.avg_degree = 6;
+  const gen::EdgeList el = gen::rmat(rp);
+  gen::EdgeList reversed;
+  reversed.n = el.n;
+  for (const gen::Edge& e : el.edges) reversed.edges.push_back({e.dst, e.src});
+  const auto want =
+      ref::bfs_levels(ref::SeqGraph::from(reversed), 3, /*directed=*/true);
+
+  with_dist_graph(el, GetParam(), [&](const DistGraph& g,
+                                      parcomm::Communicator& comm) {
+    BfsOptions opts;
+    opts.dir = Dir::kIn;
+    const BfsResult res = bfs(g, comm, 3, opts);
+    expect_levels_match(g, res, want);
+  });
+}
+
+TEST_P(BfsParam, UnreachableVerticesStayUnvisited) {
+  const gen::EdgeList el = tiny_graph();
+  with_dist_graph(el, GetParam(), [&](const DistGraph& g,
+                                      parcomm::Communicator& comm) {
+    BfsOptions opts;
+    opts.dir = Dir::kOut;
+    const BfsResult res = bfs(g, comm, 0, opts);  // component {0..4} forward
+    EXPECT_EQ(res.visited, 5u);
+    for (lvid_t v = 0; v < g.n_loc(); ++v) {
+      const gvid_t gid = g.global_id(v);
+      if (gid >= 5) {
+        ASSERT_LT(res.level[v], 0) << gid;
+      }
+    }
+  });
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    Configs, BfsParam, ::testing::ValuesIn(standard_configs()),
+    [](const ::testing::TestParamInfo<DistConfig>& info) {
+      return info.param.label();
+    });
+
+TEST(Bfs, AliveMaskRestrictsTraversal) {
+  // Path 0->1->2->3; mask out vertex 1: BFS from 0 reaches only {0}.
+  gen::EdgeList el;
+  el.n = 4;
+  el.edges = {{0, 1}, {1, 2}, {2, 3}};
+  with_dist_graph(el, {2, dgraph::PartitionKind::kVertexBlock},
+                  [&](const DistGraph& g, parcomm::Communicator& comm) {
+                    std::vector<std::uint8_t> alive(g.n_loc(), 1);
+                    for (lvid_t v = 0; v < g.n_loc(); ++v)
+                      if (g.global_id(v) == 1) alive[v] = 0;
+                    BfsOptions opts;
+                    opts.dir = Dir::kOut;
+                    opts.alive = alive;
+                    const BfsResult res = bfs(g, comm, 0, opts);
+                    EXPECT_EQ(res.visited, 1u);
+                  });
+}
+
+TEST(Bfs, DeadRootVisitsNothing) {
+  gen::EdgeList el;
+  el.n = 4;
+  el.edges = {{0, 1}, {1, 2}};
+  with_dist_graph(el, {2, dgraph::PartitionKind::kVertexBlock},
+                  [&](const DistGraph& g, parcomm::Communicator& comm) {
+                    std::vector<std::uint8_t> alive(g.n_loc(), 1);
+                    for (lvid_t v = 0; v < g.n_loc(); ++v)
+                      if (g.global_id(v) == 0) alive[v] = 0;
+                    BfsOptions opts;
+                    opts.alive = alive;
+                    const BfsResult res = bfs(g, comm, 0, opts);
+                    EXPECT_EQ(res.visited, 0u);
+                    EXPECT_EQ(res.num_levels, 0);
+                  });
+}
+
+TEST(Bfs, ThreadedMatchesSerial) {
+  gen::RmatParams rp;
+  rp.scale = 9;
+  rp.avg_degree = 8;
+  const gen::EdgeList el = gen::rmat(rp);
+  const auto want =
+      ref::bfs_levels(ref::SeqGraph::from(el), 1, /*directed=*/true);
+  parcomm::CommWorld world(2);
+  world.run([&](parcomm::Communicator& comm) {
+    const DistGraph g = dgraph::Builder::from_edge_list(
+        comm, el, dgraph::PartitionKind::kRandom);
+    ThreadPool pool(4);
+    BfsOptions opts;
+    opts.dir = Dir::kOut;
+    opts.common.pool = &pool;
+    const BfsResult res = bfs(g, comm, 1, opts);
+    expect_levels_match(g, res, want);
+  });
+}
+
+TEST(Bfs, SelfLoopRootTerminates) {
+  gen::EdgeList el;
+  el.n = 2;
+  el.edges = {{0, 0}};
+  with_dist_graph(el, {2, dgraph::PartitionKind::kVertexBlock},
+                  [&](const DistGraph& g, parcomm::Communicator& comm) {
+                    const BfsResult res = bfs(g, comm, 0);
+                    EXPECT_EQ(res.visited, 1u);
+                  });
+}
+
+TEST(Bfs, NumLevelsMatchesEccentricityPlusOne) {
+  // Path graph: BFS from one end runs exactly n frontier expansions.
+  gen::EdgeList el;
+  el.n = 6;
+  for (gvid_t v = 0; v + 1 < el.n; ++v) el.edges.push_back({v, v + 1});
+  with_dist_graph(el, {3, dgraph::PartitionKind::kVertexBlock},
+                  [&](const DistGraph& g, parcomm::Communicator& comm) {
+                    const BfsResult res = bfs(g, comm, 0);
+                    EXPECT_EQ(res.num_levels, 6);
+                    EXPECT_EQ(res.visited, 6u);
+                  });
+}
+
+// ---------- direction-optimizing traversal (extension) ----------
+
+class DirOptParam : public ::testing::TestWithParam<DistConfig> {};
+
+TEST_P(DirOptParam, LevelsIdenticalToTopDown) {
+  gen::WebGraphParams wp;
+  wp.n = 1 << 12;
+  wp.avg_degree = 12;
+  const gen::WebGraph wg = gen::webgraph(wp);
+  const gvid_t root = wg.core.begin;  // giant-frontier traversal
+
+  with_dist_graph(wg.graph, GetParam(), [&](const DistGraph& g,
+                                            parcomm::Communicator& comm) {
+    for (const Dir dir : {Dir::kOut, Dir::kIn, Dir::kBoth}) {
+      BfsOptions plain;
+      plain.dir = dir;
+      const BfsResult a = bfs(g, comm, root, plain);
+      BfsOptions dopt = plain;
+      dopt.direction_optimizing = true;
+      const BfsResult b = bfs(g, comm, root, dopt);
+      ASSERT_EQ(a.visited, b.visited);
+      ASSERT_EQ(a.num_levels, b.num_levels);
+      for (lvid_t v = 0; v < g.n_loc(); ++v) {
+        const std::int64_t la = a.level[v] >= 0 ? a.level[v] : -1;
+        const std::int64_t lb = b.level[v] >= 0 ? b.level[v] : -1;
+        ASSERT_EQ(la, lb) << "vertex " << g.global_id(v);
+      }
+    }
+  });
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    Configs, DirOptParam,
+    ::testing::ValuesIn(hpcgraph::testing::small_configs()),
+    [](const ::testing::TestParamInfo<DistConfig>& info) {
+      return info.param.label();
+    });
+
+TEST(DirOptBfs, ForcedBottomUpStillCorrect) {
+  gen::RmatParams rp;
+  rp.scale = 8;
+  rp.avg_degree = 8;
+  const gen::EdgeList el = gen::rmat(rp);
+  const auto want = ref::bfs_levels(ref::SeqGraph::from(el), 2, true);
+  with_dist_graph(el, {3, dgraph::PartitionKind::kRandom},
+                  [&](const DistGraph& g, parcomm::Communicator& comm) {
+    BfsOptions opts;
+    opts.dir = Dir::kOut;
+    opts.direction_optimizing = true;
+    opts.alpha = 1e12;  // never leave top-down
+    const BfsResult a = bfs(g, comm, 2, opts);
+    expect_levels_match(g, a, want);
+    opts.alpha = 1e-12;  // go bottom-up immediately
+    opts.beta = 1e-12;   // and never come back
+    const BfsResult b = bfs(g, comm, 2, opts);
+    expect_levels_match(g, b, want);
+  });
+}
+
+TEST(DirOptBfs, RespectsAliveMask) {
+  gen::EdgeList el;
+  el.n = 4;
+  el.edges = {{0, 1}, {1, 2}, {2, 3}};
+  with_dist_graph(el, {2, dgraph::PartitionKind::kVertexBlock},
+                  [&](const DistGraph& g, parcomm::Communicator& comm) {
+    std::vector<std::uint8_t> alive(g.n_loc(), 1);
+    for (lvid_t v = 0; v < g.n_loc(); ++v)
+      if (g.global_id(v) == 1) alive[v] = 0;
+    BfsOptions opts;
+    opts.direction_optimizing = true;
+    opts.alpha = 1e-12;  // force bottom-up scanning
+    opts.alive = alive;
+    const BfsResult res = bfs(g, comm, 0, opts);
+    EXPECT_EQ(res.visited, 1u);
+  });
+}
+
+}  // namespace
+}  // namespace hpcgraph::analytics

@@ -1,0 +1,129 @@
+// BFS parent-tree recording validated with the Graph500-style conditions:
+// root parents itself, levels consistent along tree edges, every tree edge
+// exists in the graph, visited sets equal the plain BFS.
+
+#include <gtest/gtest.h>
+
+#include <set>
+
+#include "analytics/bfs.hpp"
+#include "analytics/bfs_tree.hpp"
+#include "gen/rmat.hpp"
+#include "gen/webgraph.hpp"
+#include "ref/ref_analytics.hpp"
+#include "test_helpers.hpp"
+
+namespace hpcgraph::analytics {
+namespace {
+
+using dgraph::DistGraph;
+using hpcgraph::testing::DistConfig;
+using hpcgraph::testing::tiny_graph;
+using hpcgraph::testing::with_dist_graph;
+
+/// Graph500-style validation of a gathered (level, parent) tree.
+void validate_tree(const gen::EdgeList& el, gvid_t root,
+                   const std::vector<std::int64_t>& level,
+                   const std::vector<gvid_t>& parent) {
+  // Edge set (directed) for tree-edge existence checks.
+  std::set<std::pair<gvid_t, gvid_t>> edges;
+  for (const gen::Edge& e : el.edges) edges.insert({e.src, e.dst});
+
+  ASSERT_EQ(level[root], 0);
+  ASSERT_EQ(parent[root], root);
+  for (gvid_t v = 0; v < el.n; ++v) {
+    if (level[v] < 0) {
+      ASSERT_EQ(parent[v], kNullGvid) << v;
+      continue;
+    }
+    if (v == root) continue;
+    const gvid_t pv = parent[v];
+    ASSERT_NE(pv, kNullGvid) << v;
+    ASSERT_GE(level[pv], 0) << v;
+    // Level consistency: exactly one hop above the parent.
+    ASSERT_EQ(level[v], level[pv] + 1) << v;
+    // The tree edge exists in the graph (directed BFS: parent -> child).
+    ASSERT_TRUE(edges.count({pv, v})) << pv << "->" << v;
+  }
+}
+
+class BfsTreeParam : public ::testing::TestWithParam<DistConfig> {};
+
+TEST_P(BfsTreeParam, TreeIsValidAndLevelsMatchPlainBfs) {
+  gen::RmatParams rp;
+  rp.scale = 8;
+  rp.avg_degree = 8;
+  const gen::EdgeList el = gen::rmat(rp);
+  const gvid_t root = 5;
+  const auto want = ref::bfs_levels(ref::SeqGraph::from(el), root, true);
+
+  with_dist_graph(el, GetParam(), [&](const DistGraph& g,
+                                      parcomm::Communicator& comm) {
+    const BfsTreeResult res = bfs_tree(g, comm, root);
+    // Levels identical to the level-only traversal.
+    for (lvid_t v = 0; v < g.n_loc(); ++v) {
+      const std::int64_t got = res.level[v] >= 0 ? res.level[v] : -1;
+      ASSERT_EQ(got, want[g.global_id(v)]);
+    }
+    // Gather tree globally on every rank and validate.
+    const auto levels = gather_global<std::int64_t>(g, comm, res.level);
+    const auto parents = gather_global<gvid_t>(g, comm, res.parent);
+    validate_tree(el, root, levels, parents);
+  });
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    Configs, BfsTreeParam,
+    ::testing::ValuesIn(hpcgraph::testing::standard_configs()),
+    [](const ::testing::TestParamInfo<DistConfig>& info) {
+      return info.param.label();
+    });
+
+TEST(BfsTree, TinyGraphTreeShape) {
+  const gen::EdgeList el = tiny_graph();
+  with_dist_graph(el, {3, dgraph::PartitionKind::kRandom},
+                  [&](const DistGraph& g, parcomm::Communicator& comm) {
+    const BfsTreeResult res = bfs_tree(g, comm, 0);
+    EXPECT_EQ(res.visited, 5u);
+    const auto parents = gather_global<gvid_t>(g, comm, res.parent);
+    EXPECT_EQ(parents[0], 0u);   // root
+    EXPECT_EQ(parents[1], 0u);   // only in-edge from 0 at level 1
+    EXPECT_EQ(parents[4], 3u);   // chain 2->3->4
+    EXPECT_EQ(parents[9], kNullGvid);  // unreachable
+  });
+}
+
+TEST(BfsTree, UndirectedTreeUsesEitherDirection) {
+  gen::EdgeList el;
+  el.n = 3;
+  el.edges = {{1, 0}, {1, 2}};  // reaching 0 and 2 from 0 needs in-edges
+  with_dist_graph(el, {2, dgraph::PartitionKind::kVertexBlock},
+                  [&](const DistGraph& g, parcomm::Communicator& comm) {
+    BfsOptions opts;
+    opts.dir = Dir::kBoth;
+    const BfsTreeResult res = bfs_tree(g, comm, 0, opts);
+    EXPECT_EQ(res.visited, 3u);
+    const auto levels = gather_global<std::int64_t>(g, comm, res.level);
+    EXPECT_EQ(levels[1], 1);
+    EXPECT_EQ(levels[2], 2);
+  });
+}
+
+TEST(BfsTree, AliveMaskRespected) {
+  gen::EdgeList el;
+  el.n = 3;
+  el.edges = {{0, 1}, {1, 2}};
+  with_dist_graph(el, {2, dgraph::PartitionKind::kVertexBlock},
+                  [&](const DistGraph& g, parcomm::Communicator& comm) {
+    std::vector<std::uint8_t> alive(g.n_loc(), 1);
+    for (lvid_t v = 0; v < g.n_loc(); ++v)
+      if (g.global_id(v) == 1) alive[v] = 0;
+    BfsOptions opts;
+    opts.alive = alive;
+    const BfsTreeResult res = bfs_tree(g, comm, 0, opts);
+    EXPECT_EQ(res.visited, 1u);
+  });
+}
+
+}  // namespace
+}  // namespace hpcgraph::analytics

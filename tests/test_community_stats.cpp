@@ -1,0 +1,146 @@
+// Community audit (Table V / Figure 5 machinery) on hand-built labelings
+// with exactly known intra/cut edge counts.
+
+#include <gtest/gtest.h>
+
+#include "analytics/community_stats.hpp"
+#include "analytics/label_prop.hpp"
+#include "gen/webgraph.hpp"
+#include "test_helpers.hpp"
+
+namespace hpcgraph::analytics {
+namespace {
+
+using dgraph::DistGraph;
+using hpcgraph::testing::DistConfig;
+using hpcgraph::testing::standard_configs;
+using hpcgraph::testing::with_dist_graph;
+
+/// 8 vertices, labels planted by id range: {0..3} -> A, {4..7} -> B.
+/// Intra-A edges: 3, intra-B: 2, A->B cut: 2, B->A cut: 1.
+gen::EdgeList labeled_graph() {
+  gen::EdgeList g;
+  g.n = 8;
+  g.edges = {
+      {0, 1}, {1, 2}, {2, 3},        // intra A
+      {4, 5}, {6, 7},                // intra B
+      {0, 4}, {3, 7},                // A -> B cut
+      {5, 2},                        // B -> A cut
+  };
+  return g;
+}
+
+class CommunityParam : public ::testing::TestWithParam<DistConfig> {};
+
+TEST_P(CommunityParam, ExactCountsOnPlantedLabels) {
+  const gen::EdgeList el = labeled_graph();
+  with_dist_graph(el, GetParam(), [&](const DistGraph& g,
+                                      parcomm::Communicator& comm) {
+    std::vector<std::uint64_t> labels(g.n_loc());
+    for (lvid_t v = 0; v < g.n_loc(); ++v)
+      labels[v] = g.global_id(v) < 4 ? 0u : 4u;
+    CommunityStatsOptions opts;
+    opts.top_k = 10;
+    const CommunityStatsResult res = community_stats(g, comm, labels, opts);
+
+    ASSERT_EQ(res.num_communities, 2u);
+    ASSERT_EQ(res.top.size(), 2u);
+    // Both communities have 4 members; tie broken by smaller label.
+    const CommunityRecord& a = res.top[0];
+    const CommunityRecord& b = res.top[1];
+    EXPECT_EQ(a.label, 0u);
+    EXPECT_EQ(a.n_in, 4u);
+    EXPECT_EQ(a.m_in, 3u);
+    EXPECT_EQ(a.m_cut, 2u);
+    EXPECT_EQ(a.representative, 0u);
+    EXPECT_EQ(b.label, 4u);
+    EXPECT_EQ(b.n_in, 4u);
+    EXPECT_EQ(b.m_in, 2u);
+    EXPECT_EQ(b.m_cut, 1u);
+    EXPECT_EQ(b.representative, 4u);
+  });
+}
+
+TEST_P(CommunityParam, HistogramCountsCommunitySizes) {
+  const gen::EdgeList el = labeled_graph();
+  with_dist_graph(el, GetParam(), [&](const DistGraph& g,
+                                      parcomm::Communicator& comm) {
+    // Labels: {0} alone, {1,2} pair, {3..7} five.
+    std::vector<std::uint64_t> labels(g.n_loc());
+    for (lvid_t v = 0; v < g.n_loc(); ++v) {
+      const gvid_t gid = g.global_id(v);
+      labels[v] = gid == 0 ? 0u : (gid <= 2 ? 1u : 3u);
+    }
+    const CommunityStatsResult res = community_stats(g, comm, labels, {});
+    EXPECT_EQ(res.num_communities, 3u);
+    EXPECT_EQ(res.size_histogram.total(), 3u);
+    EXPECT_EQ(res.size_histogram.count(0), 1u);  // size 1
+    EXPECT_EQ(res.size_histogram.count(1), 1u);  // size 2
+    EXPECT_EQ(res.size_histogram.count(2), 1u);  // size 5 -> bucket [4,8)
+  });
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    Configs, CommunityParam, ::testing::ValuesIn(standard_configs()),
+    [](const ::testing::TestParamInfo<DistConfig>& info) {
+      return info.param.label();
+    });
+
+TEST(CommunityStats, TopKTruncates) {
+  gen::EdgeList el;
+  el.n = 20;  // no edges; every vertex its own community
+  with_dist_graph(el, {2, dgraph::PartitionKind::kVertexBlock},
+                  [&](const DistGraph& g, parcomm::Communicator& comm) {
+                    std::vector<std::uint64_t> labels(g.n_loc());
+                    for (lvid_t v = 0; v < g.n_loc(); ++v)
+                      labels[v] = g.global_id(v);
+                    CommunityStatsOptions opts;
+                    opts.top_k = 5;
+                    const auto res = community_stats(g, comm, labels, opts);
+                    EXPECT_EQ(res.num_communities, 20u);
+                    EXPECT_EQ(res.top.size(), 5u);
+                  });
+}
+
+TEST(CommunityStats, SelfLoopCountsAsIntra) {
+  gen::EdgeList el;
+  el.n = 2;
+  el.edges = {{0, 0}, {0, 1}};
+  with_dist_graph(el, {2, dgraph::PartitionKind::kVertexBlock},
+                  [&](const DistGraph& g, parcomm::Communicator& comm) {
+                    std::vector<std::uint64_t> labels(g.n_loc());
+                    for (lvid_t v = 0; v < g.n_loc(); ++v)
+                      labels[v] = g.global_id(v);  // singleton communities
+                    const auto res = community_stats(g, comm, labels, {});
+                    // Community 0: self loop intra, 0->1 cut.
+                    for (const auto& rec : res.top)
+                      if (rec.label == 0) {
+                        EXPECT_EQ(rec.m_in, 1u);
+                        EXPECT_EQ(rec.m_cut, 1u);
+                      }
+                  });
+}
+
+TEST(CommunityStats, EndToEndWithLabelPropagation) {
+  gen::WebGraphParams wp;
+  wp.n = 1 << 12;
+  const gen::WebGraph wg = gen::webgraph(wp);
+  with_dist_graph(wg.graph, {3, dgraph::PartitionKind::kRandom},
+                  [&](const DistGraph& g, parcomm::Communicator& comm) {
+    LabelPropOptions lp;
+    lp.iterations = 10;
+    const auto labels = label_propagation(g, comm, lp);
+    const auto res = community_stats(g, comm, labels.labels, {});
+    ASSERT_FALSE(res.top.empty());
+    // Top communities sorted by size descending.
+    for (std::size_t i = 1; i < res.top.size(); ++i)
+      ASSERT_GE(res.top[i - 1].n_in, res.top[i].n_in);
+    // Totals: histogram mass equals community count; member counts sum to n.
+    EXPECT_EQ(res.size_histogram.total(), res.num_communities);
+    // Representative of each community is a member, hence <= any label seen.
+    for (const auto& rec : res.top) ASSERT_NE(rec.representative, kNullGvid);
+  });
+}
+
+}  // namespace
+}  // namespace hpcgraph::analytics

@@ -1,0 +1,112 @@
+// Tests for the varint/delta compressed adjacency (§VII future work #1).
+
+#include <gtest/gtest.h>
+
+#include <algorithm>
+
+#include "dgraph/compressed_csr.hpp"
+#include "gen/rmat.hpp"
+#include "gen/webgraph.hpp"
+#include "test_helpers.hpp"
+
+namespace hpcgraph::dgraph {
+namespace {
+
+using hpcgraph::testing::with_dist_graph;
+
+TEST(CompressedCsr, RoundTripsSortedAdjacency) {
+  // Hand CSR: 3 vertices; v0 -> {5, 2, 2}, v1 -> {}, v2 -> {0}.
+  const std::vector<ecnt_t> index{0, 3, 3, 4};
+  const std::vector<lvid_t> edges{5, 2, 2, 0};
+  const CompressedAdjacency c = CompressedAdjacency::encode(index, edges);
+  EXPECT_EQ(c.num_vertices(), 3u);
+  EXPECT_EQ(c.num_edges(), 4u);
+  EXPECT_EQ(c.degree(0), 3u);
+  EXPECT_EQ(c.degree(1), 0u);
+  EXPECT_EQ(c.neighbors(0), (std::vector<lvid_t>{2, 2, 5}));  // sorted, dups
+  EXPECT_TRUE(c.neighbors(1).empty());
+  EXPECT_EQ(c.neighbors(2), (std::vector<lvid_t>{0}));
+}
+
+TEST(CompressedCsr, EmptyGraph) {
+  const std::vector<ecnt_t> index{0};
+  const CompressedAdjacency c = CompressedAdjacency::encode(index, {});
+  EXPECT_EQ(c.num_vertices(), 0u);
+  EXPECT_EQ(c.num_edges(), 0u);
+}
+
+TEST(CompressedCsr, LargeGapsEncodeCorrectly) {
+  // Deltas needing 1..5 varint bytes.
+  const std::vector<lvid_t> nbrs{0, 1, 200, 20000, 3000000, 0xfffffffe};
+  const std::vector<ecnt_t> index{0, nbrs.size()};
+  const CompressedAdjacency c = CompressedAdjacency::encode(index, nbrs);
+  auto want = nbrs;
+  std::sort(want.begin(), want.end());
+  EXPECT_EQ(c.neighbors(0), want);
+}
+
+TEST(CompressedCsr, RoundTripsDistGraphAdjacency) {
+  gen::RmatParams rp;
+  rp.scale = 9;
+  rp.avg_degree = 8;
+  const gen::EdgeList el = gen::rmat(rp);
+  with_dist_graph(el, {3, PartitionKind::kVertexBlock},
+                  [&](const DistGraph& g, parcomm::Communicator&) {
+    const CompressedAdjacency out =
+        CompressedAdjacency::encode(g.out_index(), g.out_edges_raw());
+    const CompressedAdjacency in =
+        CompressedAdjacency::encode(g.in_index(), g.in_edges_raw());
+    ASSERT_EQ(out.num_edges(), g.m_out());
+    ASSERT_EQ(in.num_edges(), g.m_in());
+    for (lvid_t v = 0; v < g.n_loc(); ++v) {
+      std::vector<lvid_t> want(g.out_neighbors(v).begin(),
+                               g.out_neighbors(v).end());
+      std::sort(want.begin(), want.end());
+      ASSERT_EQ(out.neighbors(v), want) << "out adjacency of " << v;
+      want.assign(g.in_neighbors(v).begin(), g.in_neighbors(v).end());
+      std::sort(want.begin(), want.end());
+      ASSERT_EQ(in.neighbors(v), want) << "in adjacency of " << v;
+    }
+  });
+}
+
+TEST(CompressedCsr, CompressesDenseLocalIds) {
+  // Web-like graph with ghost relabeling: most gaps are small, so the
+  // compressed form must clearly undercut 4 bytes/edge.
+  gen::WebGraphParams wp;
+  wp.n = 1 << 13;
+  wp.avg_degree = 16;
+  const gen::WebGraph wg = gen::webgraph(wp);
+  with_dist_graph(wg.graph, {2, PartitionKind::kVertexBlock},
+                  [&](const DistGraph& g, parcomm::Communicator&) {
+    const CompressedAdjacency out =
+        CompressedAdjacency::encode(g.out_index(), g.out_edges_raw());
+    const double bytes_per_edge =
+        static_cast<double>(out.edge_bytes()) /
+        static_cast<double>(std::max<std::uint64_t>(out.num_edges(), 1));
+    EXPECT_LT(bytes_per_edge, 3.0);
+    EXPECT_LT(out.total_bytes(), out.plain_bytes());
+  });
+}
+
+TEST(CompressedCsr, ForEachMatchesNeighbors) {
+  gen::RmatParams rp;
+  rp.scale = 7;
+  rp.avg_degree = 6;
+  const gen::EdgeList el = gen::rmat(rp);
+  with_dist_graph(el, {1, PartitionKind::kVertexBlock},
+                  [&](const DistGraph& g, parcomm::Communicator&) {
+    const CompressedAdjacency c =
+        CompressedAdjacency::encode(g.out_index(), g.out_edges_raw());
+    for (lvid_t v = 0; v < g.n_loc(); ++v) {
+      std::vector<lvid_t> streamed;
+      c.for_each_neighbor(v, [&](lvid_t u) { streamed.push_back(u); });
+      ASSERT_EQ(streamed, c.neighbors(v));
+      // Stream is sorted.
+      ASSERT_TRUE(std::is_sorted(streamed.begin(), streamed.end()));
+    }
+  });
+}
+
+}  // namespace
+}  // namespace hpcgraph::dgraph

@@ -1,0 +1,195 @@
+// Focused tests for corners not covered by the module suites: the
+// prefer-current tie rule, partition serialization, comm stats arithmetic,
+// engine direction modes, and small formatting/histogram details.
+
+#include <gtest/gtest.h>
+
+#include <memory>
+#include <sstream>
+
+#include "baselines/gas_engine.hpp"
+#include "baselines/gas_programs.hpp"
+#include "dgraph/partition.hpp"
+#include "dgraph/pulp_partition.hpp"
+#include "gen/webgraph.hpp"
+#include "parcomm/comm.hpp"
+#include "test_helpers.hpp"
+#include "util/histogram.hpp"
+#include "util/label_counter.hpp"
+#include "util/log.hpp"
+#include "util/table.hpp"
+
+namespace hpcgraph {
+namespace {
+
+// ---------- LabelCounter prefer-current rule ----------
+
+TEST(LabelCounterTies, PrefersCurrentLabelAmongMaxima) {
+  LabelCounter c;
+  c.add(10);
+  c.add(20);  // tie
+  // When the caller's current label is one of the maxima, it must win
+  // regardless of seed (the LP stabilization rule).
+  for (std::uint64_t seed = 0; seed < 32; ++seed) {
+    EXPECT_EQ(c.argmax(seed, 10), 10u);
+    EXPECT_EQ(c.argmax(seed, 20), 20u);
+  }
+}
+
+TEST(LabelCounterTies, CurrentLabelLosesWhenStrictlyBeaten) {
+  LabelCounter c;
+  c.add(10);
+  c.add(20);
+  c.add(20);
+  EXPECT_EQ(c.argmax(0, 10), 20u);  // 20 strictly more frequent
+}
+
+TEST(LabelCounterTies, CurrentNotPresentFallsBackToHash) {
+  LabelCounter c;
+  c.add(10);
+  c.add(20);
+  const std::uint64_t pick = c.argmax(3, 999);  // 999 not among counts
+  EXPECT_TRUE(pick == 10 || pick == 20);
+}
+
+TEST(LabelCounterTies, SynchronousLpOnTiedPairIsStable) {
+  // The motivating case: u <-> v with equal labels oscillated before the
+  // prefer-current rule; now each keeps its own label (a stable fixpoint
+  // is not required by LP, but no flip-flop may occur from ties alone once
+  // labels agree).
+  LabelCounter c;
+  c.add(7);
+  c.add(7);
+  EXPECT_EQ(c.argmax(123, 7), 7u);
+}
+
+// ---------- Partition serialization ----------
+
+TEST(PartitionSerialize, RoundTripsEveryKind) {
+  using dgraph::Partition;
+  const gvid_t n = 1000;
+  const int p = 4;
+
+  const Partition vb = Partition::vertex_block(n, p);
+  const Partition vb2 = Partition::deserialize(vb.serialize());
+  const Partition rnd = Partition::random(n, p, 42);
+  const Partition rnd2 = Partition::deserialize(rnd.serialize());
+
+  auto owner = std::make_shared<std::vector<std::int32_t>>(n);
+  for (gvid_t v = 0; v < n; ++v) (*owner)[v] = static_cast<int>(v % p);
+  const Partition ex = Partition::explicit_map(n, p, owner);
+  const Partition ex2 = Partition::deserialize(ex.serialize());
+
+  for (gvid_t v = 0; v < n; ++v) {
+    ASSERT_EQ(vb2.owner(v), vb.owner(v));
+    ASSERT_EQ(rnd2.owner(v), rnd.owner(v));
+    ASSERT_EQ(ex2.owner(v), ex.owner(v));
+  }
+  EXPECT_EQ(vb2.kind(), dgraph::PartitionKind::kVertexBlock);
+  EXPECT_EQ(rnd2.kind(), dgraph::PartitionKind::kRandom);
+  EXPECT_EQ(ex2.kind(), dgraph::PartitionKind::kExplicit);
+}
+
+TEST(PartitionSerialize, RejectsTruncatedBlob) {
+  const std::vector<std::uint64_t> too_short{0, 100};
+  EXPECT_THROW(dgraph::Partition::deserialize(too_short), CheckError);
+}
+
+// ---------- CommStats arithmetic ----------
+
+TEST(CommStatsExtra, AccumulateAndReset) {
+  parcomm::CommStats a, b;
+  a.bytes_sent = 10;
+  a.collective_calls = 1;
+  b.bytes_sent = 5;
+  b.bytes_remote = 3;
+  a += b;
+  EXPECT_EQ(a.bytes_sent, 15u);
+  EXPECT_EQ(a.bytes_remote, 3u);
+  EXPECT_EQ(a.collective_calls, 1u);
+  a.reset();
+  EXPECT_EQ(a.bytes_sent, 0u);
+}
+
+TEST(CommStatsExtra, BarrierCounted) {
+  parcomm::CommWorld world(2);
+  world.run([&](parcomm::Communicator& comm) {
+    const auto before = comm.stats().barrier_calls;
+    comm.barrier();
+    comm.barrier();
+    EXPECT_EQ(comm.stats().barrier_calls, before + 2);
+  });
+}
+
+// ---------- GAS engine direction mode ----------
+
+TEST(GasDirection, UndirectedDoublesMessageWork) {
+  const gen::EdgeList el = hpcgraph::testing::tiny_graph();
+  hpcgraph::testing::with_dist_graph(
+      el, {2, dgraph::PartitionKind::kVertexBlock},
+      [&](const dgraph::DistGraph& g, parcomm::Communicator& comm) {
+        const baselines::GasConnectedComponents program;
+        baselines::GasOptions o;
+        o.max_supersteps = 1;
+        baselines::GasStats out_only, undirected;
+        o.direction = baselines::GasDirection::kOutEdges;
+        (void)baselines::gas_run(g, comm, program, o, &out_only);
+        o.direction = baselines::GasDirection::kUndirected;
+        (void)baselines::gas_run(g, comm, program, o, &undirected);
+        EXPECT_EQ(out_only.messages_sent, g.m_out());
+        EXPECT_EQ(undirected.messages_sent, g.m_out() + g.m_in());
+      });
+}
+
+// ---------- histograms / formatting / logging ----------
+
+TEST(HistogramExtra, BucketLoEdges) {
+  EXPECT_EQ(Log2Histogram::bucket_lo(0), 1u);
+  EXPECT_EQ(Log2Histogram::bucket_lo(10), 1024u);
+  Log2Histogram h;
+  EXPECT_EQ(h.total(), 0u);
+  EXPECT_DOUBLE_EQ(h.cdf(5), 0.0);
+}
+
+TEST(TablePrinterExtra, SiFormatsBoundaryValues) {
+  EXPECT_EQ(TablePrinter::fmt_si(999.0, 0), "999");
+  EXPECT_EQ(TablePrinter::fmt_si(1000.0, 2), "1.00 K");
+  EXPECT_EQ(TablePrinter::fmt_si(1e6, 1), "1.0 M");
+}
+
+TEST(LogExtra, LevelsFilter) {
+  const LogLevel saved = log_level();
+  log_level() = LogLevel::kError;
+  // Below threshold: must not crash and must be suppressed (no way to
+  // capture stderr portably here; exercise the path).
+  HG_INFO() << "suppressed";
+  HG_WARN() << "suppressed too";
+  log_level() = saved;
+  SUCCEED();
+}
+
+// ---------- webgraph naming + pulp determinism across nparts ----------
+
+TEST(WebGraphNaming, NonHubPagesGetSiteNames) {
+  gen::WebGraphParams wp;
+  wp.n = 1 << 10;
+  const gen::WebGraph wg = gen::webgraph(wp);
+  const std::string name = gen::webgraph_vertex_name(wg, wg.out.begin);
+  EXPECT_NE(name.find("site"), std::string::npos);
+  EXPECT_NE(name.find("/page"), std::string::npos);
+}
+
+TEST(PulpExtra, MorePartsNeverIncreaseBalanceCapViolations) {
+  gen::WebGraphParams wp;
+  wp.n = 1 << 10;
+  const gen::WebGraph wg = gen::webgraph(wp);
+  for (const int parts : {2, 3, 5, 7}) {
+    const auto owner = dgraph::pulp_partition(wg.graph, parts);
+    std::set<std::int32_t> used(owner.begin(), owner.end());
+    EXPECT_GT(used.size(), static_cast<std::size_t>(parts) / 2)
+        << "degenerate partition at " << parts;
+  }
+}
+
+}  // namespace
+}  // namespace hpcgraph

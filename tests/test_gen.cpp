@@ -1,0 +1,302 @@
+// Tests for the graph generators: determinism, target sizes, degree skew,
+// and — for the webgraph WC substitute — the planted structural ground
+// truth the analytics tests rely on.
+
+#include <gtest/gtest.h>
+
+#include <algorithm>
+#include <set>
+
+#include "util/error.hpp"
+#include "gen/degree_tools.hpp"
+#include "gen/erdos_renyi.hpp"
+#include "gen/rmat.hpp"
+#include "gen/social.hpp"
+#include "gen/webgraph.hpp"
+
+namespace hpcgraph::gen {
+namespace {
+
+// ---------- R-MAT ----------
+
+TEST(Rmat, SizesMatchParameters) {
+  RmatParams p;
+  p.scale = 12;
+  p.avg_degree = 8;
+  const EdgeList g = rmat(p);
+  EXPECT_EQ(g.n, 1u << 12);
+  EXPECT_EQ(g.m(), (1u << 12) * 8u);
+  for (const Edge& e : g.edges) {
+    ASSERT_LT(e.src, g.n);
+    ASSERT_LT(e.dst, g.n);
+  }
+}
+
+TEST(Rmat, DeterministicForSeed) {
+  RmatParams p;
+  p.scale = 10;
+  p.seed = 5;
+  const EdgeList a = rmat(p), b = rmat(p);
+  EXPECT_EQ(a.edges, b.edges);
+  p.seed = 6;
+  const EdgeList c = rmat(p);
+  EXPECT_NE(a.edges, c.edges);
+}
+
+TEST(Rmat, ProducesDegreeSkew) {
+  RmatParams p;
+  p.scale = 14;
+  p.avg_degree = 16;
+  const EdgeList g = rmat(p);
+  const auto deg = out_degrees(g);
+  const std::uint32_t dmax = *std::max_element(deg.begin(), deg.end());
+  // R-MAT with Graph500 parameters is strongly skewed: the max degree is
+  // far above the average.
+  EXPECT_GT(dmax, 16u * 8u);
+}
+
+TEST(Rmat, ScrambleChangesIdsNotCount) {
+  RmatParams p;
+  p.scale = 10;
+  p.scramble_ids = false;
+  const EdgeList plain = rmat(p);
+  p.scramble_ids = true;
+  const EdgeList scrambled = rmat(p);
+  EXPECT_EQ(plain.m(), scrambled.m());
+  EXPECT_NE(plain.edges, scrambled.edges);
+}
+
+TEST(Rmat, RejectsBadProbabilities) {
+  RmatParams p;
+  p.a = 0.9;  // sums to > 1 with defaults
+  EXPECT_THROW(rmat(p), CheckError);
+}
+
+// ---------- Erdős–Rényi ----------
+
+TEST(ErdosRenyi, SizesAndRange) {
+  ErParams p;
+  p.n = 5000;
+  p.m = 40000;
+  const EdgeList g = erdos_renyi(p);
+  EXPECT_EQ(g.n, 5000u);
+  EXPECT_EQ(g.m(), 40000u);
+  for (const Edge& e : g.edges) {
+    ASSERT_LT(e.src, g.n);
+    ASSERT_LT(e.dst, g.n);
+  }
+}
+
+TEST(ErdosRenyi, Deterministic) {
+  ErParams p;
+  p.seed = 9;
+  EXPECT_EQ(erdos_renyi(p).edges, erdos_renyi(p).edges);
+}
+
+TEST(ErdosRenyi, DegreesConcentrateAroundMean) {
+  ErParams p;
+  p.n = 1 << 14;
+  p.m = (1u << 14) * 16;
+  const EdgeList g = erdos_renyi(p);
+  const auto deg = out_degrees(g);
+  const std::uint32_t dmax = *std::max_element(deg.begin(), deg.end());
+  // Poisson(16) tail: max degree stays within a small factor of the mean —
+  // the defining contrast with R-MAT.
+  EXPECT_LT(dmax, 16u * 4u);
+}
+
+// ---------- webgraph (WC substitute) ----------
+
+class WebGraphTest : public ::testing::Test {
+ protected:
+  static WebGraph make(gvid_t n = 1 << 14) {
+    WebGraphParams p;
+    p.n = n;
+    p.avg_degree = 12;
+    p.seed = 3;
+    return webgraph(p);
+  }
+};
+
+TEST_F(WebGraphTest, SegmentsPartitionIdSpace) {
+  const WebGraph wg = make();
+  EXPECT_EQ(wg.disc.begin, 0u);
+  EXPECT_EQ(wg.disc.end, wg.in.begin);
+  EXPECT_EQ(wg.in.end, wg.core.begin);
+  EXPECT_EQ(wg.core.end, wg.out.begin);
+  EXPECT_EQ(wg.out.end, wg.tendril.begin);
+  EXPECT_EQ(wg.tendril.end, wg.graph.n);
+  EXPECT_GT(wg.core.size(), wg.graph.n / 3);
+}
+
+TEST_F(WebGraphTest, Deterministic) {
+  const WebGraph a = make(), b = make();
+  EXPECT_EQ(a.graph.edges, b.graph.edges);
+  EXPECT_EQ(a.comm_of, b.comm_of);
+}
+
+TEST_F(WebGraphTest, EdgeCountNearTarget) {
+  const WebGraph wg = make();
+  const double avg = wg.graph.avg_degree();
+  EXPECT_GT(avg, 9.0);
+  EXPECT_LT(avg, 15.0);
+}
+
+TEST_F(WebGraphTest, CoreRingPresent) {
+  const WebGraph wg = make();
+  // The deterministic ring guarantees the core is one SCC: every core
+  // vertex must have an out-edge to its ring successor.
+  std::set<std::pair<gvid_t, gvid_t>> edges;
+  for (const Edge& e : wg.graph.edges) edges.insert({e.src, e.dst});
+  for (gvid_t v = wg.core.begin; v < wg.core.end; ++v) {
+    const gvid_t nxt = (v + 1 == wg.core.end) ? wg.core.begin : v + 1;
+    ASSERT_TRUE(edges.count({v, nxt})) << "missing ring edge at " << v;
+  }
+}
+
+TEST_F(WebGraphTest, DiscIslandsAreClosed) {
+  const WebGraph wg = make();
+  for (const Edge& e : wg.graph.edges) {
+    const bool src_disc = wg.disc.contains(e.src);
+    const bool dst_disc = wg.disc.contains(e.dst);
+    // No edge crosses the DISC boundary in either direction.
+    ASSERT_EQ(src_disc, dst_disc) << e.src << "->" << e.dst;
+    if (src_disc) {
+      ASSERT_EQ(wg.comm_of[e.src], wg.comm_of[e.dst]);
+    }
+  }
+}
+
+TEST_F(WebGraphTest, NoEdgesBackIntoCoreFromOutOrTendril) {
+  const WebGraph wg = make();
+  for (const Edge& e : wg.graph.edges) {
+    if (wg.out.contains(e.src) || wg.tendril.contains(e.src)) {
+      ASSERT_FALSE(wg.core.contains(e.dst))
+          << "SCC-breaking back edge " << e.src << "->" << e.dst;
+      ASSERT_FALSE(wg.in.contains(e.dst));
+    }
+  }
+}
+
+TEST_F(WebGraphTest, InSegmentNeverReceivesFromCore) {
+  const WebGraph wg = make();
+  for (const Edge& e : wg.graph.edges) {
+    if (wg.core.contains(e.src)) {
+      ASSERT_FALSE(wg.in.contains(e.dst));
+    }
+  }
+}
+
+TEST_F(WebGraphTest, CommunitiesAreContiguousBlocks) {
+  const WebGraph wg = make();
+  for (gvid_t v = 1; v < wg.graph.n; ++v) {
+    const auto a = wg.comm_of[v - 1], b = wg.comm_of[v];
+    ASSERT_TRUE(b == a || b == a + 1) << "non-contiguous community at " << v;
+  }
+  EXPECT_EQ(wg.comm_of.back() + 1, wg.num_communities);
+}
+
+TEST_F(WebGraphTest, HubsLiveInCoreAndAreHot) {
+  const WebGraph wg = make();
+  const auto indeg = in_degrees(wg.graph);
+  double hub_avg = 0;
+  for (const gvid_t h : wg.hubs) {
+    ASSERT_TRUE(wg.core.contains(h));
+    hub_avg += indeg[h];
+  }
+  hub_avg /= static_cast<double>(wg.hubs.size());
+  const double overall_avg =
+      static_cast<double>(wg.graph.m()) / static_cast<double>(wg.graph.n);
+  EXPECT_GT(hub_avg, overall_avg * 20);  // hubs dominate in-degree
+}
+
+TEST_F(WebGraphTest, VertexNamesAreStable) {
+  const WebGraph wg = make();
+  EXPECT_EQ(webgraph_vertex_name(wg, wg.hubs[0]), "creativecommons.org/");
+  const gvid_t v = wg.in.begin;
+  EXPECT_EQ(webgraph_vertex_name(wg, v), webgraph_vertex_name(wg, v));
+  EXPECT_NE(webgraph_vertex_name(wg, v).find("site"), std::string::npos);
+}
+
+TEST_F(WebGraphTest, HasSmallCommunities) {
+  // Figure 5's head: communities of size 1 and 2 must exist.
+  const WebGraph wg = make(1 << 15);
+  std::vector<std::uint64_t> sizes(wg.num_communities, 0);
+  for (const auto c : wg.comm_of) ++sizes[c];
+  EXPECT_TRUE(std::find(sizes.begin(), sizes.end(), 1u) != sizes.end());
+  EXPECT_TRUE(std::find(sizes.begin(), sizes.end(), 2u) != sizes.end());
+}
+
+// ---------- social presets ----------
+
+TEST(Social, PresetSizeOrderingMatchesTableI) {
+  const EdgeList tw = twitter_like(256);
+  const EdgeList lj = livejournal_like(256);
+  const EdgeList gg = google_like(256);
+  const EdgeList host = host_like(256);
+  const EdgeList pay = pay_like(256);
+  // Published vertex ordering: Host > Twitter > Pay > LiveJournal > Google.
+  EXPECT_GT(host.n, tw.n);
+  EXPECT_GT(tw.n, pay.n);
+  EXPECT_GT(pay.n, lj.n);
+  EXPECT_GE(lj.n, gg.n);
+}
+
+TEST(Social, Deterministic) {
+  EXPECT_EQ(google_like(64, 7).edges, google_like(64, 7).edges);
+}
+
+TEST(Social, EdgesInRange) {
+  const EdgeList g = livejournal_like(256);
+  for (const Edge& e : g.edges) {
+    ASSERT_LT(e.src, g.n);
+    ASSERT_LT(e.dst, g.n);
+  }
+}
+
+TEST(Social, TwitterSkewExceedsGoogleSkew) {
+  const EdgeList tw = twitter_like(512);
+  const EdgeList gg = google_like(64);
+  const auto dtw = in_degrees(tw);
+  const auto dgg = in_degrees(gg);
+  const double tw_max_ratio =
+      static_cast<double>(*std::max_element(dtw.begin(), dtw.end())) /
+      (static_cast<double>(tw.m()) / tw.n);
+  const double gg_max_ratio =
+      static_cast<double>(*std::max_element(dgg.begin(), dgg.end())) /
+      (static_cast<double>(gg.m()) / gg.n);
+  EXPECT_GT(tw_max_ratio, gg_max_ratio);
+}
+
+// ---------- degree tools ----------
+
+TEST(DegreeTools, CountsMatchHandGraph) {
+  EdgeList g;
+  g.n = 4;
+  g.edges = {{0, 1}, {0, 2}, {1, 2}, {3, 3}};
+  EXPECT_EQ(out_degrees(g), (std::vector<std::uint32_t>{2, 1, 0, 1}));
+  EXPECT_EQ(in_degrees(g), (std::vector<std::uint32_t>{0, 1, 2, 1}));
+  EXPECT_EQ(total_degrees(g), (std::vector<std::uint32_t>{2, 2, 2, 2}));
+}
+
+TEST(DegreeTools, TopKByDegree) {
+  EdgeList g;
+  g.n = 5;
+  // degrees (total): v0=3, v1=1, v2=2, v3=0, v4=2
+  g.edges = {{0, 1}, {0, 2}, {0, 4}, {2, 4}};
+  const auto top = top_k_by_degree(g, 3);
+  ASSERT_EQ(top.size(), 3u);
+  EXPECT_EQ(top[0], 0u);
+  EXPECT_EQ(top[1], 2u);  // tie with v4 broken by lower id
+  EXPECT_EQ(top[2], 4u);
+}
+
+TEST(DegreeTools, TopKClampsToN) {
+  EdgeList g;
+  g.n = 3;
+  g.edges = {{0, 1}};
+  EXPECT_EQ(top_k_by_degree(g, 100).size(), 3u);
+}
+
+}  // namespace
+}  // namespace hpcgraph::gen

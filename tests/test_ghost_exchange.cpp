@@ -1,0 +1,186 @@
+// Tests for the retained-queue ghost exchange (§III-D1 machinery).
+
+#include <gtest/gtest.h>
+
+#include "dgraph/ghost_exchange.hpp"
+#include "gen/rmat.hpp"
+#include "test_helpers.hpp"
+
+namespace hpcgraph::dgraph {
+namespace {
+
+using hpcgraph::testing::DistConfig;
+using hpcgraph::testing::standard_configs;
+using hpcgraph::testing::with_dist_graph;
+
+// A recognizable per-vertex function of the global id.
+std::uint64_t f(gvid_t g) { return g * 2654435761ULL + 17; }
+
+class GhostExchangeParam : public ::testing::TestWithParam<DistConfig> {};
+
+TEST_P(GhostExchangeParam, BothDirectionUpdatesEveryGhost) {
+  gen::RmatParams rp;
+  rp.scale = 9;
+  rp.avg_degree = 8;
+  const gen::EdgeList el = gen::rmat(rp);
+  with_dist_graph(el, GetParam(), [&](const DistGraph& g,
+                                      parcomm::Communicator& comm) {
+    GhostExchange gx(g, comm, Adjacency::kBoth);
+    std::vector<std::uint64_t> vals(g.n_total(), 0);
+    for (lvid_t v = 0; v < g.n_loc(); ++v) vals[v] = f(g.global_id(v));
+    gx.exchange<std::uint64_t>(vals, comm);
+    // Every ghost slot must now hold its owner's value.
+    for (lvid_t l = g.n_loc(); l < g.n_total(); ++l)
+      ASSERT_EQ(vals[l], f(g.global_id(l))) << g.global_id(l);
+    // Local values untouched.
+    for (lvid_t v = 0; v < g.n_loc(); ++v)
+      ASSERT_EQ(vals[v], f(g.global_id(v)));
+  });
+}
+
+TEST_P(GhostExchangeParam, OutDirectionCoversInEdgeReads) {
+  // PageRank reads ghost values through in-edge lists; the kOut exchange
+  // must refresh exactly those ghosts.
+  gen::RmatParams rp;
+  rp.scale = 8;
+  rp.avg_degree = 6;
+  const gen::EdgeList el = gen::rmat(rp);
+  with_dist_graph(el, GetParam(), [&](const DistGraph& g,
+                                      parcomm::Communicator& comm) {
+    GhostExchange gx(g, comm, Adjacency::kOut);
+    std::vector<std::uint64_t> vals(g.n_total(), 0);
+    for (lvid_t v = 0; v < g.n_loc(); ++v) vals[v] = f(g.global_id(v));
+    gx.exchange<std::uint64_t>(vals, comm);
+    for (lvid_t v = 0; v < g.n_loc(); ++v)
+      for (const lvid_t u : g.in_neighbors(v))
+        ASSERT_EQ(vals[u], f(g.global_id(u)))
+            << "stale in-neighbour ghost " << g.global_id(u);
+  });
+}
+
+TEST_P(GhostExchangeParam, InDirectionCoversOutEdgeReads) {
+  gen::RmatParams rp;
+  rp.scale = 8;
+  rp.avg_degree = 6;
+  const gen::EdgeList el = gen::rmat(rp);
+  with_dist_graph(el, GetParam(), [&](const DistGraph& g,
+                                      parcomm::Communicator& comm) {
+    GhostExchange gx(g, comm, Adjacency::kIn);
+    std::vector<std::uint64_t> vals(g.n_total(), 0);
+    for (lvid_t v = 0; v < g.n_loc(); ++v) vals[v] = f(g.global_id(v));
+    gx.exchange<std::uint64_t>(vals, comm);
+    for (lvid_t v = 0; v < g.n_loc(); ++v)
+      for (const lvid_t u : g.out_neighbors(v))
+        ASSERT_EQ(vals[u], f(g.global_id(u)))
+            << "stale out-neighbour ghost " << g.global_id(u);
+  });
+}
+
+TEST_P(GhostExchangeParam, RepeatedExchangesTrackChangingValues) {
+  const gen::EdgeList el = hpcgraph::testing::tiny_graph();
+  with_dist_graph(el, GetParam(), [&](const DistGraph& g,
+                                      parcomm::Communicator& comm) {
+    GhostExchange gx(g, comm, Adjacency::kBoth);
+    std::vector<std::uint64_t> vals(g.n_total(), 0);
+    for (int round = 1; round <= 3; ++round) {
+      for (lvid_t v = 0; v < g.n_loc(); ++v)
+        vals[v] = f(g.global_id(v)) + static_cast<std::uint64_t>(round);
+      gx.exchange<std::uint64_t>(vals, comm);
+      for (lvid_t l = g.n_loc(); l < g.n_total(); ++l)
+        ASSERT_EQ(vals[l],
+                  f(g.global_id(l)) + static_cast<std::uint64_t>(round));
+    }
+  });
+}
+
+TEST_P(GhostExchangeParam, WorksForDifferentPayloadTypes) {
+  const gen::EdgeList el = hpcgraph::testing::tiny_graph();
+  with_dist_graph(el, GetParam(), [&](const DistGraph& g,
+                                      parcomm::Communicator& comm) {
+    GhostExchange gx(g, comm, Adjacency::kBoth);
+    std::vector<double> dvals(g.n_total(), -1.0);
+    for (lvid_t v = 0; v < g.n_loc(); ++v)
+      dvals[v] = 0.5 * static_cast<double>(g.global_id(v));
+    gx.exchange<double>(dvals, comm);
+    for (lvid_t l = g.n_loc(); l < g.n_total(); ++l)
+      ASSERT_DOUBLE_EQ(dvals[l], 0.5 * static_cast<double>(g.global_id(l)));
+
+    std::vector<std::uint8_t> bvals(g.n_total(), 0);
+    for (lvid_t v = 0; v < g.n_loc(); ++v)
+      bvals[v] = static_cast<std::uint8_t>(g.global_id(v) & 0xff);
+    gx.exchange<std::uint8_t>(bvals, comm);
+    for (lvid_t l = g.n_loc(); l < g.n_total(); ++l)
+      ASSERT_EQ(bvals[l], static_cast<std::uint8_t>(g.global_id(l) & 0xff));
+  });
+}
+
+TEST_P(GhostExchangeParam, SendVolumeIsBoundedByGhostRelation) {
+  gen::RmatParams rp;
+  rp.scale = 8;
+  rp.avg_degree = 6;
+  const gen::EdgeList el = gen::rmat(rp);
+  with_dist_graph(el, GetParam(), [&](const DistGraph& g,
+                                      parcomm::Communicator& comm) {
+    GhostExchange gx(g, comm, Adjacency::kBoth);
+    // Per-vertex dedup: a rank sends each local vertex at most once per
+    // neighbouring task, so entries <= n_loc * (p-1), and the global number
+    // of receive entries equals the global number of send entries.
+    EXPECT_LE(gx.send_entries(),
+              static_cast<std::uint64_t>(g.n_loc()) * (comm.size() - 1));
+    const auto total_send = comm.allreduce_sum(gx.send_entries());
+    const auto total_recv = comm.allreduce_sum(gx.recv_entries());
+    EXPECT_EQ(total_send, total_recv);
+    // Every ghost receives exactly one update per exchange.
+    EXPECT_EQ(gx.recv_entries(), g.n_gst());
+  });
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    Configs, GhostExchangeParam,
+    ::testing::ValuesIn(standard_configs()),
+    [](const ::testing::TestParamInfo<DistConfig>& info) {
+      return info.param.label();
+    });
+
+TEST(GhostExchange, ThreadedSetupMatchesSerial) {
+  gen::RmatParams rp;
+  rp.scale = 8;
+  rp.avg_degree = 6;
+  const gen::EdgeList el = gen::rmat(rp);
+  parcomm::CommWorld world(3);
+  world.run([&](parcomm::Communicator& comm) {
+    const DistGraph g = Builder::from_edge_list(
+        comm, el, PartitionKind::kVertexBlock);
+    ThreadPool pool(4);
+    GhostExchange serial(g, comm, Adjacency::kBoth, nullptr);
+    GhostExchange threaded(g, comm, Adjacency::kBoth, &pool);
+    EXPECT_EQ(serial.send_entries(), threaded.send_entries());
+    EXPECT_EQ(serial.recv_entries(), threaded.recv_entries());
+    // Both must produce correct ghost updates.
+    std::vector<std::uint64_t> vals(g.n_total(), 0);
+    for (lvid_t v = 0; v < g.n_loc(); ++v) vals[v] = f(g.global_id(v));
+    threaded.exchange<std::uint64_t>(vals, comm);
+    for (lvid_t l = g.n_loc(); l < g.n_total(); ++l)
+      ASSERT_EQ(vals[l], f(g.global_id(l)));
+  });
+}
+
+TEST(GhostExchange, RejectsTooShortValueArray) {
+  // A graph whose single edge pair crosses the 2-rank vertex-block cut, so
+  // both ranks own one ghost and both throw before any collective runs.
+  gen::EdgeList el;
+  el.n = 4;
+  el.edges = {{0, 3}, {3, 0}};
+  with_dist_graph(el, {2, PartitionKind::kVertexBlock},
+                  [&](const DistGraph& g, parcomm::Communicator& comm) {
+                    GhostExchange gx(g, comm, Adjacency::kBoth);
+                    ASSERT_EQ(g.n_gst(), 1u);
+                    std::vector<std::uint64_t> bad(g.n_loc());
+                    EXPECT_THROW(gx.exchange<std::uint64_t>(bad, comm),
+                                 CheckError);
+                    comm.barrier();  // all ranks threw; resynchronize
+                  });
+}
+
+}  // namespace
+}  // namespace hpcgraph::dgraph

@@ -1,0 +1,146 @@
+// Tests for the binary edge file format and parallel chunked reads.
+
+#include <gtest/gtest.h>
+#include <unistd.h>
+
+#include <cstdio>
+#include <filesystem>
+#include <fstream>
+
+#include "gen/erdos_renyi.hpp"
+#include "util/error.hpp"
+#include "io/binary_edge_io.hpp"
+
+namespace hpcgraph::io {
+namespace {
+
+namespace fs = std::filesystem;
+
+class IoTest : public ::testing::Test {
+ protected:
+  void SetUp() override {
+    dir_ = fs::temp_directory_path() /
+           ("hgio_" + std::to_string(::getpid()) + "_" +
+            ::testing::UnitTest::GetInstance()->current_test_info()->name());
+    fs::create_directories(dir_);
+  }
+  void TearDown() override { fs::remove_all(dir_); }
+
+  std::string path(const std::string& name) const {
+    return (dir_ / name).string();
+  }
+
+  fs::path dir_;
+};
+
+TEST_F(IoTest, RoundTripU32) {
+  gen::EdgeList g;
+  g.n = 100;
+  g.edges = {{0, 1}, {5, 99}, {99, 0}, {7, 7}};
+  write_edge_file(path("g.bin"), g, EdgeFormat::kU32);
+  EXPECT_EQ(edge_count(path("g.bin"), EdgeFormat::kU32), 4u);
+  const auto back = read_edge_chunk(path("g.bin"), EdgeFormat::kU32, 0, 4);
+  EXPECT_EQ(back, g.edges);
+}
+
+TEST_F(IoTest, RoundTripU64) {
+  gen::EdgeList g;
+  g.n = gvid_t{1} << 40;
+  g.edges = {{0, (gvid_t{1} << 36) + 5}, {gvid_t{1} << 39, 2}};
+  write_edge_file(path("g64.bin"), g, EdgeFormat::kU64);
+  EXPECT_EQ(edge_count(path("g64.bin"), EdgeFormat::kU64), 2u);
+  const auto back = read_edge_chunk(path("g64.bin"), EdgeFormat::kU64, 0, 2);
+  EXPECT_EQ(back, g.edges);
+}
+
+TEST_F(IoTest, U32RejectsOversizeIds) {
+  gen::EdgeList g;
+  g.n = gvid_t{1} << 40;
+  g.edges = {{gvid_t{1} << 35, 0}};
+  EXPECT_THROW(write_edge_file(path("bad.bin"), g, EdgeFormat::kU32),
+               CheckError);
+}
+
+TEST_F(IoTest, FileSizeIsExact) {
+  gen::EdgeList g;
+  g.n = 10;
+  g.edges.assign(1000, {1, 2});
+  write_edge_file(path("g.bin"), g, EdgeFormat::kU32);
+  EXPECT_EQ(fs::file_size(path("g.bin")), 1000u * 8u);
+}
+
+TEST_F(IoTest, ChunkedReadsReassembleWholeFile) {
+  gen::ErParams p;
+  p.n = 1000;
+  p.m = 7777;  // deliberately not divisible by typical rank counts
+  const gen::EdgeList g = gen::erdos_renyi(p);
+  write_edge_file(path("g.bin"), g, EdgeFormat::kU32);
+
+  for (const int nranks : {1, 2, 3, 4, 7, 16}) {
+    std::vector<gen::Edge> assembled;
+    std::uint64_t covered = 0;
+    for (int r = 0; r < nranks; ++r) {
+      const auto [first, count] = chunk_for_rank(g.m(), r, nranks);
+      EXPECT_EQ(first, covered);  // chunks are contiguous, in order
+      covered += count;
+      const auto chunk =
+          read_edge_chunk(path("g.bin"), EdgeFormat::kU32, first, count);
+      assembled.insert(assembled.end(), chunk.begin(), chunk.end());
+    }
+    EXPECT_EQ(covered, g.m());
+    EXPECT_EQ(assembled, g.edges) << "nranks=" << nranks;
+  }
+}
+
+TEST_F(IoTest, ChunksAreBalanced) {
+  for (const std::uint64_t m : {0ull, 1ull, 99ull, 100ull, 101ull}) {
+    for (const int p : {1, 3, 8}) {
+      std::uint64_t total = 0, cmax = 0, cmin = ~0ull;
+      for (int r = 0; r < p; ++r) {
+        const auto [first, count] = chunk_for_rank(m, r, p);
+        (void)first;
+        total += count;
+        cmax = std::max(cmax, count);
+        cmin = std::min(cmin, count);
+      }
+      EXPECT_EQ(total, m);
+      EXPECT_LE(cmax - cmin, 1u) << "m=" << m << " p=" << p;
+    }
+  }
+}
+
+TEST_F(IoTest, EmptyChunkReadIsEmpty) {
+  gen::EdgeList g;
+  g.n = 2;
+  g.edges = {{0, 1}};
+  write_edge_file(path("g.bin"), g);
+  EXPECT_TRUE(read_edge_chunk(path("g.bin"), EdgeFormat::kU32, 1, 0).empty());
+}
+
+TEST_F(IoTest, MissingFileThrows) {
+  EXPECT_THROW(edge_count(path("nope.bin")), CheckError);
+  EXPECT_THROW(read_edge_chunk(path("nope.bin"), EdgeFormat::kU32, 0, 1),
+               CheckError);
+}
+
+TEST_F(IoTest, TruncatedFileThrows) {
+  std::ofstream f(path("trunc.bin"), std::ios::binary);
+  f.write("abc", 3);  // not a multiple of 8
+  f.close();
+  EXPECT_THROW(edge_count(path("trunc.bin")), CheckError);
+}
+
+TEST_F(IoTest, OverwriteReplacesContent) {
+  gen::EdgeList a;
+  a.n = 2;
+  a.edges.assign(100, {0, 1});
+  write_edge_file(path("g.bin"), a);
+  gen::EdgeList b;
+  b.n = 2;
+  b.edges = {{1, 0}};
+  write_edge_file(path("g.bin"), b);
+  EXPECT_EQ(edge_count(path("g.bin")), 1u);
+}
+
+}  // namespace
+}  // namespace hpcgraph::io

@@ -1,0 +1,180 @@
+// Distributed PageRank vs the sequential reference: tolerance equality,
+// mass conservation, dangling handling, ablations, early stopping.
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+#include <numeric>
+
+#include "analytics/pagerank.hpp"
+#include "gen/rmat.hpp"
+#include "gen/webgraph.hpp"
+#include "ref/ref_analytics.hpp"
+#include "test_helpers.hpp"
+
+namespace hpcgraph::analytics {
+namespace {
+
+using dgraph::DistGraph;
+using hpcgraph::testing::DistConfig;
+using hpcgraph::testing::standard_configs;
+using hpcgraph::testing::tiny_graph;
+using hpcgraph::testing::with_dist_graph;
+
+void expect_scores_match(const DistGraph& g, std::span<const double> got,
+                         const std::vector<double>& want, double rel_tol) {
+  for (lvid_t v = 0; v < g.n_loc(); ++v) {
+    const gvid_t gid = g.global_id(v);
+    ASSERT_NEAR(got[v], want[gid], want[gid] * rel_tol + 1e-15)
+        << "vertex " << gid;
+  }
+}
+
+class PageRankParam : public ::testing::TestWithParam<DistConfig> {};
+
+TEST_P(PageRankParam, MatchesReferenceOnRmat) {
+  gen::RmatParams rp;
+  rp.scale = 9;
+  rp.avg_degree = 8;
+  const gen::EdgeList el = gen::rmat(rp);
+  const auto want = ref::pagerank(ref::SeqGraph::from(el), 10);
+
+  with_dist_graph(el, GetParam(), [&](const DistGraph& g,
+                                      parcomm::Communicator& comm) {
+    PageRankOptions opts;
+    opts.max_iterations = 10;
+    const PageRankResult res = pagerank(g, comm, opts);
+    EXPECT_EQ(res.iterations_run, 10);
+    expect_scores_match(g, res.scores, want, 1e-10);
+  });
+}
+
+TEST_P(PageRankParam, MassConservedWithDanglingVertices) {
+  const gen::EdgeList el = tiny_graph();  // has dangling + isolated vertices
+  with_dist_graph(el, GetParam(), [&](const DistGraph& g,
+                                      parcomm::Communicator& comm) {
+    PageRankOptions opts;
+    opts.max_iterations = 25;
+    const PageRankResult res = pagerank(g, comm, opts);
+    const double local =
+        std::accumulate(res.scores.begin(), res.scores.end(), 0.0);
+    const double total = comm.allreduce_sum(local);
+    EXPECT_NEAR(total, 1.0, 1e-10);
+  });
+}
+
+TEST_P(PageRankParam, ScoresArePositive) {
+  const gen::EdgeList el = tiny_graph();
+  with_dist_graph(el, GetParam(), [&](const DistGraph& g,
+                                      parcomm::Communicator& comm) {
+    const PageRankResult res = pagerank(g, comm, {});
+    for (const double s : res.scores) ASSERT_GT(s, 0.0);
+  });
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    Configs, PageRankParam, ::testing::ValuesIn(standard_configs()),
+    [](const ::testing::TestParamInfo<DistConfig>& info) {
+      return info.param.label();
+    });
+
+TEST(PageRank, RebuildAblationGivesSameScores) {
+  gen::RmatParams rp;
+  rp.scale = 8;
+  rp.avg_degree = 6;
+  const gen::EdgeList el = gen::rmat(rp);
+  with_dist_graph(el, {3, dgraph::PartitionKind::kRandom},
+                  [&](const DistGraph& g, parcomm::Communicator& comm) {
+                    PageRankOptions opts;
+                    opts.retain_queues = true;
+                    const auto a = pagerank(g, comm, opts);
+                    opts.retain_queues = false;
+                    const auto b = pagerank(g, comm, opts);
+                    for (lvid_t v = 0; v < g.n_loc(); ++v)
+                      ASSERT_DOUBLE_EQ(a.scores[v], b.scores[v]);
+                  });
+}
+
+TEST(PageRank, ToleranceStopsEarly) {
+  // A cycle converges immediately (uniform is the fixed point).
+  gen::EdgeList el;
+  el.n = 64;
+  for (gvid_t v = 0; v < el.n; ++v) el.edges.push_back({v, (v + 1) % el.n});
+  with_dist_graph(el, {2, dgraph::PartitionKind::kVertexBlock},
+                  [&](const DistGraph& g, parcomm::Communicator& comm) {
+                    PageRankOptions opts;
+                    opts.max_iterations = 100;
+                    opts.tolerance = 1e-9;
+                    const PageRankResult res = pagerank(g, comm, opts);
+                    EXPECT_LT(res.iterations_run, 5);
+                    EXPECT_LT(res.l1_delta, 1e-9);
+                  });
+}
+
+TEST(PageRank, DampingParameterRespected) {
+  // With damping 0, every score is exactly 1/n regardless of structure.
+  const gen::EdgeList el = tiny_graph();
+  with_dist_graph(el, {2, dgraph::PartitionKind::kVertexBlock},
+                  [&](const DistGraph& g, parcomm::Communicator& comm) {
+                    PageRankOptions opts;
+                    opts.damping = 0.0;
+                    opts.max_iterations = 3;
+                    const PageRankResult res = pagerank(g, comm, opts);
+                    for (const double s : res.scores)
+                      ASSERT_DOUBLE_EQ(s, 1.0 / 10.0);
+                  });
+}
+
+TEST(PageRank, HubsOutrankLeavesOnWebGraph) {
+  gen::WebGraphParams wp;
+  wp.n = 1 << 12;
+  wp.avg_degree = 10;
+  const gen::WebGraph wg = gen::webgraph(wp);
+  with_dist_graph(wg.graph, {4, dgraph::PartitionKind::kRandom},
+                  [&](const DistGraph& g, parcomm::Communicator& comm) {
+                    const PageRankResult res = pagerank(g, comm, {});
+                    // Globally: every hub must score above the global mean.
+                    const double mean = 1.0 / static_cast<double>(g.n_global());
+                    for (lvid_t v = 0; v < g.n_loc(); ++v) {
+                      const gvid_t gid = g.global_id(v);
+                      for (const gvid_t h : wg.hubs) {
+                        if (gid == h) {
+                          ASSERT_GT(res.scores[v], mean * 10) << "hub " << h;
+                        }
+                      }
+                    }
+                  });
+}
+
+TEST(PageRank, ThreadedMatchesReference) {
+  gen::RmatParams rp;
+  rp.scale = 8;
+  rp.avg_degree = 8;
+  const gen::EdgeList el = gen::rmat(rp);
+  const auto want = ref::pagerank(ref::SeqGraph::from(el), 8);
+  parcomm::CommWorld world(2);
+  world.run([&](parcomm::Communicator& comm) {
+    const DistGraph g = dgraph::Builder::from_edge_list(
+        comm, el, dgraph::PartitionKind::kVertexBlock);
+    ThreadPool pool(4);
+    PageRankOptions opts;
+    opts.max_iterations = 8;
+    opts.common.pool = &pool;
+    const PageRankResult res = pagerank(g, comm, opts);
+    expect_scores_match(g, res.scores, want, 1e-10);
+  });
+}
+
+TEST(PageRank, EdgelessGraphIsUniform) {
+  gen::EdgeList el;
+  el.n = 8;
+  with_dist_graph(el, {2, dgraph::PartitionKind::kVertexBlock},
+                  [&](const DistGraph& g, parcomm::Communicator& comm) {
+                    const PageRankResult res = pagerank(g, comm, {});
+                    for (const double s : res.scores)
+                      ASSERT_NEAR(s, 1.0 / 8.0, 1e-12);
+                  });
+}
+
+}  // namespace
+}  // namespace hpcgraph::analytics

@@ -1,0 +1,142 @@
+// Tests for the PuLP-style partitioner (§VII future work #2) and the
+// explicit-map Partition kind that carries its output.
+
+#include <gtest/gtest.h>
+
+#include <memory>
+
+#include "dgraph/pulp_partition.hpp"
+#include "gen/rmat.hpp"
+#include "gen/webgraph.hpp"
+#include "test_helpers.hpp"
+
+namespace hpcgraph::dgraph {
+namespace {
+
+TEST(PulpPartition, SinglePartIsAllZero) {
+  gen::EdgeList el = hpcgraph::testing::tiny_graph();
+  const auto owner = pulp_partition(el, 1);
+  for (const auto o : owner) EXPECT_EQ(o, 0);
+}
+
+TEST(PulpPartition, Deterministic) {
+  gen::RmatParams rp;
+  rp.scale = 9;
+  rp.avg_degree = 8;
+  const gen::EdgeList el = gen::rmat(rp);
+  EXPECT_EQ(pulp_partition(el, 4), pulp_partition(el, 4));
+}
+
+TEST(PulpPartition, RespectsVertexBalanceCap) {
+  gen::WebGraphParams wp;
+  wp.n = 1 << 12;
+  const gen::WebGraph wg = gen::webgraph(wp);
+  PulpParams pp;
+  pp.vertex_balance = 1.10;
+  for (const int parts : {2, 4, 8}) {
+    const auto owner = pulp_partition(wg.graph, parts, pp);
+    std::vector<std::uint64_t> count(parts, 0);
+    for (const auto o : owner) ++count[o];
+    const std::uint64_t cap = static_cast<std::uint64_t>(
+        pp.vertex_balance * static_cast<double>(wg.graph.n) / parts + 1);
+    for (int q = 0; q < parts; ++q)
+      EXPECT_LE(count[q], cap) << "part " << q << " of " << parts;
+  }
+}
+
+TEST(PulpPartition, RespectsEdgeBalanceCap) {
+  gen::RmatParams rp;
+  rp.scale = 11;
+  rp.avg_degree = 16;
+  const gen::EdgeList el = gen::rmat(rp);
+  PulpParams pp;
+  pp.edge_balance = 1.5;
+  const int parts = 4;
+  const auto owner = pulp_partition(el, parts, pp);
+  std::vector<std::uint64_t> degsum(parts, 0);
+  for (const gen::Edge& e : el.edges) {
+    ++degsum[owner[e.src]];
+    ++degsum[owner[e.dst]];
+  }
+  const std::uint64_t cap = static_cast<std::uint64_t>(
+      pp.edge_balance * 2.0 * static_cast<double>(el.m()) / parts + 1);
+  for (int q = 0; q < parts; ++q) EXPECT_LE(degsum[q], cap);
+}
+
+TEST(PulpPartition, CutsFewerEdgesThanRandomOnCommunityGraph) {
+  // The whole point: on a graph with locality/communities, LP refinement
+  // must beat hashed assignment on edge cut.
+  gen::WebGraphParams wp;
+  wp.n = 1 << 13;
+  wp.avg_degree = 12;
+  const gen::WebGraph wg = gen::webgraph(wp);
+  const int parts = 8;
+
+  const auto pulp = pulp_partition(wg.graph, parts);
+  std::vector<std::int32_t> random_owner(wg.graph.n);
+  for (gvid_t v = 0; v < wg.graph.n; ++v)
+    random_owner[v] = static_cast<std::int32_t>(splitmix64(v) % parts);
+
+  const std::uint64_t pulp_cut = edge_cut(wg.graph, pulp);
+  const std::uint64_t rand_cut = edge_cut(wg.graph, random_owner);
+  EXPECT_LT(pulp_cut, rand_cut / 2) << "pulp=" << pulp_cut
+                                    << " rand=" << rand_cut;
+}
+
+TEST(ExplicitPartition, OwnerMapHonored) {
+  const gvid_t n = 100;
+  auto owner = std::make_shared<std::vector<std::int32_t>>(n);
+  for (gvid_t v = 0; v < n; ++v) (*owner)[v] = static_cast<int>(v % 3);
+  const Partition part = Partition::explicit_map(n, 3, owner);
+  EXPECT_EQ(part.kind(), PartitionKind::kExplicit);
+  for (gvid_t v = 0; v < n; ++v) ASSERT_EQ(part.owner(v), static_cast<int>(v % 3));
+  EXPECT_EQ(part.num_owned(0), 34u);
+  EXPECT_EQ(part.num_owned(1), 33u);
+  const auto owned = part.owned_vertices(2);
+  for (const gvid_t v : owned) ASSERT_EQ(v % 3, 2u);
+}
+
+TEST(ExplicitPartition, RejectsBadMaps) {
+  auto short_map = std::make_shared<std::vector<std::int32_t>>(5, 0);
+  EXPECT_THROW(Partition::explicit_map(10, 2, short_map), CheckError);
+  auto bad_owner = std::make_shared<std::vector<std::int32_t>>(10, 7);
+  EXPECT_THROW(Partition::explicit_map(10, 2, bad_owner), CheckError);
+}
+
+TEST(ExplicitPartition, BuildsDistGraphAndRunsAnalytics) {
+  gen::WebGraphParams wp;
+  wp.n = 1 << 11;
+  const gen::WebGraph wg = gen::webgraph(wp);
+  const int parts = 4;
+  auto owner = std::make_shared<std::vector<std::int32_t>>(
+      pulp_partition(wg.graph, parts));
+  const Partition part = Partition::explicit_map(wg.graph.n, parts, owner);
+
+  parcomm::CommWorld world(parts);
+  world.run([&](parcomm::Communicator& comm) {
+    const DistGraph g = Builder::from_edge_list(comm, wg.graph, part);
+    EXPECT_EQ(g.m_global(), wg.graph.m());
+    EXPECT_EQ(comm.allreduce_sum<std::uint64_t>(g.n_loc()), wg.graph.n);
+    // Ghost owners must agree with the explicit map.
+    for (lvid_t l = g.n_loc(); l < g.n_total(); ++l)
+      ASSERT_EQ(g.owner_of(l), (*owner)[g.global_id(l)]);
+    // Fewer ghosts than a random partition would produce.
+    const DistGraph g_rand =
+        Builder::from_edge_list(comm, wg.graph, PartitionKind::kRandom);
+    const auto pulp_ghosts = comm.allreduce_sum<std::uint64_t>(g.n_gst());
+    const auto rand_ghosts =
+        comm.allreduce_sum<std::uint64_t>(g_rand.n_gst());
+    EXPECT_LT(pulp_ghosts, rand_ghosts);
+  });
+}
+
+TEST(PulpPartition, EdgeCutHelperExact) {
+  gen::EdgeList el;
+  el.n = 4;
+  el.edges = {{0, 1}, {1, 2}, {2, 3}, {3, 0}};
+  const std::vector<std::int32_t> owner{0, 0, 1, 1};
+  EXPECT_EQ(edge_cut(el, owner), 2u);  // edges 1->2 and 3->0 cross
+}
+
+}  // namespace
+}  // namespace hpcgraph::dgraph

@@ -1,0 +1,293 @@
+// Distributed FW-BW largest-SCC extraction vs the sequential Tarjan
+// reference and the webgraph planted-core ground truth.
+
+#include <gtest/gtest.h>
+
+#include "analytics/scc.hpp"
+#include "analytics/scc_decompose.hpp"
+#include "gen/rmat.hpp"
+#include "gen/webgraph.hpp"
+#include "ref/ref_analytics.hpp"
+#include "test_helpers.hpp"
+
+namespace hpcgraph::analytics {
+namespace {
+
+using dgraph::DistGraph;
+using hpcgraph::testing::DistConfig;
+using hpcgraph::testing::standard_configs;
+using hpcgraph::testing::tiny_graph;
+using hpcgraph::testing::with_dist_graph;
+
+class SccParam : public ::testing::TestWithParam<DistConfig> {};
+
+TEST_P(SccParam, PivotSccMatchesTarjanClass) {
+  gen::RmatParams rp;
+  rp.scale = 9;
+  rp.avg_degree = 8;
+  const gen::EdgeList el = gen::rmat(rp);
+  const auto tarjan = ref::scc(ref::SeqGraph::from(el));
+
+  with_dist_graph(el, GetParam(), [&](const DistGraph& g,
+                                      parcomm::Communicator& comm) {
+    const SccResult res = largest_scc(g, comm);
+    const gvid_t pivot_class = tarjan[res.pivot];
+    std::uint64_t want_size = 0;
+    for (const gvid_t c : tarjan)
+      if (c == pivot_class) ++want_size;
+    EXPECT_EQ(res.size, want_size);
+    EXPECT_EQ(res.label, pivot_class);  // both canonical: min member id
+    for (lvid_t v = 0; v < g.n_loc(); ++v) {
+      const bool in_class = tarjan[g.global_id(v)] == pivot_class;
+      ASSERT_EQ(res.member[v] != 0, in_class)
+          << "vertex " << g.global_id(v);
+    }
+  });
+}
+
+TEST_P(SccParam, ExplicitPivotExtractsThatScc) {
+  const gen::EdgeList el = tiny_graph();
+  with_dist_graph(el, GetParam(), [&](const DistGraph& g,
+                                      parcomm::Communicator& comm) {
+    SccOptions opts;
+    opts.pivot = 5;  // 2-cycle {5,6}
+    const SccResult res = largest_scc(g, comm, opts);
+    EXPECT_EQ(res.size, 2u);
+    EXPECT_EQ(res.label, 5u);
+    for (lvid_t v = 0; v < g.n_loc(); ++v) {
+      const gvid_t gid = g.global_id(v);
+      ASSERT_EQ(res.member[v] != 0, gid == 5 || gid == 6);
+    }
+  });
+}
+
+TEST_P(SccParam, TinyGraphLargestSccIsTriangle) {
+  const gen::EdgeList el = tiny_graph();
+  with_dist_graph(el, GetParam(), [&](const DistGraph& g,
+                                      parcomm::Communicator& comm) {
+    const SccResult res = largest_scc(g, comm);
+    // Default pivot is the max degree-product vertex, which sits in the
+    // triangle {0,1,2} (they have both in- and out-edges).
+    EXPECT_EQ(res.size, 3u);
+    EXPECT_EQ(res.label, 0u);
+  });
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    Configs, SccParam, ::testing::ValuesIn(standard_configs()),
+    [](const ::testing::TestParamInfo<DistConfig>& info) {
+      return info.param.label();
+    });
+
+TEST(Scc, WebGraphCoreIsExactlyTheLargestScc) {
+  gen::WebGraphParams wp;
+  wp.n = 1 << 13;
+  const gen::WebGraph wg = gen::webgraph(wp);
+  with_dist_graph(wg.graph, {4, dgraph::PartitionKind::kVertexBlock},
+                  [&](const DistGraph& g, parcomm::Communicator& comm) {
+                    const SccResult res = largest_scc(g, comm);
+                    EXPECT_EQ(res.size, wg.core.size());
+                    for (lvid_t v = 0; v < g.n_loc(); ++v) {
+                      const gvid_t gid = g.global_id(v);
+                      ASSERT_EQ(res.member[v] != 0, wg.core.contains(gid))
+                          << gid;
+                    }
+                    // FW reach from the core covers core+out(+tendril prey),
+                    // BW reach covers core+in: both strictly larger than the
+                    // SCC on this graph.
+                    EXPECT_GT(res.fw_reached, res.size);
+                    EXPECT_GT(res.bw_reached, res.size);
+                  });
+}
+
+TEST(Scc, DagHasSingletonSccs) {
+  gen::EdgeList el;
+  el.n = 6;
+  el.edges = {{0, 1}, {1, 2}, {0, 3}, {3, 4}, {4, 5}};
+  with_dist_graph(el, {2, dgraph::PartitionKind::kVertexBlock},
+                  [&](const DistGraph& g, parcomm::Communicator& comm) {
+                    const SccResult res = largest_scc(g, comm);
+                    EXPECT_EQ(res.size, 1u);
+                  });
+}
+
+TEST(Scc, SelfLoopVertexIsItsOwnScc) {
+  gen::EdgeList el;
+  el.n = 3;
+  el.edges = {{0, 0}, {0, 1}};
+  with_dist_graph(el, {2, dgraph::PartitionKind::kVertexBlock},
+                  [&](const DistGraph& g, parcomm::Communicator& comm) {
+                    SccOptions opts;
+                    opts.pivot = 0;
+                    const SccResult res = largest_scc(g, comm, opts);
+                    EXPECT_EQ(res.size, 1u);
+                    EXPECT_EQ(res.label, 0u);
+                  });
+}
+
+TEST(Scc, FullCycleIsOneScc) {
+  gen::EdgeList el;
+  el.n = 32;
+  for (gvid_t v = 0; v < el.n; ++v) el.edges.push_back({v, (v + 1) % el.n});
+  with_dist_graph(el, {4, dgraph::PartitionKind::kRandom},
+                  [&](const DistGraph& g, parcomm::Communicator& comm) {
+                    const SccResult res = largest_scc(g, comm);
+                    EXPECT_EQ(res.size, 32u);
+                    EXPECT_EQ(res.label, 0u);
+                  });
+}
+
+// ---------- trim extension (Multistep-style) ----------
+
+TEST(SccTrim, SameSccAsUntrimmedOnWebGraph) {
+  gen::WebGraphParams wp;
+  wp.n = 1 << 12;
+  const gen::WebGraph wg = gen::webgraph(wp);
+  with_dist_graph(wg.graph, {3, dgraph::PartitionKind::kVertexBlock},
+                  [&](const DistGraph& g, parcomm::Communicator& comm) {
+    const SccResult plain = largest_scc(g, comm);
+    SccOptions opts;
+    opts.trim = true;
+    const SccResult trimmed = largest_scc(g, comm, opts);
+    EXPECT_EQ(trimmed.size, plain.size);
+    EXPECT_EQ(trimmed.label, plain.label);
+    for (lvid_t v = 0; v < g.n_loc(); ++v)
+      ASSERT_EQ(trimmed.member[v], plain.member[v]);
+    // The trim must have discarded the IN/OUT/tendril periphery.
+    EXPECT_GT(trimmed.trimmed, 0u);
+    // And shrunk the sweeps.
+    EXPECT_LE(trimmed.fw_reached, plain.fw_reached);
+    EXPECT_LE(trimmed.bw_reached, plain.bw_reached);
+  });
+}
+
+TEST(SccTrim, DagFullyTrimmedReturnsSingleton) {
+  gen::EdgeList el;
+  el.n = 6;
+  el.edges = {{0, 1}, {1, 2}, {2, 3}, {0, 4}, {4, 5}};
+  with_dist_graph(el, {2, dgraph::PartitionKind::kVertexBlock},
+                  [&](const DistGraph& g, parcomm::Communicator& comm) {
+    SccOptions opts;
+    opts.trim = true;
+    const SccResult res = largest_scc(g, comm, opts);
+    EXPECT_EQ(res.size, 1u);
+    EXPECT_EQ(res.trimmed, 6u);
+    std::uint64_t members = 0;
+    for (const auto m : res.member) members += m;
+    EXPECT_EQ(comm.allreduce_sum(members), 1u);
+  });
+}
+
+TEST(SccTrim, MatchesTarjanOnRandomGraphs) {
+  gen::RmatParams rp;
+  rp.scale = 8;
+  rp.avg_degree = 8;
+  const gen::EdgeList el = gen::rmat(rp);
+  const auto tarjan = ref::scc(ref::SeqGraph::from(el));
+  with_dist_graph(el, {4, dgraph::PartitionKind::kRandom},
+                  [&](const DistGraph& g, parcomm::Communicator& comm) {
+    SccOptions opts;
+    opts.trim = true;
+    const SccResult res = largest_scc(g, comm, opts);
+    const gvid_t cls = tarjan[res.pivot];
+    for (lvid_t v = 0; v < g.n_loc(); ++v)
+      ASSERT_EQ(res.member[v] != 0, tarjan[g.global_id(v)] == cls);
+  });
+}
+
+// ---------- full decomposition (Multistep, the paper's [31]) ----------
+
+class SccDecomposeParam : public ::testing::TestWithParam<DistConfig> {};
+
+TEST_P(SccDecomposeParam, EqualsTarjanExactly) {
+  gen::RmatParams rp;
+  rp.scale = 8;
+  rp.avg_degree = 6;
+  const gen::EdgeList el = gen::rmat(rp);
+  const auto want = ref::scc(ref::SeqGraph::from(el));
+  with_dist_graph(el, GetParam(), [&](const DistGraph& g,
+                                      parcomm::Communicator& comm) {
+    const SccDecomposeResult res = scc_decompose(g, comm);
+    for (lvid_t v = 0; v < g.n_loc(); ++v)
+      ASSERT_EQ(res.comp[v], want[g.global_id(v)])
+          << "vertex " << g.global_id(v);
+  });
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    Configs, SccDecomposeParam,
+    ::testing::ValuesIn(hpcgraph::testing::small_configs()),
+    [](const ::testing::TestParamInfo<DistConfig>& info) {
+      return info.param.label();
+    });
+
+TEST(SccDecompose, TinyGraphExactDecomposition) {
+  const gen::EdgeList el = tiny_graph();
+  with_dist_graph(el, {3, dgraph::PartitionKind::kRandom},
+                  [&](const DistGraph& g, parcomm::Communicator& comm) {
+    const SccDecomposeResult res = scc_decompose(g, comm);
+    // SCCs: {0,1,2}, {3}, {4}, {5,6}, {7}, {8}, {9}  -> 7 components.
+    EXPECT_EQ(res.num_sccs, 7u);
+    EXPECT_EQ(res.largest_size, 3u);
+    EXPECT_EQ(res.largest_label, 0u);
+    const std::map<gvid_t, gvid_t> want{{0, 0}, {1, 0}, {2, 0}, {3, 3},
+                                        {4, 4}, {5, 5}, {6, 5}, {7, 7},
+                                        {8, 8}, {9, 9}};
+    for (lvid_t v = 0; v < g.n_loc(); ++v)
+      ASSERT_EQ(res.comp[v], want.at(g.global_id(v)));
+  });
+}
+
+TEST(SccDecompose, WebGraphStatsConsistentWithLargestScc) {
+  gen::WebGraphParams wp;
+  wp.n = 1 << 12;
+  const gen::WebGraph wg = gen::webgraph(wp);
+  with_dist_graph(wg.graph, {4, dgraph::PartitionKind::kVertexBlock},
+                  [&](const DistGraph& g, parcomm::Communicator& comm) {
+    const SccDecomposeResult full = scc_decompose(g, comm);
+    const SccResult giant = largest_scc(g, comm);
+    EXPECT_EQ(full.largest_size, giant.size);
+    EXPECT_EQ(full.largest_label, giant.label);
+    EXPECT_EQ(full.largest_size, wg.core.size());
+    EXPECT_GT(full.trimmed, 0u);
+    // Membership agreement for the giant.
+    for (lvid_t v = 0; v < g.n_loc(); ++v)
+      ASSERT_EQ(full.comp[v] == full.largest_label, giant.member[v] != 0);
+  });
+}
+
+TEST(SccDecompose, ComponentCountsMatchTarjanOnMessyGraphs) {
+  for (const std::uint64_t seed : {1ull, 2ull, 3ull}) {
+    Rng rng(seed);
+    gen::EdgeList el;
+    el.n = 100 + rng.below(400);
+    const std::uint64_t m = rng.below(el.n * 4);
+    for (std::uint64_t e = 0; e < m; ++e)
+      el.edges.push_back({rng.below(el.n), rng.below(el.n)});
+    const auto tarjan = ref::scc(ref::SeqGraph::from(el));
+    std::set<gvid_t> classes(tarjan.begin(), tarjan.end());
+    with_dist_graph(el, {4, dgraph::PartitionKind::kRandom},
+                    [&](const DistGraph& g, parcomm::Communicator& comm) {
+      const SccDecomposeResult res = scc_decompose(g, comm);
+      EXPECT_EQ(res.num_sccs, classes.size());
+      for (lvid_t v = 0; v < g.n_loc(); ++v)
+        ASSERT_EQ(res.comp[v], tarjan[g.global_id(v)]);
+    });
+  }
+}
+
+TEST(SccDecompose, EdgelessGraphAllSingletons) {
+  gen::EdgeList el;
+  el.n = 10;
+  with_dist_graph(el, {2, dgraph::PartitionKind::kVertexBlock},
+                  [&](const DistGraph& g, parcomm::Communicator& comm) {
+    const SccDecomposeResult res = scc_decompose(g, comm);
+    EXPECT_EQ(res.num_sccs, 10u);
+    EXPECT_EQ(res.largest_size, 1u);
+    for (lvid_t v = 0; v < g.n_loc(); ++v)
+      ASSERT_EQ(res.comp[v], g.global_id(v));
+  });
+}
+
+}  // namespace
+}  // namespace hpcgraph::analytics

@@ -1,0 +1,142 @@
+// Distributed SSSP (frontier Bellman-Ford) vs the sequential Dijkstra
+// reference on identical synthetic weights.
+
+#include <gtest/gtest.h>
+
+#include "analytics/sssp.hpp"
+#include "gen/rmat.hpp"
+#include "gen/webgraph.hpp"
+#include "ref/ref_analytics.hpp"
+#include "test_helpers.hpp"
+
+namespace hpcgraph::analytics {
+namespace {
+
+using dgraph::DistGraph;
+using hpcgraph::testing::DistConfig;
+using hpcgraph::testing::standard_configs;
+using hpcgraph::testing::tiny_graph;
+using hpcgraph::testing::with_dist_graph;
+
+TEST(SsspWeights, DeterministicAndInRange) {
+  for (gvid_t u = 0; u < 50; ++u)
+    for (gvid_t v = 0; v < 50; ++v) {
+      const auto w = edge_weight(u, v, 64);
+      ASSERT_GE(w, 1u);
+      ASSERT_LE(w, 64u);
+      ASSERT_EQ(w, edge_weight(u, v, 64));
+    }
+  // Directionality matters: w(u,v) generally != w(v,u).
+  int asymmetric = 0;
+  for (gvid_t u = 0; u < 20; ++u)
+    for (gvid_t v = u + 1; v < 20; ++v)
+      if (edge_weight(u, v, 64) != edge_weight(v, u, 64)) ++asymmetric;
+  EXPECT_GT(asymmetric, 100);
+}
+
+class SsspParam : public ::testing::TestWithParam<DistConfig> {};
+
+TEST_P(SsspParam, DistancesMatchDijkstra) {
+  gen::RmatParams rp;
+  rp.scale = 8;
+  rp.avg_degree = 8;
+  const gen::EdgeList el = gen::rmat(rp);
+  const auto want = ref::sssp_dijkstra(ref::SeqGraph::from(el), 3, 64);
+
+  with_dist_graph(el, GetParam(), [&](const DistGraph& g,
+                                      parcomm::Communicator& comm) {
+    SsspOptions opts;
+    opts.max_weight = 64;
+    const SsspResult res = sssp(g, comm, 3, opts);
+    for (lvid_t v = 0; v < g.n_loc(); ++v) {
+      const gvid_t gid = g.global_id(v);
+      const std::uint64_t want_d =
+          want[gid] == ref::kInfDistance ? kInfDistance : want[gid];
+      ASSERT_EQ(res.dist[v], want_d) << "vertex " << gid;
+    }
+  });
+}
+
+TEST_P(SsspParam, ReachabilityMatchesBfs) {
+  const gen::EdgeList el = tiny_graph();
+  with_dist_graph(el, GetParam(), [&](const DistGraph& g,
+                                      parcomm::Communicator& comm) {
+    const SsspResult res = sssp(g, comm, 0);
+    // Forward-reachable set from 0 is {0..4}.
+    EXPECT_EQ(res.reached, 5u);
+    for (lvid_t v = 0; v < g.n_loc(); ++v) {
+      const gvid_t gid = g.global_id(v);
+      ASSERT_EQ(res.dist[v] != kInfDistance, gid <= 4) << gid;
+    }
+  });
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    Configs, SsspParam, ::testing::ValuesIn(standard_configs()),
+    [](const ::testing::TestParamInfo<DistConfig>& info) {
+      return info.param.label();
+    });
+
+TEST(Sssp, UnitWeightsReduceToBfsLevels) {
+  gen::RmatParams rp;
+  rp.scale = 8;
+  rp.avg_degree = 6;
+  const gen::EdgeList el = gen::rmat(rp);
+  const auto levels =
+      ref::bfs_levels(ref::SeqGraph::from(el), 1, /*directed=*/true);
+  with_dist_graph(el, {4, dgraph::PartitionKind::kRandom},
+                  [&](const DistGraph& g, parcomm::Communicator& comm) {
+    SsspOptions opts;
+    opts.max_weight = 1;  // every edge weighs exactly 1
+    const SsspResult res = sssp(g, comm, 1, opts);
+    for (lvid_t v = 0; v < g.n_loc(); ++v) {
+      const gvid_t gid = g.global_id(v);
+      if (levels[gid] < 0) {
+        ASSERT_EQ(res.dist[v], kInfDistance);
+      } else {
+        ASSERT_EQ(res.dist[v], static_cast<std::uint64_t>(levels[gid]));
+      }
+    }
+  });
+}
+
+TEST(Sssp, TriangleInequalityOnEdges) {
+  // Property: for every edge (u, v), dist[v] <= dist[u] + w(u, v).
+  gen::WebGraphParams wp;
+  wp.n = 1 << 11;
+  const gen::WebGraph wg = gen::webgraph(wp);
+  with_dist_graph(wg.graph, {3, dgraph::PartitionKind::kVertexBlock},
+                  [&](const DistGraph& g, parcomm::Communicator& comm) {
+    const gvid_t root = wg.core.begin;  // a hub inside the SCC
+    SsspOptions opts;
+    const SsspResult res = sssp(g, comm, root, opts);
+    // Check local->local edges (cross edges would need a ghost gather).
+    for (lvid_t v = 0; v < g.n_loc(); ++v) {
+      if (res.dist[v] == kInfDistance) continue;
+      for (const lvid_t u : g.out_neighbors(v)) {
+        if (g.is_ghost(u)) continue;
+        const auto w =
+            edge_weight(g.global_id(v), g.global_id(u), opts.max_weight);
+        ASSERT_LE(res.dist[u], res.dist[v] + w);
+      }
+    }
+  });
+}
+
+TEST(Sssp, RootDistanceZeroAndRoundsBounded) {
+  const gen::EdgeList el = tiny_graph();
+  with_dist_graph(el, {2, dgraph::PartitionKind::kVertexBlock},
+                  [&](const DistGraph& g, parcomm::Communicator& comm) {
+    const SsspResult res = sssp(g, comm, 5);
+    for (lvid_t v = 0; v < g.n_loc(); ++v) {
+      if (g.global_id(v) == 5) {
+        ASSERT_EQ(res.dist[v], 0u);
+      }
+    }
+    EXPECT_GT(res.rounds, 0);
+    EXPECT_LE(res.rounds, static_cast<int>(el.n) + 1);
+  });
+}
+
+}  // namespace
+}  // namespace hpcgraph::analytics

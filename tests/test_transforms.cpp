@@ -1,0 +1,222 @@
+// Tests for the offline graph transforms: vertex reordering (§III-B's
+// "computed ordering") and aggregation (the WDC host/pay quotient levels),
+// plus the LP convergence-stop option they compose with.
+
+#include <gtest/gtest.h>
+
+#include <algorithm>
+#include <numeric>
+#include <set>
+
+#include "analytics/label_prop.hpp"
+#include "analytics/pagerank.hpp"
+#include "gen/aggregate.hpp"
+#include "gen/degree_tools.hpp"
+#include "gen/reorder.hpp"
+#include "gen/rmat.hpp"
+#include "gen/webgraph.hpp"
+#include "ref/ref_analytics.hpp"
+#include "test_helpers.hpp"
+
+namespace hpcgraph::gen {
+namespace {
+
+using dgraph::DistGraph;
+using hpcgraph::testing::tiny_graph;
+using hpcgraph::testing::with_dist_graph;
+
+// ---------- reordering ----------
+
+void expect_is_permutation(const std::vector<gvid_t>& p, gvid_t n) {
+  ASSERT_EQ(p.size(), n);
+  std::vector<bool> seen(n, false);
+  for (const gvid_t x : p) {
+    ASSERT_LT(x, n);
+    ASSERT_FALSE(seen[x]) << "duplicate image " << x;
+    seen[x] = true;
+  }
+}
+
+TEST(Reorder, PermutationsAreValid) {
+  gen::RmatParams rp;
+  rp.scale = 9;
+  rp.avg_degree = 6;
+  const EdgeList g = rmat(rp);
+  expect_is_permutation(reorder_permutation(g, ReorderKind::kBfs), g.n);
+  expect_is_permutation(reorder_permutation(g, ReorderKind::kDegree), g.n);
+}
+
+TEST(Reorder, DegreeOrderSortsByDegree) {
+  const EdgeList g = tiny_graph();
+  const auto perm = reorder_permutation(g, ReorderKind::kDegree);
+  const auto deg = total_degrees(g);
+  // new id 0 must be a max-degree vertex; degrees nonincreasing in new ids.
+  std::vector<std::uint32_t> deg_by_new(g.n);
+  for (gvid_t v = 0; v < g.n; ++v) deg_by_new[perm[v]] = deg[v];
+  for (gvid_t i = 1; i < g.n; ++i)
+    ASSERT_GE(deg_by_new[i - 1], deg_by_new[i]);
+}
+
+TEST(Reorder, PreservesGraphStructure) {
+  // Analytics results are permutation-equivariant: PageRank scores of the
+  // reordered graph are the permuted original scores.
+  gen::RmatParams rp;
+  rp.scale = 8;
+  rp.avg_degree = 6;
+  const EdgeList g = rmat(rp);
+  const auto perm = reorder_permutation(g, ReorderKind::kBfs);
+  const EdgeList rg = apply_permutation(g, perm);
+  EXPECT_EQ(rg.m(), g.m());
+
+  const auto pr = ref::pagerank(ref::SeqGraph::from(g), 8);
+  const auto rpr = ref::pagerank(ref::SeqGraph::from(rg), 8);
+  for (gvid_t v = 0; v < g.n; ++v)
+    ASSERT_NEAR(rpr[perm[v]], pr[v], 1e-12) << v;
+}
+
+TEST(Reorder, BfsOrderImprovesBlockLocalityOnScrambledGraph) {
+  // The point of the feature: a computed ordering restores the locality
+  // block partitioning needs.  Compare ghost totals on scrambled R-MAT.
+  gen::RmatParams rp;
+  rp.scale = 12;
+  rp.avg_degree = 8;
+  rp.scramble_ids = true;
+  const EdgeList scrambled = rmat(rp);
+  const EdgeList ordered = reorder(scrambled, ReorderKind::kBfs);
+
+  std::uint64_t ghosts_scrambled = 0, ghosts_ordered = 0;
+  parcomm::CommWorld world(8);
+  world.run([&](parcomm::Communicator& comm) {
+    const DistGraph a = dgraph::Builder::from_edge_list(
+        comm, scrambled, dgraph::PartitionKind::kVertexBlock);
+    const DistGraph b = dgraph::Builder::from_edge_list(
+        comm, ordered, dgraph::PartitionKind::kVertexBlock);
+    const auto ga = comm.allreduce_sum<std::uint64_t>(a.n_gst());
+    const auto gb = comm.allreduce_sum<std::uint64_t>(b.n_gst());
+    if (comm.rank() == 0) {
+      ghosts_scrambled = ga;
+      ghosts_ordered = gb;
+    }
+  });
+  EXPECT_LT(ghosts_ordered, ghosts_scrambled);
+}
+
+TEST(Reorder, BfsOrderIsContiguousPerComponent) {
+  // Two components: ids of one component form a contiguous range.
+  EdgeList g;
+  g.n = 6;
+  g.edges = {{0, 2}, {2, 4}, {1, 3}, {3, 5}};  // evens | odds
+  const auto perm = reorder_permutation(g, ReorderKind::kBfs);
+  std::set<gvid_t> evens{perm[0], perm[2], perm[4]};
+  const gvid_t lo = *evens.begin(), hi = *evens.rbegin();
+  EXPECT_EQ(hi - lo, 2u);  // contiguous block of 3
+}
+
+// ---------- aggregation ----------
+
+TEST(Aggregate, QuotientOfPlantedGroups) {
+  // 6 vertices in 3 groups {0,1} {2,3} {4,5}; edges within and across.
+  EdgeList g;
+  g.n = 6;
+  g.edges = {{0, 1}, {1, 0},          // intra group 0
+             {0, 2}, {1, 3},          // group 0 -> group 1 (parallel)
+             {3, 4},                  // group 1 -> group 2
+             {5, 0}};                 // group 2 -> group 0
+  const std::vector<std::uint64_t> labels{7, 7, 9, 9, 11, 11};
+  const AggregatedGraph agg = aggregate_graph(g, labels);
+
+  EXPECT_EQ(agg.graph.n, 3u);
+  EXPECT_EQ(agg.group_label, (std::vector<std::uint64_t>{7, 9, 11}));
+  EXPECT_EQ(agg.group_size, (std::vector<std::uint64_t>{2, 2, 2}));
+  // Dedup + no self loops: exactly {0->1, 1->2, 2->0}.
+  std::multiset<std::pair<gvid_t, gvid_t>> got;
+  for (const Edge& e : agg.graph.edges) got.insert({e.src, e.dst});
+  EXPECT_EQ(got, (std::multiset<std::pair<gvid_t, gvid_t>>{
+                     {0, 1}, {1, 2}, {2, 0}}));
+}
+
+TEST(Aggregate, SelfLoopAndDedupOptions) {
+  EdgeList g;
+  g.n = 4;
+  g.edges = {{0, 1}, {0, 1}, {2, 3}};
+  const std::vector<std::uint64_t> labels{1, 1, 2, 2};
+  AggregateOptions opts;
+  opts.keep_self_loops = true;
+  opts.dedup_edges = false;
+  const AggregatedGraph agg = aggregate_graph(g, labels, opts);
+  EXPECT_EQ(agg.graph.m(), 3u);  // two parallel self loops at 0, one at 1
+  for (const Edge& e : agg.graph.edges) EXPECT_EQ(e.src, e.dst);
+}
+
+TEST(Aggregate, CommunityGraphWorkflow) {
+  // The paper's host-level workflow: run LP on the page graph, aggregate by
+  // communities, and analyze the (much smaller) community graph.
+  gen::WebGraphParams wp;
+  wp.n = 1 << 11;
+  const WebGraph wc = webgraph(wp);
+
+  std::vector<std::uint64_t> labels(wc.graph.n);
+  with_dist_graph(wc.graph, {4, dgraph::PartitionKind::kVertexBlock},
+                  [&](const DistGraph& g, parcomm::Communicator& comm) {
+    analytics::LabelPropOptions lp;
+    lp.iterations = 10;
+    const auto res = analytics::label_propagation(g, comm, lp);
+    const auto global =
+        analytics::gather_global<std::uint64_t>(g, comm, res.labels);
+    if (comm.rank() == 0) labels = global;
+  });
+
+  const AggregatedGraph host = aggregate_graph(wc.graph, labels);
+  EXPECT_LT(host.graph.n, wc.graph.n / 2);  // real aggregation happened
+  EXPECT_GT(host.graph.n, 16u);
+  // Member counts add back up to n.
+  EXPECT_EQ(std::accumulate(host.group_size.begin(), host.group_size.end(),
+                            std::uint64_t{0}),
+            wc.graph.n);
+  // The quotient is itself a valid analytics input.
+  with_dist_graph(host.graph, {2, dgraph::PartitionKind::kVertexBlock},
+                  [&](const DistGraph& g, parcomm::Communicator& comm) {
+    const auto pr = analytics::pagerank(g, comm, {});
+    double mass = 0;
+    for (const double s : pr.scores) mass += s;
+    EXPECT_NEAR(comm.allreduce_sum(mass), 1.0, 1e-9);
+  });
+}
+
+// ---------- LP convergence stop ----------
+
+TEST(LabelPropStop, StableGraphStopsEarly) {
+  // Two disjoint directed 3-cliques converge in a couple of rounds.
+  EdgeList g;
+  g.n = 6;
+  for (gvid_t base : {gvid_t{0}, gvid_t{3}})
+    for (gvid_t a = 0; a < 3; ++a)
+      for (gvid_t b = 0; b < 3; ++b)
+        if (a != b) g.edges.push_back({base + a, base + b});
+  with_dist_graph(g, {2, dgraph::PartitionKind::kVertexBlock},
+                  [&](const DistGraph& dg, parcomm::Communicator& comm) {
+    analytics::LabelPropOptions lp;
+    lp.iterations = 100;
+    lp.stop_when_stable = true;
+    const auto res = analytics::label_propagation(dg, comm, lp);
+    EXPECT_LT(res.iterations_run, 10);
+  });
+}
+
+TEST(LabelPropStop, EdgelessGraphStopsAfterOneIteration) {
+  EdgeList g;
+  g.n = 8;
+  with_dist_graph(g, {2, dgraph::PartitionKind::kVertexBlock},
+                  [&](const DistGraph& dg, parcomm::Communicator& comm) {
+    analytics::LabelPropOptions lp;
+    lp.iterations = 50;
+    lp.stop_when_stable = true;
+    const auto res = analytics::label_propagation(dg, comm, lp);
+    EXPECT_EQ(res.iterations_run, 1);
+    for (lvid_t v = 0; v < dg.n_loc(); ++v)
+      ASSERT_EQ(res.labels[v], dg.global_id(v));
+  });
+}
+
+}  // namespace
+}  // namespace hpcgraph::gen

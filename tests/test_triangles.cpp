@@ -1,0 +1,127 @@
+// Distributed triangle counting vs the sequential oracle, plus hand-counted
+// fixtures exercising the dedup/self-loop/direction conventions.
+
+#include <gtest/gtest.h>
+
+#include "analytics/triangles.hpp"
+#include "gen/rmat.hpp"
+#include "gen/webgraph.hpp"
+#include "ref/ref_analytics.hpp"
+#include "test_helpers.hpp"
+#include "util/rng.hpp"
+
+namespace hpcgraph::analytics {
+namespace {
+
+using dgraph::DistGraph;
+using hpcgraph::testing::DistConfig;
+using hpcgraph::testing::with_dist_graph;
+
+TEST(RefTriangles, HandCountedFixtures) {
+  // Directed triangle counts once regardless of edge orientations.
+  gen::EdgeList tri;
+  tri.n = 3;
+  tri.edges = {{0, 1}, {1, 2}, {2, 0}};
+  EXPECT_EQ(ref::triangle_count(ref::SeqGraph::from(tri)), 1u);
+
+  // Duplicates, reverse edges and self loops do not inflate the count.
+  gen::EdgeList messy;
+  messy.n = 3;
+  messy.edges = {{0, 1}, {1, 0}, {1, 2}, {2, 1}, {0, 2}, {0, 0}, {0, 1}};
+  EXPECT_EQ(ref::triangle_count(ref::SeqGraph::from(messy)), 1u);
+
+  // K4 has 4 triangles.
+  gen::EdgeList k4;
+  k4.n = 4;
+  for (gvid_t a = 0; a < 4; ++a)
+    for (gvid_t b = a + 1; b < 4; ++b) k4.edges.push_back({a, b});
+  EXPECT_EQ(ref::triangle_count(ref::SeqGraph::from(k4)), 4u);
+
+  // A path has none.
+  gen::EdgeList path;
+  path.n = 4;
+  path.edges = {{0, 1}, {1, 2}, {2, 3}};
+  EXPECT_EQ(ref::triangle_count(ref::SeqGraph::from(path)), 0u);
+}
+
+class TriangleParam : public ::testing::TestWithParam<DistConfig> {};
+
+TEST_P(TriangleParam, MatchesOracleOnRmat) {
+  gen::RmatParams rp;
+  rp.scale = 8;
+  rp.avg_degree = 8;
+  const gen::EdgeList el = gen::rmat(rp);
+  const std::uint64_t want = ref::triangle_count(ref::SeqGraph::from(el));
+  ASSERT_GT(want, 0u);  // R-MAT is triangle-rich
+
+  with_dist_graph(el, GetParam(), [&](const DistGraph& g,
+                                      parcomm::Communicator& comm) {
+    const TriangleResult res = triangle_count(g, comm);
+    EXPECT_EQ(res.triangles, want);
+    EXPECT_GE(res.wedges_checked, res.triangles);
+  });
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    Configs, TriangleParam,
+    ::testing::ValuesIn(hpcgraph::testing::standard_configs()),
+    [](const ::testing::TestParamInfo<DistConfig>& info) {
+      return info.param.label();
+    });
+
+TEST(Triangles, K5AcrossRankBoundaries) {
+  gen::EdgeList k5;
+  k5.n = 5;
+  for (gvid_t a = 0; a < 5; ++a)
+    for (gvid_t b = a + 1; b < 5; ++b) k5.edges.push_back({a, b});
+  // C(5,3) = 10 triangles, split across ranks.
+  for (const int p : {1, 2, 5}) {
+    with_dist_graph(k5, {p, dgraph::PartitionKind::kVertexBlock},
+                    [&](const DistGraph& g, parcomm::Communicator& comm) {
+      EXPECT_EQ(triangle_count(g, comm).triangles, 10u);
+    });
+  }
+}
+
+TEST(Triangles, FuzzAgainstOracle) {
+  for (const std::uint64_t seed : {11ull, 22ull, 33ull, 44ull}) {
+    Rng rng(seed);
+    gen::EdgeList el;
+    el.n = 40 + rng.below(200);
+    const std::uint64_t m = rng.below(el.n * 5);
+    for (std::uint64_t e = 0; e < m; ++e)
+      el.edges.push_back({rng.below(el.n), rng.below(el.n)});
+    const std::uint64_t want = ref::triangle_count(ref::SeqGraph::from(el));
+    with_dist_graph(el, {3, dgraph::PartitionKind::kRandom},
+                    [&](const DistGraph& g, parcomm::Communicator& comm) {
+      ASSERT_EQ(triangle_count(g, comm).triangles, want) << "seed " << seed;
+    });
+  }
+}
+
+TEST(Triangles, WebGraphCommunityStructureIsTriangleRich) {
+  gen::WebGraphParams wp;
+  wp.n = 1 << 11;
+  const gen::WebGraph wg = gen::webgraph(wp);
+  const std::uint64_t want =
+      ref::triangle_count(ref::SeqGraph::from(wg.graph));
+  with_dist_graph(wg.graph, {4, dgraph::PartitionKind::kVertexBlock},
+                  [&](const DistGraph& g, parcomm::Communicator& comm) {
+    const TriangleResult res = triangle_count(g, comm);
+    EXPECT_EQ(res.triangles, want);
+    EXPECT_GT(res.triangles, wg.graph.n);  // community-rich => clustered
+  });
+}
+
+TEST(Triangles, EdgelessGraphHasNone) {
+  gen::EdgeList el;
+  el.n = 10;
+  with_dist_graph(el, {2, dgraph::PartitionKind::kVertexBlock},
+                  [&](const DistGraph& g, parcomm::Communicator& comm) {
+    EXPECT_EQ(triangle_count(g, comm).triangles, 0u);
+    EXPECT_EQ(triangle_count(g, comm).wedges_checked, 0u);
+  });
+}
+
+}  // namespace
+}  // namespace hpcgraph::analytics

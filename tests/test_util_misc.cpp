@@ -1,0 +1,247 @@
+// Tests for prefix sums, timers, statistics, histograms, CLI parsing, and
+// the table printer.
+
+#include <gtest/gtest.h>
+
+#include <array>
+#include <sstream>
+#include <thread>
+
+#include "util/cli.hpp"
+#include "util/histogram.hpp"
+#include "util/prefix_sum.hpp"
+#include "util/stats.hpp"
+#include "util/table.hpp"
+#include "util/timer.hpp"
+
+namespace hpcgraph {
+namespace {
+
+// ---------- prefix sums ----------
+
+TEST(PrefixSum, ExclusiveBasics) {
+  std::vector<std::uint64_t> v{3, 1, 4, 1, 5};
+  const std::uint64_t total = exclusive_prefix_sum(v);
+  EXPECT_EQ(total, 14u);
+  EXPECT_EQ(v, (std::vector<std::uint64_t>{0, 3, 4, 8, 9}));
+}
+
+TEST(PrefixSum, EmptyInput) {
+  std::vector<std::uint64_t> v;
+  EXPECT_EQ(exclusive_prefix_sum(v), 0u);
+}
+
+TEST(PrefixSum, SingleElement) {
+  std::vector<std::uint64_t> v{7};
+  EXPECT_EQ(exclusive_prefix_sum(v), 7u);
+  EXPECT_EQ(v[0], 0u);
+}
+
+TEST(PrefixSum, CsrOffsetsAppendTotal) {
+  const std::vector<std::uint64_t> counts{2, 0, 3};
+  const auto offs = csr_offsets(std::span<const std::uint64_t>(counts));
+  EXPECT_EQ(offs, (std::vector<std::uint64_t>{0, 2, 2, 5}));
+}
+
+TEST(PrefixSum, CsrOffsetsEmpty) {
+  const std::vector<std::uint64_t> counts;
+  const auto offs = csr_offsets(std::span<const std::uint64_t>(counts));
+  ASSERT_EQ(offs.size(), 1u);
+  EXPECT_EQ(offs[0], 0u);
+}
+
+// ---------- timers ----------
+
+TEST(Timer, MeasuresElapsedTime) {
+  Timer t;
+  std::this_thread::sleep_for(std::chrono::milliseconds(20));
+  EXPECT_GE(t.elapsed(), 0.015);
+  EXPECT_LT(t.elapsed(), 5.0);
+}
+
+TEST(Timer, RestartReturnsAndResets) {
+  Timer t;
+  std::this_thread::sleep_for(std::chrono::milliseconds(10));
+  const double first = t.restart();
+  EXPECT_GE(first, 0.005);
+  EXPECT_LT(t.elapsed(), first);  // fresh window
+}
+
+TEST(AccumTimer, AccumulatesIntervals) {
+  AccumTimer a;
+  a.start();
+  std::this_thread::sleep_for(std::chrono::milliseconds(10));
+  a.stop();
+  a.start();
+  std::this_thread::sleep_for(std::chrono::milliseconds(10));
+  a.stop();
+  EXPECT_GE(a.total(), 0.015);
+}
+
+TEST(AccumTimer, StopWithoutStartIsNoop) {
+  AccumTimer a;
+  EXPECT_EQ(a.stop(), 0.0);
+  EXPECT_EQ(a.total(), 0.0);
+}
+
+TEST(AccumTimer, AddAndReset) {
+  AccumTimer a;
+  a.add(1.5);
+  a.add(0.5);
+  EXPECT_DOUBLE_EQ(a.total(), 2.0);
+  a.reset();
+  EXPECT_EQ(a.total(), 0.0);
+}
+
+TEST(ScopedAccum, AccumulatesScopeDuration) {
+  AccumTimer a;
+  {
+    ScopedAccum s(a);
+    std::this_thread::sleep_for(std::chrono::milliseconds(10));
+  }
+  EXPECT_GE(a.total(), 0.005);
+}
+
+// ---------- stats ----------
+
+TEST(Stats, MinMaxMean) {
+  MinMaxMean m;
+  for (double x : {3.0, 1.0, 2.0}) m.add(x);
+  EXPECT_DOUBLE_EQ(m.min(), 1.0);
+  EXPECT_DOUBLE_EQ(m.max(), 3.0);
+  EXPECT_DOUBLE_EQ(m.mean(), 2.0);
+  EXPECT_EQ(m.count(), 3u);
+}
+
+TEST(Stats, EmptyAccumulatorIsZero) {
+  MinMaxMean m;
+  EXPECT_EQ(m.min(), 0.0);
+  EXPECT_EQ(m.max(), 0.0);
+  EXPECT_EQ(m.mean(), 0.0);
+}
+
+TEST(Stats, SummarizeAndImbalance) {
+  const std::array<double, 4> xs{1.0, 1.0, 1.0, 5.0};
+  const Summary s = summarize(xs);
+  EXPECT_DOUBLE_EQ(s.min, 1.0);
+  EXPECT_DOUBLE_EQ(s.max, 5.0);
+  EXPECT_DOUBLE_EQ(s.mean, 2.0);
+  EXPECT_DOUBLE_EQ(s.imbalance(), 2.5);
+}
+
+TEST(Stats, GeometricMean) {
+  const std::array<double, 3> xs{1.0, 10.0, 100.0};
+  EXPECT_NEAR(geometric_mean(xs), 10.0, 1e-9);
+  EXPECT_EQ(geometric_mean(std::span<const double>{}), 0.0);
+}
+
+// ---------- histograms ----------
+
+TEST(Log2Histogram, BucketBoundaries) {
+  EXPECT_EQ(Log2Histogram::bucket_of(0), 0u);
+  EXPECT_EQ(Log2Histogram::bucket_of(1), 0u);
+  EXPECT_EQ(Log2Histogram::bucket_of(2), 1u);
+  EXPECT_EQ(Log2Histogram::bucket_of(3), 1u);
+  EXPECT_EQ(Log2Histogram::bucket_of(4), 2u);
+  EXPECT_EQ(Log2Histogram::bucket_of(1023), 9u);
+  EXPECT_EQ(Log2Histogram::bucket_of(1024), 10u);
+}
+
+TEST(Log2Histogram, CountsAndCdf) {
+  Log2Histogram h;
+  h.add(1);      // bucket 0
+  h.add(2);      // bucket 1
+  h.add(3);      // bucket 1
+  h.add(100);    // bucket 6
+  EXPECT_EQ(h.total(), 4u);
+  EXPECT_EQ(h.count(0), 1u);
+  EXPECT_EQ(h.count(1), 2u);
+  EXPECT_EQ(h.count(6), 1u);
+  EXPECT_DOUBLE_EQ(h.cdf(1), 0.75);
+  EXPECT_DOUBLE_EQ(h.cdf(6), 1.0);
+}
+
+TEST(ExactHistogram, CountsAndCdf) {
+  ExactHistogram h(10);
+  h.add(0, 2);
+  h.add(3);
+  h.add(10);
+  EXPECT_EQ(h.total(), 4u);
+  EXPECT_EQ(h.count(0), 2u);
+  EXPECT_DOUBLE_EQ(h.cdf(3), 0.75);
+  EXPECT_DOUBLE_EQ(h.cdf(10), 1.0);
+}
+
+TEST(ExactHistogram, GrowsOnDemand) {
+  ExactHistogram h(1);
+  h.add(100);
+  EXPECT_EQ(h.count(100), 1u);
+}
+
+// ---------- CLI ----------
+
+TEST(Cli, ParsesEqualsAndSpaceForms) {
+  const char* argv[] = {"prog", "--scale=18", "--ranks", "8", "--verbose"};
+  Cli cli(5, const_cast<char**>(argv));
+  EXPECT_EQ(cli.get_int("scale", 0), 18);
+  EXPECT_EQ(cli.get_int("ranks", 0), 8);
+  EXPECT_TRUE(cli.get_bool("verbose", false));
+  EXPECT_EQ(cli.get_int("missing", 42), 42);
+}
+
+TEST(Cli, PositionalArguments) {
+  const char* argv[] = {"prog", "input.bin", "--x=1", "output.bin"};
+  Cli cli(4, const_cast<char**>(argv));
+  ASSERT_EQ(cli.positional().size(), 2u);
+  EXPECT_EQ(cli.positional()[0], "input.bin");
+  EXPECT_EQ(cli.positional()[1], "output.bin");
+}
+
+TEST(Cli, DoubleAndStringAndBool) {
+  const char* argv[] = {"prog", "--d=0.85", "--name=web", "--flag=false"};
+  Cli cli(4, const_cast<char**>(argv));
+  EXPECT_DOUBLE_EQ(cli.get_double("d", 0), 0.85);
+  EXPECT_EQ(cli.get("name", ""), "web");
+  EXPECT_FALSE(cli.get_bool("flag", true));
+}
+
+TEST(Cli, ReportsUnknownFlags) {
+  const char* argv[] = {"prog", "--known=1", "--typo=2"};
+  Cli cli(3, const_cast<char**>(argv));
+  (void)cli.get_int("known", 0);
+  const auto unknown = cli.unknown_flags();
+  ASSERT_EQ(unknown.size(), 1u);
+  EXPECT_EQ(unknown[0], "typo");
+}
+
+// ---------- table printer ----------
+
+TEST(TablePrinter, AlignsColumns) {
+  TablePrinter t({"name", "value"});
+  t.add_row({"x", "1"});
+  t.add_row({"longer", "22"});
+  std::ostringstream os;
+  t.print(os);
+  const std::string s = os.str();
+  EXPECT_NE(s.find("name"), std::string::npos);
+  EXPECT_NE(s.find("longer"), std::string::npos);
+  EXPECT_NE(s.find("----"), std::string::npos);
+}
+
+TEST(TablePrinter, NumericFormatters) {
+  EXPECT_EQ(TablePrinter::fmt(3.14159, 2), "3.14");
+  EXPECT_EQ(TablePrinter::fmt_int(-42), "-42");
+  EXPECT_EQ(TablePrinter::fmt_si(3'560'000'000.0, 2), "3.56 B");
+  EXPECT_EQ(TablePrinter::fmt_si(1'500.0, 1), "1.5 K");
+  EXPECT_EQ(TablePrinter::fmt_si(12.0, 0), "12");
+}
+
+TEST(TablePrinter, ShortRowsArePadded) {
+  TablePrinter t({"a", "b", "c"});
+  t.add_row({"only-one"});
+  std::ostringstream os;
+  EXPECT_NO_THROW(t.print(os));
+}
+
+}  // namespace
+}  // namespace hpcgraph

@@ -1,0 +1,108 @@
+// Tests for util/rng.hpp: determinism, range guarantees, distribution
+// sanity, and stream splitting.
+
+#include "util/rng.hpp"
+
+#include <gtest/gtest.h>
+
+#include <algorithm>
+#include <cmath>
+#include <set>
+#include <vector>
+
+namespace hpcgraph {
+namespace {
+
+TEST(SplitMix64, IsDeterministic) {
+  EXPECT_EQ(splitmix64(0), splitmix64(0));
+  EXPECT_EQ(splitmix64(42), splitmix64(42));
+}
+
+TEST(SplitMix64, DistinctInputsGiveDistinctOutputs) {
+  std::set<std::uint64_t> seen;
+  for (std::uint64_t i = 0; i < 10000; ++i) seen.insert(splitmix64(i));
+  EXPECT_EQ(seen.size(), 10000u);  // no collisions on a small dense range
+}
+
+TEST(SplitMix64, AvalanchesLowBits) {
+  // Consecutive inputs should flip roughly half of the output bits.
+  int total_flips = 0;
+  for (std::uint64_t i = 0; i < 1000; ++i)
+    total_flips += __builtin_popcountll(splitmix64(i) ^ splitmix64(i + 1));
+  const double avg = total_flips / 1000.0;
+  EXPECT_GT(avg, 24.0);
+  EXPECT_LT(avg, 40.0);
+}
+
+TEST(Rng, SameSeedSameSequence) {
+  Rng a(7), b(7);
+  for (int i = 0; i < 100; ++i) EXPECT_EQ(a(), b());
+}
+
+TEST(Rng, DifferentSeedsDiverge) {
+  Rng a(7), b(8);
+  int equal = 0;
+  for (int i = 0; i < 100; ++i)
+    if (a() == b()) ++equal;
+  EXPECT_EQ(equal, 0);
+}
+
+TEST(Rng, BelowStaysInRange) {
+  Rng rng(3);
+  for (std::uint64_t bound : {1ull, 2ull, 3ull, 10ull, 1000ull, 1ull << 40}) {
+    for (int i = 0; i < 200; ++i) EXPECT_LT(rng.below(bound), bound);
+  }
+}
+
+TEST(Rng, BelowOneAlwaysZero) {
+  Rng rng(5);
+  for (int i = 0; i < 50; ++i) EXPECT_EQ(rng.below(1), 0u);
+}
+
+TEST(Rng, UniformInHalfOpenUnitInterval) {
+  Rng rng(11);
+  for (int i = 0; i < 10000; ++i) {
+    const double u = rng.uniform();
+    EXPECT_GE(u, 0.0);
+    EXPECT_LT(u, 1.0);
+  }
+}
+
+TEST(Rng, UniformMeanNearHalf) {
+  Rng rng(13);
+  double sum = 0;
+  constexpr int kN = 100000;
+  for (int i = 0; i < kN; ++i) sum += rng.uniform();
+  EXPECT_NEAR(sum / kN, 0.5, 0.01);
+}
+
+TEST(Rng, BelowIsRoughlyUniform) {
+  Rng rng(17);
+  constexpr std::uint64_t kBuckets = 10;
+  constexpr int kDraws = 100000;
+  std::vector<int> counts(kBuckets, 0);
+  for (int i = 0; i < kDraws; ++i) ++counts[rng.below(kBuckets)];
+  for (const int c : counts) {
+    EXPECT_GT(c, kDraws / kBuckets * 0.9);
+    EXPECT_LT(c, kDraws / kBuckets * 1.1);
+  }
+}
+
+TEST(Rng, SplitProducesIndependentStreams) {
+  Rng base(23);
+  Rng s1 = base.split(1);
+  Rng s2 = base.split(2);
+  int equal = 0;
+  for (int i = 0; i < 100; ++i)
+    if (s1() == s2()) ++equal;
+  EXPECT_EQ(equal, 0);
+}
+
+TEST(Rng, SplitIsDeterministic) {
+  Rng a(23), b(23);
+  Rng sa = a.split(5), sb = b.split(5);
+  for (int i = 0; i < 50; ++i) EXPECT_EQ(sa(), sb());
+}
+
+}  // namespace
+}  // namespace hpcgraph
