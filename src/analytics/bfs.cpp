@@ -346,8 +346,8 @@ BfsResult bfs(const DistGraph& g, Communicator& comm, gvid_t root,
   HG_CHECK(root < g.n_global());
   HG_CHECK(opts.alive.empty() || opts.alive.size() >= g.n_loc());
 
-  ThreadPool inline_pool(1);
-  ThreadPool& tp = opts.common.pool ? *opts.common.pool : inline_pool;
+  ScopedPool pf(opts.common);
+  ThreadPool& tp = pf.get();
   if (opts.direction_optimizing) {
     // The hybrid schedule is sequential within a rank (its bottom-up scan
     // is a flat loop); the plain status policy suffices.

@@ -8,6 +8,7 @@
 #include <vector>
 
 #include "dgraph/dist_graph.hpp"
+#include "dgraph/ghost_exchange.hpp"
 #include "parcomm/comm.hpp"
 #include "util/parallel_for.hpp"
 #include "util/thread_queue.hpp"
@@ -31,6 +32,19 @@ struct CommonOptions {
   /// and rank-level parallelism is the paper's primary axis.
   ThreadPool* pool = nullptr;
   std::size_t qsize = kDefaultQSize;  ///< Algorithm-3 thread-queue capacity
+  /// Ghost-exchange wire format for the convergent analytics (Label
+  /// Propagation, WCC coloring, k-core peeling).  kAdaptive switches to the
+  /// sparse (slot, value) format once few boundary vertices still change
+  /// per round; PageRank ignores this (every rank value changes every
+  /// iteration, so dense is always cheapest).
+  dgraph::GhostMode ghost_mode = dgraph::GhostMode::kAdaptive;
+};
+
+/// The pool-or-inline fallback every analytic needs: resolves the options'
+/// pool pointer to a usable ThreadPool reference.
+class ScopedPool : public PoolFallback {
+ public:
+  explicit ScopedPool(const CommonOptions& o) : PoolFallback(o.pool) {}
 };
 
 /// Collective: gather a per-local-vertex array into a full n_global-length

@@ -1,26 +1,116 @@
 #include "analytics/kcore.hpp"
 
 #include "analytics/bfs.hpp"
-#include "util/thread_queue.hpp"
+#include "dgraph/ghost_exchange.hpp"
+#include "util/prefix_sum.hpp"
 
 namespace hpcgraph::analytics {
 
+using dgraph::Adjacency;
 using dgraph::DistGraph;
+using dgraph::GhostExchange;
 using parcomm::Communicator;
+
+namespace {
+
+/// Shared peeling state for the approximate and exact k-core loops.
+///
+/// Cross-rank degree maintenance uses alive-flag mirroring instead of
+/// routing one message per remote decrement: each sweep removes local
+/// vertices below the limit, then a ghost exchange pushes the updated alive
+/// flags (a one-byte value per vertex, so the adaptive sparse format kicks
+/// in as soon as deaths get rare — which is most sweeps of most stages).
+/// Receivers translate each *newly dead* ghost into degree decrements of the
+/// local vertices incident to it via a ghost->locals incidence CSR built
+/// once at setup, one entry per edge occurrence — exactly the multiplicity
+/// the per-event scheme transmitted.  The peeling fixpoint is
+/// order-independent, so results are identical.
+struct Peeler {
+  const DistGraph& g;
+  GhostExchange gx;
+  dgraph::GhostMode mode;
+  std::vector<std::uint64_t> deg;       ///< remaining degree, locals only
+  std::vector<std::uint8_t> alive;      ///< locals + ghost replicas
+  std::vector<std::uint64_t> inc_offs;  ///< ghost -> incident locals (CSR)
+  std::vector<lvid_t> inc_verts;
+  std::vector<lvid_t> flipped;          ///< ghosts newly dead this sweep
+  std::uint64_t alive_local;
+
+  Peeler(const DistGraph& g_, Communicator& comm, const CommonOptions& opts)
+      : g(g_),
+        gx(g_, comm, Adjacency::kBoth, opts.pool),
+        mode(opts.ghost_mode),
+        deg(g_.n_loc()),
+        alive(g_.n_total(), 1),
+        alive_local(g_.n_loc()) {
+    const std::uint64_t n_loc = g.n_loc();
+    const auto each_ghost = [&](lvid_t v, auto&& fn) {
+      for (const lvid_t u : g.out_neighbors(v))
+        if (g.is_ghost(u)) fn(u);
+      for (const lvid_t u : g.in_neighbors(v))
+        if (g.is_ghost(u)) fn(u);
+    };
+    std::vector<std::uint64_t> cnt(g.n_total() - n_loc, 0);
+    for (lvid_t v = 0; v < g.n_loc(); ++v) {
+      deg[v] = g.out_degree(v) + g.in_degree(v);
+      each_ghost(v, [&](lvid_t u) { ++cnt[u - n_loc]; });
+    }
+    inc_offs = csr_offsets(std::span<const std::uint64_t>(cnt));
+    inc_verts.resize(inc_offs.back());
+    std::vector<std::uint64_t> cur(inc_offs.begin(), inc_offs.end() - 1);
+    for (lvid_t v = 0; v < g.n_loc(); ++v)
+      each_ghost(v, [&](lvid_t u) { inc_verts[cur[u - n_loc]++] = v; });
+  }
+
+  /// One peel sweep at the given degree limit.  Collective (one ghost
+  /// exchange).  Calls on_remove(v) for each local vertex removed; returns
+  /// the local removal count.
+  template <typename F>
+  std::uint64_t sweep(std::uint64_t limit, Communicator& comm,
+                      F&& on_remove) {
+    std::uint64_t removed = 0;
+    for (lvid_t v = 0; v < g.n_loc(); ++v) {
+      if (!alive[v] || deg[v] >= limit) continue;
+      alive[v] = 0;
+      gx.mark_changed(v);
+      on_remove(v);
+      ++removed;
+      --alive_local;
+      const auto drop = [&](lvid_t u) {
+        if (!g.is_ghost(u) && alive[u] && deg[u] > 0) --deg[u];
+      };
+      for (const lvid_t u : g.out_neighbors(v)) drop(u);
+      for (const lvid_t u : g.in_neighbors(v)) drop(u);
+    }
+
+    // Mirror alive flags, then apply each newly dead ghost's incident edge
+    // occurrences as local degree decrements.
+    gx.exchange<std::uint8_t>(alive, comm, mode, &flipped);
+    const std::uint64_t n_loc = g.n_loc();
+    for (const lvid_t gl : flipped) {
+      const std::uint64_t gi = gl - n_loc;
+      for (std::uint64_t e = inc_offs[gi]; e < inc_offs[gi + 1]; ++e) {
+        const lvid_t u = inc_verts[e];
+        if (alive[u] && deg[u] > 0) --deg[u];
+      }
+    }
+    return removed;
+  }
+
+  /// Alive mask restricted to local vertices (the BFS option view).
+  std::span<const std::uint8_t> local_alive() const {
+    return {alive.data(), static_cast<std::size_t>(g.n_loc())};
+  }
+};
+
+}  // namespace
 
 KCoreResult kcore_approx(const DistGraph& g, Communicator& comm,
                          const KCoreOptions& opts) {
-  const int p = comm.size();
   KCoreResult res;
   res.bound.assign(g.n_loc(), std::uint64_t{1} << opts.max_i);
 
-  std::vector<std::uint64_t> deg(g.n_loc());
-  std::vector<std::uint8_t> alive(g.n_loc(), 1);
-  for (lvid_t v = 0; v < g.n_loc(); ++v)
-    deg[v] = g.out_degree(v) + g.in_degree(v);
-  std::uint64_t alive_local = g.n_loc();
-
-  std::vector<gvid_t> ghost_decrements;  // one entry per remote decrement
+  Peeler peel(g, comm, opts.common);
 
   for (unsigned i = 1; i <= opts.max_i; ++i) {
     const std::uint64_t threshold = std::uint64_t{1} << i;
@@ -31,49 +121,14 @@ KCoreResult kcore_approx(const DistGraph& g, Communicator& comm,
     // ---- Peel to the 2^i-core fixpoint. ----
     for (;;) {
       ++stage.peel_sweeps;
-      std::uint64_t removed_sweep = 0;
-      ghost_decrements.clear();
-      for (lvid_t v = 0; v < g.n_loc(); ++v) {
-        if (!alive[v] || deg[v] >= threshold) continue;
-        alive[v] = 0;
-        res.bound[v] = threshold;
-        ++removed_sweep;
-        --alive_local;
-        const auto notify = [&](lvid_t u) {
-          if (g.is_ghost(u)) {
-            ghost_decrements.push_back(g.global_id(u));
-          } else if (alive[u] && deg[u] > 0) {
-            --deg[u];
-          }
-        };
-        for (const lvid_t u : g.out_neighbors(v)) notify(u);
-        for (const lvid_t u : g.in_neighbors(v)) notify(u);
-      }
-
-      // Route remote decrements to the owners (BFS-like exchange).
-      std::vector<std::uint64_t> counts(p, 0);
-      for (const gvid_t gid : ghost_decrements)
-        ++counts[g.owner_of_global(gid)];
-      MultiQueue<gvid_t> q(counts);
-      {
-        MultiQueue<gvid_t>::Sink sink(q, opts.common.qsize);
-        for (const gvid_t gid : ghost_decrements)
-          sink.push(static_cast<std::uint32_t>(g.owner_of_global(gid)), gid);
-      }
-      const std::vector<gvid_t> recv =
-          comm.alltoallv<gvid_t>(q.buffer(), counts);
-      for (const gvid_t gid : recv) {
-        const lvid_t l = g.local_id_checked(gid);
-        if (alive[l] && deg[l] > 0) --deg[l];
-      }
-
-      const std::uint64_t removed_global =
-          comm.allreduce_sum(removed_sweep);
+      const std::uint64_t removed_sweep = peel.sweep(
+          threshold, comm, [&](lvid_t v) { res.bound[v] = threshold; });
+      const std::uint64_t removed_global = comm.allreduce_sum(removed_sweep);
       stage.removed += removed_global;
       if (removed_global == 0) break;
     }
 
-    stage.alive_after = comm.allreduce_sum(alive_local);
+    stage.alive_after = comm.allreduce_sum(peel.alive_local);
 
     // ---- Largest surviving component: one alive-masked BFS from the
     // highest-degree survivor (the paper's per-stage BFS). ----
@@ -84,9 +139,10 @@ KCoreResult kcore_approx(const DistGraph& g, Communicator& comm,
       };
       Cand best;
       for (lvid_t v = 0; v < g.n_loc(); ++v) {
-        if (!alive[v]) continue;
-        if (deg[v] > best.deg || (deg[v] == best.deg && g.global_id(v) < best.gid))
-          best = {deg[v], g.global_id(v)};
+        if (!peel.alive[v]) continue;
+        if (peel.deg[v] > best.deg ||
+            (peel.deg[v] == best.deg && g.global_id(v) < best.gid))
+          best = {peel.deg[v], g.global_id(v)};
       }
       best = comm.allreduce(best, [](Cand a, Cand b) {
         if (a.deg != b.deg) return a.deg > b.deg ? a : b;
@@ -94,7 +150,7 @@ KCoreResult kcore_approx(const DistGraph& g, Communicator& comm,
       });
       BfsOptions bopts;
       bopts.dir = Dir::kBoth;
-      bopts.alive = alive;
+      bopts.alive = peel.local_alive();
       bopts.common = opts.common;
       const BfsResult cc = bfs(g, comm, best.gid, bopts);
       stage.largest_cc = cc.visited;
@@ -108,59 +164,20 @@ KCoreResult kcore_approx(const DistGraph& g, Communicator& comm,
 
 KCoreExactResult kcore_exact(const DistGraph& g, Communicator& comm,
                              const CommonOptions& opts) {
-  const int p = comm.size();
   KCoreExactResult res;
   res.core.assign(g.n_loc(), 0);
 
-  std::vector<std::uint64_t> deg(g.n_loc());
-  std::vector<std::uint8_t> alive(g.n_loc(), 1);
-  for (lvid_t v = 0; v < g.n_loc(); ++v)
-    deg[v] = g.out_degree(v) + g.in_degree(v);
-  std::uint64_t alive_local = g.n_loc();
-  std::vector<gvid_t> ghost_decrements;
+  Peeler peel(g, comm, opts);
 
   std::uint64_t k = 0;
-  while (comm.allreduce_sum(alive_local) > 0) {
+  while (comm.allreduce_sum(peel.alive_local) > 0) {
     ++k;
     ++res.stages;
     // Peel to the k-core fixpoint; every vertex removed here survived the
     // (k-1)-core, so its coreness is exactly k-1.
     for (;;) {
-      std::uint64_t removed_sweep = 0;
-      ghost_decrements.clear();
-      for (lvid_t v = 0; v < g.n_loc(); ++v) {
-        if (!alive[v] || deg[v] >= k) continue;
-        alive[v] = 0;
-        res.core[v] = k - 1;
-        ++removed_sweep;
-        --alive_local;
-        const auto notify = [&](lvid_t u) {
-          if (g.is_ghost(u)) {
-            ghost_decrements.push_back(g.global_id(u));
-          } else if (alive[u] && deg[u] > 0) {
-            --deg[u];
-          }
-        };
-        for (const lvid_t u : g.out_neighbors(v)) notify(u);
-        for (const lvid_t u : g.in_neighbors(v)) notify(u);
-      }
-
-      std::vector<std::uint64_t> counts(p, 0);
-      for (const gvid_t gid : ghost_decrements)
-        ++counts[g.owner_of_global(gid)];
-      MultiQueue<gvid_t> q(counts);
-      {
-        MultiQueue<gvid_t>::Sink sink(q, opts.qsize);
-        for (const gvid_t gid : ghost_decrements)
-          sink.push(static_cast<std::uint32_t>(g.owner_of_global(gid)), gid);
-      }
-      const std::vector<gvid_t> recv =
-          comm.alltoallv<gvid_t>(q.buffer(), counts);
-      for (const gvid_t gid : recv) {
-        const lvid_t l = g.local_id_checked(gid);
-        if (alive[l] && deg[l] > 0) --deg[l];
-      }
-
+      const std::uint64_t removed_sweep =
+          peel.sweep(k, comm, [&](lvid_t v) { res.core[v] = k - 1; });
       if (comm.allreduce_sum(removed_sweep) == 0) break;
     }
   }

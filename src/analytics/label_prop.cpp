@@ -13,8 +13,8 @@ using parcomm::Communicator;
 
 LabelPropResult label_propagation(const DistGraph& g, Communicator& comm,
                                   const LabelPropOptions& opts) {
-  ThreadPool inline_pool(1);
-  ThreadPool& tp = opts.common.pool ? *opts.common.pool : inline_pool;
+  ScopedPool pf(opts.common);
+  ThreadPool& tp = pf.get();
 
   // Labels flow both directions -> boundary set w.r.t. in+out adjacency.
   GhostExchange gx(g, comm, Adjacency::kBoth, opts.common.pool);
@@ -39,7 +39,10 @@ LabelPropResult label_propagation(const DistGraph& g, Communicator& comm,
         for (const lvid_t u : g.out_neighbors(v)) lmap.add(labels[u]);
         for (const lvid_t u : g.in_neighbors(v)) lmap.add(labels[u]);
         const std::uint64_t picked = lmap.argmax(round_seed, labels[v]);
-        changed_chunk |= picked != labels[v];
+        if (picked != labels[v]) {
+          changed_chunk = true;
+          gx.mark_changed(v);  // feeds the sparse/adaptive wire format
+        }
         if (opts.in_place) {
           labels[v] = picked;  // Gauss-Seidel within the task (paper Alg. 1)
         } else {
@@ -52,8 +55,11 @@ LabelPropResult label_propagation(const DistGraph& g, Communicator& comm,
       std::copy(next.begin(), next.end(), labels.begin());
 
     if (opts.retain_queues) {
-      gx.exchange<std::uint64_t>(labels, comm);
+      gx.exchange<std::uint64_t>(labels, comm, opts.common.ghost_mode);
     } else {
+      // Rebuild ablation: a fresh queue has no change history, so the
+      // sparse contract (unmarked ghosts already mirror owners) cannot be
+      // asserted; always go dense.
       GhostExchange fresh(g, comm, Adjacency::kBoth, opts.common.pool);
       fresh.exchange<std::uint64_t>(labels, comm);
     }

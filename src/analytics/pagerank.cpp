@@ -12,8 +12,8 @@ using parcomm::Communicator;
 
 PageRankResult pagerank(const DistGraph& g, Communicator& comm,
                         const PageRankOptions& opts) {
-  ThreadPool inline_pool(1);
-  ThreadPool& tp = opts.common.pool ? *opts.common.pool : inline_pool;
+  ScopedPool pf(opts.common);
+  ThreadPool& tp = pf.get();
   const double n = static_cast<double>(g.n_global());
   HG_CHECK(g.n_global() > 0);
 

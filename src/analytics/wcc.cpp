@@ -57,11 +57,15 @@ WccResult wcc(const DistGraph& g, Communicator& comm, const WccOptions& opts) {
 
   // ---- Step 2 (PageRank-like): HashMin coloring of the leftovers. ----
   GhostExchange gx(g, comm, Adjacency::kBoth, opts.common.pool);
+  const dgraph::GhostMode mode = opts.common.ghost_mode;
   std::vector<gvid_t> color(g.n_total());
   for (lvid_t l = 0; l < g.n_total(); ++l) color[l] = g.global_id(l);
   for (lvid_t v = 0; v < g.n_loc(); ++v)
-    if (b.level[v] >= 0) color[v] = giant_min;
-  gx.exchange<gvid_t>(color, comm);
+    if (b.level[v] >= 0 && color[v] != giant_min) {
+      color[v] = giant_min;
+      gx.mark_changed(v);  // ghosts still hold the id-init value
+    }
+  gx.exchange<gvid_t>(color, comm, mode);
 
   bool changed_global = true;
   while (changed_global) {
@@ -74,10 +78,11 @@ WccResult wcc(const DistGraph& g, Communicator& comm, const WccOptions& opts) {
       for (const lvid_t u : g.in_neighbors(v)) m = std::min(m, color[u]);
       if (m < color[v]) {
         color[v] = m;
+        gx.mark_changed(v);
         changed_local = true;
       }
     }
-    gx.exchange<gvid_t>(color, comm);
+    gx.exchange<gvid_t>(color, comm, mode);
     changed_global = comm.allreduce_lor(changed_local);
   }
 

@@ -1,5 +1,8 @@
 #include "dgraph/ghost_exchange.hpp"
 
+#include <limits>
+
+#include "util/prefix_sum.hpp"
 #include "util/thread_queue.hpp"
 
 namespace hpcgraph::dgraph {
@@ -7,11 +10,12 @@ namespace hpcgraph::dgraph {
 using parcomm::Communicator;
 
 GhostExchange::GhostExchange(const DistGraph& g, Communicator& comm,
-                             Adjacency adj, ThreadPool* pool) {
+                             Adjacency adj, ThreadPool* pool)
+    : pool_(pool) {
   const int p = comm.size();
   const int me = comm.rank();
-  ThreadPool inline_pool(1);
-  ThreadPool& tp = pool ? *pool : inline_pool;
+  PoolFallback pf(pool);
+  ThreadPool& tp = pf.get();
   const unsigned nt = tp.num_threads();
 
   // Whether u (a local-or-ghost id adjacent to v) marks v as needed by u's
@@ -83,10 +87,20 @@ GhostExchange::GhostExchange(const DistGraph& g, Communicator& comm,
       send_gids[i] = buf[i].gid;
     }
   }
+  send_displs_ = csr_offsets(std::span<const std::uint64_t>(send_counts_));
+  HG_CHECK_MSG(send_counts_[me] == 0, "retained queue must skip self");
+
+  // Sparse rounds address slots with a uint32; a per-destination segment
+  // larger than that cannot happen with lvid_t local ids, but keep the
+  // invariant explicit.
+  for (int r = 0; r < p; ++r)
+    HG_CHECK(send_counts_[r] <= std::numeric_limits<std::uint32_t>::max());
 
   // ---- Initial id exchange; receivers decode to ghost ids once. ----
+  std::vector<std::uint64_t> rcounts;
   const std::vector<gvid_t> recv_gids =
-      comm.alltoallv<gvid_t>(send_gids, send_counts_);
+      comm.alltoallv<gvid_t>(send_gids, send_counts_, &rcounts);
+  recv_displs_ = csr_offsets(std::span<const std::uint64_t>(rcounts));
   recv_local_.resize(recv_gids.size());
   for (std::size_t i = 0; i < recv_gids.size(); ++i) {
     const lvid_t l = g.local_id_checked(recv_gids[i]);
@@ -94,7 +108,48 @@ GhostExchange::GhostExchange(const DistGraph& g, Communicator& comm,
     recv_local_[i] = l;
   }
 
+  dirty_.assign(g.n_loc(), 0);
+  chg_counts_.assign(p, 0);
+  entries_global_ =
+      comm.allreduce_sum(static_cast<std::uint64_t>(send_local_.size()));
   n_total_ = g.n_total();
+}
+
+std::uint64_t GhostExchange::count_changed(ThreadPool& tp) {
+  const std::size_t p = send_counts_.size();
+  const unsigned nt = tp.num_threads();
+  if (chg_tcounts_.size() != nt)
+    chg_tcounts_.resize(nt, std::vector<std::uint64_t>(p, 0));
+  // Zero serially first: a thread whose chunk is empty never runs the lambda,
+  // and stale counts from a previous round would corrupt the cursors.
+  for (auto& counts : chg_tcounts_) counts.assign(p, 0);
+  tp.for_range(0, send_local_.size(),
+               [&](unsigned tid, std::uint64_t lo, std::uint64_t hi) {
+                 if (lo >= hi) return;
+                 auto& counts = chg_tcounts_[tid];
+                 std::size_t d = dest_of_slot(lo);
+                 for (std::uint64_t i = lo; i < hi; ++i) {
+                   while (i >= send_displs_[d + 1]) ++d;
+                   counts[d] += dirty_[send_local_[i]];
+                 }
+               });
+  std::uint64_t total = 0;
+  std::fill(chg_counts_.begin(), chg_counts_.end(), 0);
+  for (unsigned t = 0; t < nt; ++t)
+    for (std::size_t d = 0; d < p; ++d) {
+      chg_counts_[d] += chg_tcounts_[t][d];
+      total += chg_tcounts_[t][d];
+    }
+  return total;
+}
+
+void GhostExchange::clear_dirty(ThreadPool& tp) {
+  tp.for_range(0, dirty_.size(),
+               [&](unsigned, std::uint64_t lo, std::uint64_t hi) {
+                 std::fill(dirty_.begin() + static_cast<std::ptrdiff_t>(lo),
+                           dirty_.begin() + static_cast<std::ptrdiff_t>(hi),
+                           std::uint8_t{0});
+               });
 }
 
 }  // namespace hpcgraph::dgraph

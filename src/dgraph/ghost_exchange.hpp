@@ -1,7 +1,8 @@
 #pragma once
 /// \file ghost_exchange.hpp
 /// Boundary-vertex value exchange with retained queues — the communication
-/// pattern shared by all "PageRank-like" analytics (§III-D1).
+/// pattern shared by all "PageRank-like" analytics (§III-D1) — extended with
+/// a change-tracked adaptive sparse/dense wire format.
 ///
 /// Setup (once): each rank scans the adjacency of every local vertex v and
 /// marks, per Algorithm 1 lines 5–11, the set of tasks that hold v as a
@@ -16,9 +17,54 @@
 /// sending the label queues"; "By retaining queues, we also avoid having to
 /// completely rebuild them on each iteration").
 ///
+/// ## Delta exchange (change tracking)
+///
+/// Convergent analytics (Label Propagation, WCC coloring, k-core peeling)
+/// stop changing most vertices after a handful of rounds, yet the dense
+/// exchange keeps shipping every boundary vertex every iteration.  The
+/// delta protocol extends the retained-queue idea:
+///
+///   * The owner side keeps a **dirty flag per local vertex**
+///     (`mark_changed` / `mark_changed_range` / `mark_all_changed`), set by
+///     the analytic as it writes vertices.  Flags are one byte each so
+///     worker threads updating disjoint vertices can mark without atomics.
+///   * A **sparse round** ships `(uint32 slot, T value)` pairs for marked
+///     slots only, where `slot` is the index of the vertex inside the dense
+///     (source→destination) retained segment.  Receivers resolve the pair
+///     against the retained `recv_local_` map via the per-source segment
+///     offsets captured at setup, so the hash map stays cold.
+///   * A **dense round** ships the full payload exactly as before.
+///   * `GhostMode::kAdaptive` picks the cheaper format **globally** each
+///     call: one `allreduce` sums the per-rank changed-slot counts and every
+///     rank evaluates the same byte-cost predicate
+///
+///         changed_global * sizeof(SlotVal<T>)  <  c * entries_global * sizeof(T)
+///
+///     with crossover factor `c` (default 1.0 — the exact byte model; the
+///     effective changed-fraction crossover is then derived from sizeof(T):
+///     sparse wins below sizeof(T)/sizeof(SlotVal<T>) changed).  Because the
+///     decision is a pure function of allreduced values, all ranks take the
+///     same branch and collective lockstep is preserved.
+///
+/// Sparse correctness contract: a receiver applies only the transmitted
+/// pairs, so every *unmarked* vertex's ghost replica must already mirror the
+/// owner's value.  That holds whenever (a) ghost slots are initialised to
+/// the same pure function of the global id as owner slots (all our analytics
+/// do this), and (b) every subsequent write to a local vertex is marked
+/// before the next exchange.  Every exchange() call — any mode — clears the
+/// dirty set on return.
+///
+/// Both wire formats pack, unpack and scatter in parallel on the pool passed
+/// at construction (pass deterministically: the sparse payload is ordered by
+/// slot regardless of thread count).  Per-rank observability lands in
+/// CommStats (`ghost_rounds_dense/sparse`, `ghost_bytes_saved`) and
+/// PhaseTimer (`pack` staging time).
+///
 /// An ablation flag rebuilds queues every iteration instead, so the benefit
-/// is measurable (bench/micro_primitives).
+/// is measurable (bench/micro_primitives); bench/ablation_optimizations
+/// section E measures dense-always vs sparse-always vs adaptive.
 
+#include <algorithm>
 #include <cstdint>
 #include <span>
 #include <vector>
@@ -26,6 +72,8 @@
 #include "dgraph/dist_graph.hpp"
 #include "parcomm/comm.hpp"
 #include "util/parallel_for.hpp"
+#include "util/prefix_sum.hpp"
+#include "util/timer.hpp"
 
 namespace hpcgraph::dgraph {
 
@@ -36,37 +84,124 @@ enum class Adjacency {
   kBoth,    ///< undirected flow (Label Propagation, WCC coloring)
 };
 
+/// Wire-format policy for one exchange round.  Collective-uniform: every
+/// rank must pass the same mode to the same exchange call.
+enum class GhostMode : std::uint8_t {
+  kDense,     ///< full payload for every retained slot (the classic format)
+  kSparse,    ///< (slot, value) pairs for change-marked slots only
+  kAdaptive,  ///< per-round global byte-cost choice between the two
+};
+
+inline const char* ghost_mode_label(GhostMode m) {
+  switch (m) {
+    case GhostMode::kDense: return "dense";
+    case GhostMode::kSparse: return "sparse";
+    default: return "adaptive";
+  }
+}
+
+/// Sparse wire record: index within the dense (source -> destination)
+/// retained segment, plus the new value.
+template <typename T>
+struct SlotVal {
+  std::uint32_t slot;
+  T value;
+};
+
 /// Retained-queue ghost exchange for per-vertex values of type T.
 class GhostExchange {
  public:
   /// Collective.  Builds retained queues and performs the id exchange.
-  /// \param adj  Which neighbours of a local vertex make it a boundary
-  ///             vertex w.r.t. a given task.
+  /// \param adj   Which neighbours of a local vertex make it a boundary
+  ///              vertex w.r.t. a given task.
+  /// \param pool  Worker pool for setup *and* per-iteration pack/unpack
+  ///              (null = inline single-thread execution).
   GhostExchange(const DistGraph& g, parcomm::Communicator& comm,
                 Adjacency adj = Adjacency::kBoth, ThreadPool* pool = nullptr);
+
+  // ---- Change tracking (owner side). ----
+
+  /// Record that local vertex v's value changed since the last exchange.
+  /// Safe to call concurrently for distinct vertices (one byte per vertex).
+  void mark_changed(lvid_t v) {
+    HG_DCHECK(v < dirty_.size());
+    dirty_[v] = 1;
+  }
+  /// Mark every local vertex in [lo, hi) changed.
+  void mark_changed_range(lvid_t lo, lvid_t hi) {
+    HG_DCHECK(lo <= hi && hi <= dirty_.size());
+    std::fill(dirty_.begin() + lo, dirty_.begin() + hi, std::uint8_t{1});
+  }
+  void mark_all_changed() {
+    std::fill(dirty_.begin(), dirty_.end(), std::uint8_t{1});
+  }
+  /// Number of currently-marked local vertices (testing/diagnostics).
+  std::uint64_t marked_count() const {
+    std::uint64_t n = 0;
+    for (const std::uint8_t d : dirty_) n += d;
+    return n;
+  }
+
+  /// Crossover factor `c` of the adaptive byte-cost model: a round goes
+  /// sparse iff changed_global * sizeof(SlotVal<T>) < c * dense_bytes.
+  /// 1.0 (default) = exact byte model; lower biases toward dense (e.g. to
+  /// price in the scatter's random-access cost).  Must be in (0, 1].
+  void set_sparse_crossover(double c) {
+    HG_CHECK_MSG(c > 0.0 && c <= 1.0,
+                 "sparse crossover must be in (0, 1], got " << c);
+    sparse_crossover_ = c;
+  }
+  double sparse_crossover() const { return sparse_crossover_; }
+
+  // ---- Per-iteration exchange. ----
 
   /// Collective.  Push current values of boundary local vertices to the
   /// ranks holding them as ghosts: vals[ghost] is overwritten with the
   /// owner's vals[vertex].  `vals` must have length >= g.n_total().
+  ///
+  /// `mode` selects the wire format (see GhostMode; sparse/adaptive consume
+  /// the dirty set, and every call clears it).  If `changed_ghosts` is
+  /// non-null it receives the local ids of ghost slots whose stored value
+  /// actually differed from the incoming one (compared with operator!=) —
+  /// the same *set* in every mode, in unspecified order.
   template <typename T>
-  void exchange(std::span<T> vals, parcomm::Communicator& comm) {
+  void exchange(std::span<T> vals, parcomm::Communicator& comm,
+                GhostMode mode = GhostMode::kDense,
+                std::vector<lvid_t>* changed_ghosts = nullptr) {
     HG_CHECK_MSG(vals.size() >= n_total_,
                  "value array must cover locals + ghosts");
-    // Refresh the payload queue only (ids are retained).
-    payload_bytes_.resize(send_local_.size() * sizeof(T));
-    T* send = reinterpret_cast<T*>(payload_bytes_.data());
-    for (std::size_t i = 0; i < send_local_.size(); ++i)
-      send[i] = vals[send_local_[i]];
-    const std::vector<T> recv = comm.alltoallv<T>(
-        {send, send_local_.size()}, send_counts_);
-    for (std::size_t i = 0; i < recv.size(); ++i)
-      vals[recv_local_[i]] = recv[i];
+    PoolFallback pf(pool_);
+    ThreadPool& tp = pf.get();
+    if (changed_ghosts) changed_ghosts->clear();
+
+    bool sparse = false;
+    std::uint64_t changed_local = 0;
+    if (mode != GhostMode::kDense) {
+      changed_local = count_changed(tp);
+      if (mode == GhostMode::kSparse) {
+        sparse = true;
+      } else {
+        const std::uint64_t changed_global = comm.allreduce_sum(changed_local);
+        sparse = static_cast<double>(changed_global * sizeof(SlotVal<T>)) <
+                 sparse_crossover_ *
+                     static_cast<double>(entries_global_ * sizeof(T));
+      }
+    }
+
+    if (sparse) {
+      exchange_sparse(vals, comm, tp, changed_local, changed_ghosts);
+    } else {
+      exchange_dense(vals, comm, tp, changed_ghosts);
+    }
+    clear_dirty(tp);
   }
 
-  /// Number of (vertex, task) pairs sent each iteration.
+  /// Number of (vertex, task) pairs sent each dense iteration.
   std::uint64_t send_entries() const { return send_local_.size(); }
-  /// Number of ghost updates received each iteration.
+  /// Number of ghost updates received each dense iteration.
   std::uint64_t recv_entries() const { return recv_local_.size(); }
+  /// Global number of retained queue entries (allreduced at setup).
+  std::uint64_t entries_global() const { return entries_global_; }
 
   /// Local ids (owner side) of each retained queue slot, grouped by
   /// destination task.  Exposed for the rebuild-ablation and tests.
@@ -74,10 +209,159 @@ class GhostExchange {
   std::span<const std::uint64_t> send_counts() const { return send_counts_; }
 
  private:
+  // Dense round: refresh the full payload queue (ids are retained).
+  template <typename T>
+  void exchange_dense(std::span<T> vals, parcomm::Communicator& comm,
+                      ThreadPool& tp, std::vector<lvid_t>* changed_ghosts) {
+    payload_bytes_.resize(send_local_.size() * sizeof(T));
+    T* send = reinterpret_cast<T*>(payload_bytes_.data());
+    {
+      Timer t;
+      tp.for_range(0, send_local_.size(),
+                   [&](unsigned, std::uint64_t lo, std::uint64_t hi) {
+                     for (std::uint64_t i = lo; i < hi; ++i)
+                       send[i] = vals[send_local_[i]];
+                   });
+      comm.phase_timer().add_pack(t.elapsed());
+    }
+    const std::vector<T> recv = comm.alltoallv<T>(
+        {send, send_local_.size()}, send_counts_, nullptr, pool_);
+    {
+      Timer t;
+      if (!changed_ghosts) {
+        tp.for_range(0, recv.size(),
+                     [&](unsigned, std::uint64_t lo, std::uint64_t hi) {
+                       for (std::uint64_t i = lo; i < hi; ++i)
+                         vals[recv_local_[i]] = recv[i];
+                     });
+      } else {
+        std::vector<std::vector<lvid_t>> tchg(tp.num_threads());
+        tp.for_range(0, recv.size(),
+                     [&](unsigned tid, std::uint64_t lo, std::uint64_t hi) {
+                       auto& out = tchg[tid];
+                       for (std::uint64_t i = lo; i < hi; ++i) {
+                         const lvid_t l = recv_local_[i];
+                         if (vals[l] != recv[i]) out.push_back(l);
+                         vals[l] = recv[i];
+                       }
+                     });
+        for (const auto& c : tchg)
+          changed_ghosts->insert(changed_ghosts->end(), c.begin(), c.end());
+      }
+      comm.phase_timer().add_pack(t.elapsed());
+    }
+    ++comm.stats().ghost_rounds_dense;
+  }
+
+  // Sparse round: ship (slot, value) pairs for the `changed_local` marked
+  // slots counted by count_changed() (which also filled chg_tcounts_ /
+  // chg_counts_ for this exact pool chunking).
+  template <typename T>
+  void exchange_sparse(std::span<T> vals, parcomm::Communicator& comm,
+                       ThreadPool& tp, std::uint64_t changed_local,
+                       std::vector<lvid_t>* changed_ghosts) {
+    using Pair = SlotVal<T>;
+    const std::size_t p = send_counts_.size();
+    payload_bytes_.resize(changed_local * sizeof(Pair));
+    Pair* pairs = reinterpret_cast<Pair*>(payload_bytes_.data());
+
+    // Pack: pass 2 of the count/fill scheme.  Thread t's chunk of slots is
+    // the same contiguous range as in count_changed, so its write cursor in
+    // destination d starts after all lower threads' contributions.
+    const std::vector<std::uint64_t> sdispl =
+        csr_offsets(std::span<const std::uint64_t>(chg_counts_));
+    {
+      Timer t;
+      tp.for_range(0, send_local_.size(),
+                   [&](unsigned tid, std::uint64_t lo, std::uint64_t hi) {
+                     std::vector<std::uint64_t> cur(p);
+                     for (std::size_t d = 0; d < p; ++d) {
+                       cur[d] = sdispl[d];
+                       for (unsigned t2 = 0; t2 < tid; ++t2)
+                         cur[d] += chg_tcounts_[t2][d];
+                     }
+                     std::size_t d = dest_of_slot(lo);
+                     for (std::uint64_t i = lo; i < hi; ++i) {
+                       while (i >= send_displs_[d + 1]) ++d;
+                       const lvid_t v = send_local_[i];
+                       if (!dirty_[v]) continue;
+                       pairs[cur[d]++] = Pair{
+                           static_cast<std::uint32_t>(i - send_displs_[d]),
+                           vals[v]};
+                     }
+                   });
+      comm.phase_timer().add_pack(t.elapsed());
+    }
+
+    std::vector<std::uint64_t> rcounts;
+    const std::vector<Pair> recv = comm.alltoallv<Pair>(
+        {pairs, changed_local}, chg_counts_, &rcounts, pool_);
+
+    // Scatter against the retained receive map: pair from source s updates
+    // recv_local_[recv_displs_[s] + slot].
+    const std::vector<std::uint64_t> rdispl =
+        csr_offsets(std::span<const std::uint64_t>(rcounts));
+    {
+      Timer t;
+      std::vector<std::vector<lvid_t>> tchg(
+          changed_ghosts ? tp.num_threads() : 0);
+      tp.for_range(0, recv.size(),
+                   [&](unsigned tid, std::uint64_t lo, std::uint64_t hi) {
+                     std::size_t s =
+                         static_cast<std::size_t>(
+                             std::upper_bound(rdispl.begin(), rdispl.end(),
+                                              lo) -
+                             rdispl.begin()) -
+                         1;
+                     for (std::uint64_t j = lo; j < hi; ++j) {
+                       while (j >= rdispl[s + 1]) ++s;
+                       const Pair& pr = recv[j];
+                       const std::uint64_t pos = recv_displs_[s] + pr.slot;
+                       HG_DCHECK(pos < recv_displs_[s + 1]);
+                       const lvid_t l = recv_local_[pos];
+                       if (changed_ghosts && vals[l] != pr.value)
+                         tchg[tid].push_back(l);
+                       vals[l] = pr.value;
+                     }
+                   });
+      if (changed_ghosts)
+        for (const auto& c : tchg)
+          changed_ghosts->insert(changed_ghosts->end(), c.begin(), c.end());
+      comm.phase_timer().add_pack(t.elapsed());
+    }
+
+    auto& st = comm.stats();
+    ++st.ghost_rounds_sparse;
+    st.ghost_bytes_saved +=
+        static_cast<std::int64_t>(send_local_.size() * sizeof(T)) -
+        static_cast<std::int64_t>(changed_local * sizeof(Pair));
+  }
+
+  /// Destination task owning retained slot i (segments are contiguous).
+  std::size_t dest_of_slot(std::uint64_t i) const {
+    return static_cast<std::size_t>(
+               std::upper_bound(send_displs_.begin(), send_displs_.end(), i) -
+               send_displs_.begin()) -
+           1;
+  }
+
+  /// Count dirty slots per destination into chg_tcounts_ (per pool thread)
+  /// and chg_counts_; returns the total.  Non-template, lives in the .cpp.
+  std::uint64_t count_changed(ThreadPool& tp);
+  void clear_dirty(ThreadPool& tp);
+
   std::vector<lvid_t> send_local_;          // retained vertex queue (local ids)
   std::vector<std::uint64_t> send_counts_;  // per-task counts
+  std::vector<std::uint64_t> send_displs_;  // CSR offsets of send segments
   std::vector<lvid_t> recv_local_;          // retained receive targets
+  std::vector<std::uint64_t> recv_displs_;  // CSR offsets per source task
   std::vector<std::uint8_t> payload_bytes_; // reused per-iteration buffer
+  std::vector<std::uint8_t> dirty_;         // per local vertex changed flag
+  std::vector<std::vector<std::uint64_t>> chg_tcounts_;  // [thread][dest]
+  std::vector<std::uint64_t> chg_counts_;                // per-dest changed
+  ThreadPool* pool_ = nullptr;
+  std::uint64_t entries_global_ = 0;        // allreduced send entries
+  double sparse_crossover_ = 1.0;           // adaptive byte-cost factor
   std::size_t n_total_ = 0;                 // locals + ghosts, for checking
 };
 

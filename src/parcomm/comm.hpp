@@ -42,6 +42,7 @@
 #include "parcomm/comm_stats.hpp"
 #include "parcomm/phase_timer.hpp"
 #include "util/error.hpp"
+#include "util/parallel_for.hpp"
 #include "util/prefix_sum.hpp"
 #include "util/timer.hpp"
 
@@ -101,11 +102,15 @@ class Communicator {
   /// \param sendcounts  Items destined to each rank; segments are laid out
   ///                    in rank order (displs are derived internally).
   /// \param recvcounts  Optional out-param: items received from each rank.
+  /// \param pool        Optional thread pool: the per-source memcpy fan-in
+  ///                    copies source segments in parallel (they target
+  ///                    disjoint ranges of the receive buffer).
   /// \returns items received, concatenated in source-rank order.
   template <typename T>
   std::vector<T> alltoallv(std::span<const T> send,
                            std::span<const std::uint64_t> sendcounts,
-                           std::vector<std::uint64_t>* recvcounts = nullptr) {
+                           std::vector<std::uint64_t>* recvcounts = nullptr,
+                           ThreadPool* pool = nullptr) {
     static_assert(std::is_trivially_copyable_v<T>);
     HG_CHECK(static_cast<int>(sendcounts.size()) == size());
     ++stats_.collective_calls;
@@ -118,8 +123,8 @@ class Communicator {
                                           << send.size());
 
     stats_.bytes_sent += total * sizeof(T);
-    stats_.bytes_remote +=
-        (total - sendcounts[rank_]) * sizeof(T);
+    stats_.bytes_remote += (total - sendcounts[rank_]) * sizeof(T);
+    stats_.bytes_self += sendcounts[rank_] * sizeof(T);
 
     CommWorld::Board& b = world_.board_;
     b.ptr[rank_] = send.data();
@@ -129,19 +134,29 @@ class Communicator {
 
     // Gather per-source counts, then copy payload segments in rank order.
     std::vector<std::uint64_t> rcounts(size());
+    std::vector<std::uint64_t> roffs(size());
     std::uint64_t rtotal = 0;
-    for (int s = 0; s < size(); ++s) rtotal += (rcounts[s] = b.cnt[s][rank_]);
+    for (int s = 0; s < size(); ++s) {
+      roffs[s] = rtotal;
+      rtotal += (rcounts[s] = b.cnt[s][rank_]);
+    }
 
     std::vector<T> recv(rtotal);
     {
       Timer t;
-      std::uint64_t off = 0;
-      for (int s = 0; s < size(); ++s) {
-        if (rcounts[s] == 0) continue;
+      const auto copy_from = [&](int s) {
+        if (rcounts[s] == 0) return;
         const auto* src = static_cast<const T*>(b.ptr[s]);
-        std::memcpy(recv.data() + off, src + b.displ[s][rank_],
+        std::memcpy(recv.data() + roffs[s], src + b.displ[s][rank_],
                     rcounts[s] * sizeof(T));
-        off += rcounts[s];
+      };
+      if (pool && pool->num_threads() > 1) {
+        pool->for_each(0, static_cast<std::uint64_t>(size()),
+                       [&](unsigned, std::uint64_t s) {
+                         copy_from(static_cast<int>(s));
+                       });
+      } else {
+        for (int s = 0; s < size(); ++s) copy_from(s);
       }
       phase_.add_comm(t.elapsed());
     }
@@ -168,6 +183,8 @@ class Communicator {
     ++stats_.collective_calls;
     stats_.bytes_sent += sizeof(T);
     stats_.bytes_remote += static_cast<std::uint64_t>(size() - 1) * sizeof(T);
+    stats_.bytes_self += sizeof(T);
+    stats_.bytes_received += static_cast<std::uint64_t>(size()) * sizeof(T);
 
     CommWorld::Board& b = world_.board_;
     b.ptr[rank_] = &value;
@@ -202,6 +219,9 @@ class Communicator {
     static_assert(std::is_trivially_copyable_v<T>);
     ++stats_.collective_calls;
     stats_.bytes_sent += sizeof(T);
+    stats_.bytes_remote += static_cast<std::uint64_t>(size() - 1) * sizeof(T);
+    stats_.bytes_self += sizeof(T);
+    stats_.bytes_received += static_cast<std::uint64_t>(size()) * sizeof(T);
 
     CommWorld::Board& b = world_.board_;
     b.ptr[rank_] = &value;
@@ -221,7 +241,9 @@ class Communicator {
     static_assert(std::is_trivially_copyable_v<T>);
     ++stats_.collective_calls;
     stats_.bytes_sent += local.size() * sizeof(T);
-    stats_.bytes_remote += local.size() * sizeof(T);
+    stats_.bytes_remote +=
+        local.size() * sizeof(T) * static_cast<std::uint64_t>(size() - 1);
+    stats_.bytes_self += local.size() * sizeof(T);
 
     CommWorld::Board& b = world_.board_;
     b.ptr[rank_] = local.data();
@@ -255,11 +277,13 @@ class Communicator {
     CommWorld::Board& b = world_.board_;
     if (rank_ == root) {
       b.ptr[root] = &value;
-      stats_.bytes_sent += sizeof(T) * (size() - 1);
+      stats_.bytes_sent += sizeof(T);
       stats_.bytes_remote += sizeof(T) * (size() - 1);
+      stats_.bytes_self += sizeof(T);
     }
     timed_barrier();
     T out = *static_cast<const T*>(b.ptr[root]);
+    stats_.bytes_received += sizeof(T);
     timed_barrier();
     return out;
   }
@@ -273,8 +297,9 @@ class Communicator {
     if (rank_ == root) {
       b.ptr[root] = local.data();
       b.scalar[root] = local.size();
-      stats_.bytes_sent += local.size() * sizeof(T) * (size() - 1);
+      stats_.bytes_sent += local.size() * sizeof(T);
       stats_.bytes_remote += local.size() * sizeof(T) * (size() - 1);
+      stats_.bytes_self += local.size() * sizeof(T);
     }
     timed_barrier();
     std::vector<T> out(b.scalar[root]);
@@ -284,6 +309,7 @@ class Communicator {
         std::memcpy(out.data(), b.ptr[root], out.size() * sizeof(T));
       phase_.add_comm(t.elapsed());
     }
+    stats_.bytes_received += out.size() * sizeof(T);
     timed_barrier();
     return out;
   }
@@ -295,7 +321,11 @@ class Communicator {
     static_assert(std::is_trivially_copyable_v<T>);
     ++stats_.collective_calls;
     stats_.bytes_sent += local.size() * sizeof(T);
-    if (rank_ != root) stats_.bytes_remote += local.size() * sizeof(T);
+    if (rank_ != root) {
+      stats_.bytes_remote += local.size() * sizeof(T);
+    } else {
+      stats_.bytes_self += local.size() * sizeof(T);
+    }
 
     CommWorld::Board& b = world_.board_;
     b.ptr[rank_] = local.data();

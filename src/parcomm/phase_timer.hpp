@@ -20,6 +20,7 @@ struct PhaseBreakdown {
   double comp = 0;   ///< seconds in local computation
   double comm = 0;   ///< seconds moving payload
   double idle = 0;   ///< seconds waiting for other ranks
+  double pack = 0;   ///< subset of comp: ghost-exchange pack/scatter staging
   double total = 0;  ///< wall seconds of the region
 
   double comp_ratio() const { return total > 0 ? comp / total : 0; }
@@ -34,11 +35,16 @@ class PhaseTimer {
   void reset() {
     comm_.reset();
     idle_.reset();
+    pack_.reset();
     region_ = Timer{};
   }
 
   void add_comm(double s) { comm_.add(s); }
   void add_idle(double s) { idle_.add(s); }
+  /// Ghost-exchange payload staging (pack/scatter).  Reported separately but
+  /// still attributed to comp in the comp/comm/idle decomposition, since it
+  /// is rank-local work that overlaps nothing.
+  void add_pack(double s) { pack_.add(s); }
 
   /// Breakdown of the region so far.
   PhaseBreakdown snapshot() const {
@@ -46,6 +52,7 @@ class PhaseTimer {
     b.total = region_.elapsed();
     b.comm = comm_.total();
     b.idle = idle_.total();
+    b.pack = pack_.total();
     b.comp = b.total - b.comm - b.idle;
     if (b.comp < 0) b.comp = 0;  // clock noise at microsecond scale
     return b;
@@ -54,6 +61,7 @@ class PhaseTimer {
  private:
   AccumTimer comm_;
   AccumTimer idle_;
+  AccumTimer pack_;
   Timer region_;
 };
 

@@ -136,4 +136,19 @@ class ThreadPool {
   bool stop_ = false;
 };
 
+/// Resolves an optional pool pointer to a usable reference, falling back to
+/// a private inline (1-thread, zero-spawn) pool.  Replaces the
+/// `ThreadPool inline_pool(1); ThreadPool& tp = opt ? *opt : inline_pool;`
+/// boilerplate that used to be pasted into every analytic.
+class PoolFallback {
+ public:
+  explicit PoolFallback(ThreadPool* pool) : pool_(pool) {}
+  ThreadPool& get() { return pool_ ? *pool_ : inline_; }
+  operator ThreadPool&() { return get(); }
+
+ private:
+  ThreadPool* pool_;
+  ThreadPool inline_{1};  // nthreads==1: no OS threads, inline execution
+};
+
 }  // namespace hpcgraph

@@ -2,6 +2,8 @@
 
 #include <gtest/gtest.h>
 
+#include <algorithm>
+
 #include "dgraph/ghost_exchange.hpp"
 #include "gen/rmat.hpp"
 #include "test_helpers.hpp"
@@ -133,6 +135,149 @@ TEST_P(GhostExchangeParam, SendVolumeIsBoundedByGhostRelation) {
     // Every ghost receives exactly one update per exchange.
     EXPECT_EQ(gx.recv_entries(), g.n_gst());
   });
+}
+
+// Deterministic per-(vertex, round) change selector shared by all ranks.
+bool selected(gvid_t gid, int round, int permil) {
+  std::uint64_t x = gid * 0x9e3779b97f4a7c15ULL +
+                    static_cast<std::uint64_t>(round) * 0xbf58476d1ce4e5b9ULL +
+                    1;
+  x ^= x >> 31;
+  x *= 0x94d049bb133111ebULL;
+  x ^= x >> 29;
+  return static_cast<int>(x % 1000) < permil;
+}
+
+// The three wire formats must be byte-identical observers: same final array,
+// same changed-ghost sets, regardless of change density (0%, sparse, dense,
+// 100%) or pool width.  The changed set is a pure function of the global id
+// and the round, so every rank can maintain the expected mirror locally.
+TEST_P(GhostExchangeParam, SparseAndAdaptiveMatchDense) {
+  gen::RmatParams rp;
+  rp.scale = 8;
+  rp.avg_degree = 6;
+  const gen::EdgeList el = gen::rmat(rp);
+  for (const unsigned nthreads : {1u, 3u}) {
+    with_dist_graph(el, GetParam(), [&](const DistGraph& g,
+                                        parcomm::Communicator& comm) {
+      ThreadPool pool(nthreads);
+      ThreadPool* pp = nthreads > 1 ? &pool : nullptr;
+      GhostExchange gxd(g, comm, Adjacency::kBoth, pp);
+      GhostExchange gxs(g, comm, Adjacency::kBoth, pp);
+      GhostExchange gxa(g, comm, Adjacency::kBoth, pp);
+
+      std::vector<std::uint64_t> vd(g.n_total()), vs(g.n_total()),
+          va(g.n_total()), expect(g.n_total());
+      for (lvid_t l = 0; l < g.n_total(); ++l)
+        vd[l] = vs[l] = va[l] = expect[l] = f(g.global_id(l));
+
+      // Change densities per round, in permil: none, rare, heavy, all, none
+      // again (an all-quiet round right after a full one).
+      const int densities[] = {0, 20, 300, 1000, 0};
+      int round = 0;
+      for (const int permil : densities) {
+        ++round;
+        // Owners update + mark; every rank updates its expected mirror for
+        // locals AND ghosts (selection is a pure function of the gid).
+        for (lvid_t l = 0; l < g.n_total(); ++l) {
+          if (!selected(g.global_id(l), round, permil)) continue;
+          const std::uint64_t nv =
+              f(g.global_id(l)) + static_cast<std::uint64_t>(round) * 1000003;
+          expect[l] = nv;
+          if (l < g.n_loc()) {
+            vd[l] = vs[l] = va[l] = nv;
+            gxd.mark_changed(l);
+            gxs.mark_changed(l);
+            gxa.mark_changed(l);
+          }
+        }
+
+        std::vector<lvid_t> chg_d, chg_s, chg_a;
+        const auto before = comm.stats();
+        gxd.exchange<std::uint64_t>(vd, comm, GhostMode::kDense, &chg_d);
+        gxs.exchange<std::uint64_t>(vs, comm, GhostMode::kSparse, &chg_s);
+        gxa.exchange<std::uint64_t>(va, comm, GhostMode::kAdaptive, &chg_a);
+        const auto after = comm.stats();
+
+        for (lvid_t l = 0; l < g.n_total(); ++l) {
+          ASSERT_EQ(vd[l], expect[l]) << "dense drifted at " << g.global_id(l);
+          ASSERT_EQ(vs[l], expect[l]) << "sparse drifted at " << g.global_id(l);
+          ASSERT_EQ(va[l], expect[l]) << "adaptive drifted at "
+                                      << g.global_id(l);
+        }
+
+        // Same changed-ghost set in every mode.
+        std::sort(chg_d.begin(), chg_d.end());
+        std::sort(chg_s.begin(), chg_s.end());
+        std::sort(chg_a.begin(), chg_a.end());
+        EXPECT_EQ(chg_d, chg_s);
+        EXPECT_EQ(chg_d, chg_a);
+
+        // Every exchange consumes the dirty set.
+        EXPECT_EQ(gxd.marked_count(), 0u);
+        EXPECT_EQ(gxs.marked_count(), 0u);
+        EXPECT_EQ(gxa.marked_count(), 0u);
+
+        // Wire-format bookkeeping: dense+forced-sparse always count one
+        // round each; adaptive picks sparse on quiet rounds and dense on
+        // the 100% round (uint64 crossover is 50% of slots changed).
+        EXPECT_EQ(after.ghost_rounds_dense + after.ghost_rounds_sparse -
+                      before.ghost_rounds_dense - before.ghost_rounds_sparse,
+                  3u);
+        EXPECT_GE(after.ghost_rounds_sparse, before.ghost_rounds_sparse + 1);
+        if (gxa.entries_global() > 0) {
+          if (permil == 0) {
+            EXPECT_EQ(after.ghost_rounds_sparse,
+                      before.ghost_rounds_sparse + 2);
+          }
+          if (permil == 1000) {
+            EXPECT_EQ(after.ghost_rounds_dense,
+                      before.ghost_rounds_dense + 2);
+          }
+        }
+      }
+    });
+  }
+}
+
+// A sparse round on a quiet iteration must put (nearly) nothing on the wire;
+// bytes saved vs dense must be accounted.
+TEST_P(GhostExchangeParam, SparseQuietRoundSavesBytes) {
+  gen::RmatParams rp;
+  rp.scale = 8;
+  rp.avg_degree = 6;
+  const gen::EdgeList el = gen::rmat(rp);
+  with_dist_graph(el, GetParam(), [&](const DistGraph& g,
+                                      parcomm::Communicator& comm) {
+    GhostExchange gx(g, comm, Adjacency::kBoth);
+    std::vector<std::uint64_t> vals(g.n_total());
+    for (lvid_t l = 0; l < g.n_total(); ++l) vals[l] = f(g.global_id(l));
+
+    const auto before = comm.stats();
+    gx.exchange<std::uint64_t>(vals, comm, GhostMode::kSparse);
+    const auto after = comm.stats();
+
+    // Nothing was marked: zero payload entries beyond the allreduce-free
+    // sparse header, and the full dense payload is banked as savings.
+    EXPECT_EQ(after.ghost_rounds_sparse, before.ghost_rounds_sparse + 1);
+    EXPECT_EQ(
+        after.ghost_bytes_saved - before.ghost_bytes_saved,
+        static_cast<std::int64_t>(gx.send_entries() * sizeof(std::uint64_t)));
+    for (lvid_t l = 0; l < g.n_total(); ++l)
+      ASSERT_EQ(vals[l], f(g.global_id(l)));
+  });
+}
+
+TEST(GhostExchange, SparseCrossoverValidated) {
+  const gen::EdgeList el = hpcgraph::testing::tiny_graph();
+  with_dist_graph(el, {2, PartitionKind::kVertexBlock},
+                  [&](const DistGraph& g, parcomm::Communicator& comm) {
+                    GhostExchange gx(g, comm, Adjacency::kBoth);
+                    EXPECT_THROW(gx.set_sparse_crossover(0.0), CheckError);
+                    EXPECT_THROW(gx.set_sparse_crossover(1.5), CheckError);
+                    gx.set_sparse_crossover(0.25);
+                    EXPECT_EQ(gx.sparse_crossover(), 0.25);
+                  });
 }
 
 INSTANTIATE_TEST_SUITE_P(

@@ -239,6 +239,61 @@ TEST(CommStats, CountsBytesAndCalls) {
   EXPECT_EQ(world.last_stats()[0].collective_calls, 1u);
 }
 
+TEST(CommStats, SelfBytesAreNeverRemote) {
+  CommWorld world(2);
+  world.run([&](Communicator& comm) {
+    // One item kept, one shipped: the self segment must land in bytes_self.
+    std::vector<std::uint64_t> counts{1, 1};
+    const std::vector<std::uint32_t> send{1u, 2u};
+    (void)comm.alltoallv<std::uint32_t>(send, counts);
+    const CommStats& s = comm.stats();
+    EXPECT_EQ(s.bytes_self, 4u);
+    EXPECT_EQ(s.bytes_remote, 4u);
+    EXPECT_EQ(s.bytes_received, s.bytes_remote + s.bytes_self);
+  });
+}
+
+// The conservation law every collective must satisfy under the unified
+// accounting rules: globally, everything received was delivered either
+// remotely or to self.  Exercises every collective in one region, with
+// asymmetric payloads so miscounting any rank's share breaks the sums.
+TEST(CommStats, ReceivedEqualsRemotePlusSelfAcrossCollectives) {
+  for (const int p : {1, 2, 3, 4}) {
+    CommWorld world(p);
+    world.run([&](Communicator& comm) {
+      const int me = comm.rank();
+      // alltoallv with ragged counts: rank r sends r+1 items to each rank.
+      std::vector<std::uint64_t> counts(p,
+                                        static_cast<std::uint64_t>(me) + 1);
+      std::vector<std::uint32_t> payload(
+          static_cast<std::size_t>(p) * (me + 1),
+          static_cast<std::uint32_t>(me));
+      (void)comm.alltoallv<std::uint32_t>(payload, counts);
+      (void)comm.allreduce_sum(static_cast<std::uint64_t>(me));
+      (void)comm.allgather(me);
+      // Ragged allgatherv: rank r contributes r+1 doubles.
+      (void)comm.allgatherv<double>(std::vector<double>(me + 1, 1.5));
+      int bval = me == 0 ? 42 : 0;
+      comm.broadcast(bval, 0);
+      std::vector<std::uint16_t> bvec;
+      if (me == 0) bvec.assign(5, 7);
+      comm.broadcast_vec<std::uint16_t>(bvec, 0);
+      (void)comm.gatherv<std::uint8_t>(
+          std::vector<std::uint8_t>(2 * me + 1, 9), 0);
+    });
+    std::uint64_t received = 0, remote = 0, self = 0;
+    for (const CommStats& s : world.last_stats()) {
+      received += s.bytes_received;
+      remote += s.bytes_remote;
+      self += s.bytes_self;
+    }
+    EXPECT_EQ(received, remote + self) << "p=" << p;
+    if (p == 1) {
+      EXPECT_EQ(remote, 0u) << "single rank sends nothing remote";
+    }
+  }
+}
+
 TEST(PhaseTimer, BreakdownComponentsSumToTotal) {
   CommWorld world(2);
   world.run([&](Communicator& comm) {
