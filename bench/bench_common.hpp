@@ -41,6 +41,7 @@ struct RankMetrics {
   std::uint64_t collectives = 0;
   std::uint64_t ghost_rounds_dense = 0;   ///< ghost exchanges on dense wire
   std::uint64_t ghost_rounds_sparse = 0;  ///< ghost exchanges on sparse wire
+  std::uint64_t ghost_rounds_reduce = 0;  ///< reverse (ghost->owner) rounds
   std::int64_t ghost_bytes_saved = 0;     ///< dense-equivalent minus actual
 };
 

@@ -11,6 +11,7 @@
 #include "analytics/harmonic.hpp"       // IWYU pragma: export
 #include "analytics/kcore.hpp"          // IWYU pragma: export
 #include "analytics/label_prop.hpp"     // IWYU pragma: export
+#include "analytics/msbfs.hpp"          // IWYU pragma: export
 #include "analytics/pagerank.hpp"       // IWYU pragma: export
 #include "analytics/scc.hpp"            // IWYU pragma: export
 #include "analytics/scc_decompose.hpp"  // IWYU pragma: export

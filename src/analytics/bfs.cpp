@@ -231,13 +231,22 @@ BfsResult bfs_diropt_impl(const DistGraph& g, Communicator& comm, gvid_t root,
   std::uint64_t global_size = comm.allreduce_sum<std::uint64_t>(q.size());
   int num_levels = 0;
   bool bottom_up = false;
+  std::vector<std::uint64_t> tedges(tp.num_threads());
 
   while (global_size != 0) {
     ++num_levels;
 
     // ---- Mode decision (Beamer heuristics, collective). ----
+    std::fill(tedges.begin(), tedges.end(), 0);
+    tp.for_range(0, q.size(),
+                 [&](unsigned tid, std::uint64_t lo, std::uint64_t hi) {
+                   std::uint64_t sum = 0;
+                   for (std::uint64_t i = lo; i < hi; ++i)
+                     sum += deg_dir(q[i]);
+                   tedges[tid] = sum;
+                 });
     std::uint64_t frontier_edges_local = 0;
-    for (const lvid_t v : q) frontier_edges_local += deg_dir(v);
+    for (const std::uint64_t e : tedges) frontier_edges_local += e;
     const std::uint64_t frontier_edges =
         comm.allreduce_sum(frontier_edges_local);
     if (!bottom_up) {
@@ -252,8 +261,16 @@ BfsResult bfs_diropt_impl(const DistGraph& g, Communicator& comm, gvid_t root,
     if (bottom_up) {
       // ---- Bottom-up: publish frontier flags, unvisited vertices look
       // for a flagged parent. ----
-      std::fill(flags.begin(), flags.end(), 0);
-      for (const lvid_t v : q) flags[v] = 1;
+      tp.for_range(0, flags.size(),
+                   [&](unsigned, std::uint64_t lo, std::uint64_t hi) {
+                     std::fill(flags.begin() + static_cast<std::ptrdiff_t>(lo),
+                               flags.begin() + static_cast<std::ptrdiff_t>(hi),
+                               std::uint8_t{0});
+                   });
+      tp.for_range(0, q.size(),  // frontier vertices are distinct: no races
+                   [&](unsigned, std::uint64_t lo, std::uint64_t hi) {
+                     for (std::uint64_t i = lo; i < hi; ++i) flags[q[i]] = 1;
+                   });
       gx.exchange<std::uint8_t>(flags, comm);
 
       for (lvid_t v = 0; v < g.n_loc(); ++v) {
@@ -325,7 +342,6 @@ BfsResult bfs_diropt_impl(const DistGraph& g, Communicator& comm, gvid_t root,
     global_size = comm.allreduce_sum<std::uint64_t>(q.size());
     ++level;
   }
-  (void)tp;
 
   BfsResult res;
   res.num_levels = num_levels;
@@ -349,8 +365,9 @@ BfsResult bfs(const DistGraph& g, Communicator& comm, gvid_t root,
   ScopedPool pf(opts.common);
   ThreadPool& tp = pf.get();
   if (opts.direction_optimizing) {
-    // The hybrid schedule is sequential within a rank (its bottom-up scan
-    // is a flat loop); the plain status policy suffices.
+    // The hybrid schedule expands frontiers sequentially within a rank
+    // (only the flag fills and degree sums run on the pool, and those never
+    // touch the status array); the plain status policy suffices.
     return bfs_diropt_impl<PlainStatus>(g, comm, root, opts, tp);
   }
   if (tp.num_threads() == 1)

@@ -1,20 +1,40 @@
 #pragma once
 /// \file harmonic.hpp
 /// Harmonic Centrality (Boldi & Vigna's axioms-for-centrality measure — the
-/// paper's [1]): HC(v) = sum over u != v of 1/d(v, u), computed with one
-/// distributed BFS per vertex.  Exact all-vertices HC is O(nm) and
-/// "prohibitively expensive for large graphs"; the paper instead scores the
-/// top-k vertices ranked by degree (k = 1000 for WC) and reports the time of
-/// a single-vertex evaluation.
+/// paper's [1]): HC(v) = sum over u != v of 1/d(v, u).  Exact all-vertices
+/// HC is O(nm) and "prohibitively expensive for large graphs"; the paper
+/// instead scores the top-k vertices ranked by degree (k = 1000 for WC) and
+/// reports the time of a single-vertex evaluation.
+///
+/// Two engines compute the top-k scores:
+///   * per-source — one distributed BFS per candidate (the paper's scheme);
+///   * batched (default) — the bit-parallel multi-source BFS engine
+///     (msbfs.hpp) traverses up to 64 candidates per CSR sweep, with one
+///     retained ghost-exchange plan reused across every batch, and
+///     accumulates each root's sum of 1/level from the per-level discovery
+///     masks.  Scores are equal up to floating-point summation order.
+///
+/// `harmonic_approx` adds the sampled mode the paper's approximate-analytics
+/// spirit calls for: estimate HC for *every* vertex from `n_samples` random
+/// targets (one or two MS-BFS batches), unbiased with scale n/s; sampling
+/// all n vertices reproduces the exact scores.
 
 #include <cstdint>
 #include <vector>
 
 #include "analytics/common.hpp"
+#include "analytics/msbfs.hpp"
 
 namespace hpcgraph::analytics {
 
 struct HarmonicOptions {
+  /// Use the bit-parallel multi-source engine for top-k (false = one
+  /// distributed BFS per candidate, the paper's original scheme).
+  bool batched = true;
+  /// Candidates per MS-BFS batch, in [1, kMsBfsMaxBatch].
+  std::size_t batch_size = kMsBfsMaxBatch;
+  /// Dense/sparse frontier crossover forwarded to the MS-BFS engine.
+  double dense_threshold = 0.04;
   CommonOptions common;
 };
 
@@ -31,10 +51,38 @@ struct ScoredVertex {
 
 /// Collective.  The paper's top-k protocol: select the k globally
 /// highest-degree vertices (total degree, ties to smaller id), then compute
-/// HC for each.  Returned in descending HC order.
+/// HC for each — batched ⌈k/64⌉ MS-BFS sweeps by default.  Returned in
+/// descending HC order.
 std::vector<ScoredVertex> harmonic_top_k(const dgraph::DistGraph& g,
                                          parcomm::Communicator& comm,
                                          std::size_t k,
                                          const HarmonicOptions& opts = {});
+
+struct HarmonicApproxOptions {
+  /// Number of sampled targets (clamped to n; n_samples >= n degenerates to
+  /// the exact computation — every vertex sampled exactly once).
+  std::size_t n_samples = kMsBfsMaxBatch;
+  std::uint64_t seed = 0x9a7c1eULL;
+  std::size_t batch_size = kMsBfsMaxBatch;
+  double dense_threshold = 0.04;
+  CommonOptions common;
+};
+
+struct HarmonicApproxResult {
+  /// Estimated HC(v) for every local vertex: (n/s) * sum over sampled
+  /// targets u of 1/d(v, u).
+  std::vector<double> score;
+  /// The sampled target vertices (identical on every rank).
+  std::vector<gvid_t> samples;
+  int num_levels = 0;  ///< max MS-BFS levels over batches
+};
+
+/// Collective.  Sampled approximate harmonic centrality of *all* vertices:
+/// distances toward the sampled targets come from reverse (in-edge) MS-BFS
+/// traversals, so s samples cost ⌈s/64⌉ batched sweeps instead of n BFS
+/// runs.  Deterministic for a fixed seed and rank count.
+HarmonicApproxResult harmonic_approx(const dgraph::DistGraph& g,
+                                     parcomm::Communicator& comm,
+                                     const HarmonicApproxOptions& opts = {});
 
 }  // namespace hpcgraph::analytics

@@ -1,0 +1,205 @@
+#include "analytics/msbfs.hpp"
+
+#include <algorithm>
+#include <bit>
+#include <optional>
+
+#include "dgraph/ghost_exchange.hpp"
+#include "util/bitmask64.hpp"
+
+namespace hpcgraph::analytics {
+
+using dgraph::DistGraph;
+using dgraph::GhostExchange;
+using parcomm::Communicator;
+
+namespace {
+
+/// One batch of <= kMsBfsMaxBatch roots.  Returns the number of frontier
+/// expansions executed; adds the batch's global (root, vertex) reach count
+/// to *visited.
+int run_batch(const DistGraph& g, Communicator& comm, GhostExchange& gx,
+              std::span<const gvid_t> batch, std::size_t batch_begin,
+              const MsBfsOptions& opts, ThreadPool& tp,
+              const MsBfsLevelVisitor& visit, std::uint64_t* visited) {
+  const lvid_t n_loc = g.n_loc();
+  const std::size_t n_total = g.n_total();
+  const unsigned nt = tp.num_threads();
+  const std::uint64_t full = bits::low_mask(batch.size());
+
+  // Per-vertex visit masks over locals + ghosts; bit j belongs to batch[j].
+  std::vector<std::uint64_t> seen(n_total, 0);
+  std::vector<std::uint64_t> frontier(n_total, 0);
+  std::vector<std::uint64_t> next(n_total, 0);
+  std::vector<std::uint64_t> newly(n_loc, 0);
+
+  std::vector<lvid_t> act;  // frontier-active local vertices
+  for (std::size_t j = 0; j < batch.size(); ++j) {
+    const gvid_t r = batch[j];
+    HG_CHECK(r < g.n_global());
+    if (g.owner_of_global(r) != comm.rank()) continue;
+    const lvid_t l = g.local_id_checked(r);
+    if (frontier[l] == 0) act.push_back(l);
+    seen[l] |= bits::bit(j);
+    frontier[l] |= bits::bit(j);
+    newly[l] |= bits::bit(j);
+  }
+  if (!act.empty()) visit(0, newly, batch, batch_begin);
+
+  std::vector<std::vector<lvid_t>> tact(nt);
+  std::uint64_t active_global = comm.allreduce_sum<std::uint64_t>(act.size());
+  std::int64_t level = 0;
+  int num_levels = 0;
+
+  while (active_global != 0) {
+    ++num_levels;
+    // Schedule choice is a pure function of allreduced state: lockstep.
+    const bool pull =
+        static_cast<double>(active_global) >
+        opts.dense_threshold * static_cast<double>(g.n_global());
+
+    if (pull) {
+      // ---- Dense (pull): publish frontier masks, gather over the reverse
+      // adjacency of every unsaturated vertex.  Writes are per-destination:
+      // no atomics. ----
+      gx.exchange(std::span<std::uint64_t>(frontier), comm);
+      tp.for_range(0, n_loc, [&](unsigned, std::uint64_t lo,
+                                 std::uint64_t hi) {
+        for (std::uint64_t i = lo; i < hi; ++i) {
+          const lvid_t v = static_cast<lvid_t>(i);
+          if ((~seen[v] & full) == 0) {  // already reached by every root
+            next[v] = 0;
+            continue;
+          }
+          std::uint64_t gather = 0;
+          // Parents sit in the *reverse* adjacency of the traversal.
+          if (opts.dir == Dir::kOut || opts.dir == Dir::kBoth)
+            for (const lvid_t u : g.in_neighbors(v)) gather |= frontier[u];
+          if (opts.dir == Dir::kIn || opts.dir == Dir::kBoth)
+            for (const lvid_t u : g.out_neighbors(v)) gather |= frontier[u];
+          next[v] = gather;
+        }
+      });
+    } else {
+      // ---- Sparse (push): scatter active masks along the traversal
+      // adjacency; bits for remote vertices accumulate on ghost replicas
+      // and OR-merge into the owners through the reverse exchange. ----
+      tp.for_range(0, n_total,
+                   [&](unsigned, std::uint64_t lo, std::uint64_t hi) {
+                     std::fill(next.begin() + static_cast<std::ptrdiff_t>(lo),
+                               next.begin() + static_cast<std::ptrdiff_t>(hi),
+                               std::uint64_t{0});
+                   });
+      const bool concurrent = nt > 1;
+      tp.for_range(0, act.size(), [&](unsigned, std::uint64_t lo,
+                                      std::uint64_t hi) {
+        for (std::uint64_t i = lo; i < hi; ++i) {
+          const lvid_t v = act[i];
+          const std::uint64_t m = frontier[v];
+          const auto scatter = [&](lvid_t u) {
+            if (concurrent) {
+              bits::atomic_or(next[u], m);
+            } else {
+              next[u] |= m;
+            }
+          };
+          if (opts.dir == Dir::kOut || opts.dir == Dir::kBoth)
+            for (const lvid_t u : g.out_neighbors(v)) scatter(u);
+          if (opts.dir == Dir::kIn || opts.dir == Dir::kBoth)
+            for (const lvid_t u : g.in_neighbors(v)) scatter(u);
+        }
+      });
+      gx.reduce(std::span<std::uint64_t>(next), comm,
+                [](std::uint64_t a, std::uint64_t b) { return a | b; });
+    }
+
+    // ---- Finalize the level: newly = next & ~seen, batch-wide at once. ----
+    for (auto& tv : tact) tv.clear();
+    tp.for_range(0, n_loc, [&](unsigned tid, std::uint64_t lo,
+                               std::uint64_t hi) {
+      auto& mine = tact[tid];
+      for (std::uint64_t i = lo; i < hi; ++i) {
+        const lvid_t v = static_cast<lvid_t>(i);
+        const std::uint64_t nw = next[v] & ~seen[v];
+        newly[v] = nw;
+        frontier[v] = nw;
+        if (nw != 0) {
+          seen[v] |= nw;
+          mine.push_back(v);
+        }
+      }
+    });
+    act.clear();
+    for (const auto& tv : tact) act.insert(act.end(), tv.begin(), tv.end());
+
+    ++level;
+    if (!act.empty()) visit(level, newly, batch, batch_begin);
+    active_global = comm.allreduce_sum<std::uint64_t>(act.size());
+  }
+
+  if (visited) {
+    std::uint64_t local = 0;
+    for (lvid_t v = 0; v < n_loc; ++v)
+      local += static_cast<std::uint64_t>(std::popcount(seen[v]));
+    *visited += comm.allreduce_sum(local);
+  }
+  return num_levels;
+}
+
+}  // namespace
+
+MsBfsResult msbfs_visit(const DistGraph& g, Communicator& comm,
+                        std::span<const gvid_t> roots,
+                        const MsBfsOptions& opts,
+                        const MsBfsLevelVisitor& visit) {
+  HG_CHECK_MSG(opts.batch_size >= 1 && opts.batch_size <= kMsBfsMaxBatch,
+               "MS-BFS batch size must be in [1, 64], got "
+                   << opts.batch_size);
+  HG_CHECK(opts.dense_threshold >= 0.0);
+
+  ScopedPool pf(opts.common);
+  ThreadPool& tp = pf.get();
+
+  // One exchange plan serves every batch; callers looping over many calls
+  // (harmonic_top_k, harmonic_approx) inject a longer-lived one instead.
+  std::optional<GhostExchange> own;
+  GhostExchange* gx = opts.exchange;
+  if (gx != nullptr) {
+    HG_CHECK_MSG(gx->adjacency() == dgraph::Adjacency::kBoth,
+                 "reused MS-BFS exchange plan must be built with "
+                 "Adjacency::kBoth");
+  } else {
+    own.emplace(g, comm, dgraph::Adjacency::kBoth, opts.common.pool);
+    gx = &*own;
+  }
+
+  MsBfsResult res;
+  res.n_roots = roots.size();
+  for (std::size_t b = 0; b < roots.size(); b += opts.batch_size) {
+    const std::size_t len = std::min(opts.batch_size, roots.size() - b);
+    const int levels = run_batch(g, comm, *gx, roots.subspan(b, len), b, opts,
+                                 tp, visit, &res.visited);
+    res.num_levels = std::max(res.num_levels, levels);
+  }
+  return res;
+}
+
+MsBfsResult msbfs(const DistGraph& g, Communicator& comm,
+                  std::span<const gvid_t> roots, const MsBfsOptions& opts) {
+  const lvid_t n_loc = g.n_loc();
+  std::vector<std::int64_t> level(roots.size() * n_loc, kUnvisited);
+  MsBfsResult res = msbfs_visit(
+      g, comm, roots, opts,
+      [&](std::int64_t lv, std::span<const std::uint64_t> newly,
+          std::span<const gvid_t>, std::size_t batch_begin) {
+        for (lvid_t v = 0; v < n_loc; ++v) {
+          bits::for_each_set_bit(newly[v], [&](std::size_t j) {
+            level[(batch_begin + j) * n_loc + v] = lv;
+          });
+        }
+      });
+  res.level = std::move(level);
+  return res;
+}
+
+}  // namespace hpcgraph::analytics

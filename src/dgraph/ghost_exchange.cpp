@@ -11,7 +11,7 @@ using parcomm::Communicator;
 
 GhostExchange::GhostExchange(const DistGraph& g, Communicator& comm,
                              Adjacency adj, ThreadPool* pool)
-    : pool_(pool) {
+    : pool_(pool), adj_(adj) {
   const int p = comm.size();
   const int me = comm.rank();
   PoolFallback pf(pool);
@@ -101,6 +101,7 @@ GhostExchange::GhostExchange(const DistGraph& g, Communicator& comm,
   const std::vector<gvid_t> recv_gids =
       comm.alltoallv<gvid_t>(send_gids, send_counts_, &rcounts);
   recv_displs_ = csr_offsets(std::span<const std::uint64_t>(rcounts));
+  recv_counts_ = std::move(rcounts);
   recv_local_.resize(recv_gids.size());
   for (std::size_t i = 0; i < recv_gids.size(); ++i) {
     const lvid_t l = g.local_id_checked(recv_gids[i]);

@@ -54,10 +54,24 @@
 /// before the next exchange.  Every exchange() call — any mode — clears the
 /// dirty set on return.
 ///
+/// ## Combine hook and reverse (reduce) exchange
+///
+/// The classic apply step *overwrites* each ghost slot with the owner's
+/// value.  `exchange_combining` generalizes it (dense and sparse wire alike)
+/// to `vals[ghost] = combine(vals[ghost], incoming)` — the hook the
+/// bit-parallel multi-source BFS engine needs so partial visit masks merge
+/// instead of clobbering each other.  `reduce` runs the retained queues
+/// *backwards*: every rank ships its ghost slots' values to the owners,
+/// and each owner folds the (possibly many, one per holding rank) incoming
+/// values into its own slot with `combine`.  Because the reverse payload per
+/// source rank is exactly what that rank originally received at setup, the
+/// receive side aligns 1:1 with the retained send queue — no extra plan
+/// state, no hash map.
+///
 /// Both wire formats pack, unpack and scatter in parallel on the pool passed
 /// at construction (pass deterministically: the sparse payload is ordered by
 /// slot regardless of thread count).  Per-rank observability lands in
-/// CommStats (`ghost_rounds_dense/sparse`, `ghost_bytes_saved`) and
+/// CommStats (`ghost_rounds_dense/sparse/reduce`, `ghost_bytes_saved`) and
 /// PhaseTimer (`pack` staging time).
 ///
 /// An ablation flag rebuilds queues every iteration instead, so the benefit
@@ -106,6 +120,14 @@ template <typename T>
 struct SlotVal {
   std::uint32_t slot;
   T value;
+};
+
+/// Default apply policy: the incoming value replaces the stored one.
+struct OverwriteCombine {
+  template <typename T>
+  T operator()(const T&, const T& incoming) const {
+    return incoming;
+  }
 };
 
 /// Retained-queue ghost exchange for per-vertex values of type T.
@@ -168,6 +190,86 @@ class GhostExchange {
   void exchange(std::span<T> vals, parcomm::Communicator& comm,
                 GhostMode mode = GhostMode::kDense,
                 std::vector<lvid_t>* changed_ghosts = nullptr) {
+    exchange_impl(vals, comm, mode, changed_ghosts, OverwriteCombine{});
+  }
+
+  /// Collective.  As exchange(), but each incoming update is *merged* into
+  /// the ghost slot: vals[ghost] = combine(vals[ghost], owner_value).  The
+  /// combine must be the same pure function on every rank.  Works on every
+  /// wire format — a sparse round simply merges the changed slots only.
+  template <typename T, typename F>
+  void exchange_combining(std::span<T> vals, parcomm::Communicator& comm,
+                          F&& combine, GhostMode mode = GhostMode::kDense) {
+    exchange_impl(vals, comm, mode, nullptr, std::forward<F>(combine));
+  }
+
+  /// Collective.  Reverse flow: every rank sends the current value of each
+  /// of its *ghost* slots back to the vertex's owner; the owner folds all
+  /// incoming replica values into its own slot,
+  ///
+  ///     vals[v] = combine(vals[v], replica_value)   (once per holding rank)
+  ///
+  /// in source-rank order.  This is the OR-aggregation step of the
+  /// bit-parallel MS-BFS frontier push (ghost-accumulated visit masks merge
+  /// at the owner); with `plus` it is a ghost-side partial-sum reduction.
+  template <typename T, typename F>
+  void reduce(std::span<T> vals, parcomm::Communicator& comm, F&& combine) {
+    HG_CHECK_MSG(vals.size() >= n_total_,
+                 "value array must cover locals + ghosts");
+    PoolFallback pf(pool_);
+    ThreadPool& tp = pf.get();
+
+    payload_bytes_.resize(recv_local_.size() * sizeof(T));
+    T* send = reinterpret_cast<T*>(payload_bytes_.data());
+    {
+      Timer t;
+      tp.for_range(0, recv_local_.size(),
+                   [&](unsigned, std::uint64_t lo, std::uint64_t hi) {
+                     for (std::uint64_t i = lo; i < hi; ++i)
+                       send[i] = vals[recv_local_[i]];
+                   });
+      comm.phase_timer().add_pack(t.elapsed());
+    }
+    const std::vector<T> back = comm.alltoallv<T>(
+        {send, recv_local_.size()}, recv_counts_, nullptr, pool_);
+    // Each source rank returns exactly the segment this rank sent it at
+    // setup, so `back` aligns 1:1 with the retained send queue.
+    HG_DCHECK(back.size() == send_local_.size());
+    {
+      Timer t;
+      // Serial fold: a boundary vertex retained for several destination
+      // tasks occupies one slot per task, so parallel segment processing
+      // would race on vals[v].
+      for (std::size_t i = 0; i < back.size(); ++i) {
+        T& dst = vals[send_local_[i]];
+        dst = combine(dst, back[i]);
+      }
+      comm.phase_timer().add_pack(t.elapsed());
+    }
+    ++comm.stats().ghost_rounds_reduce;
+  }
+
+  /// Adjacency rule this plan was built with (callers sharing one plan
+  /// across analytics check compatibility against it).
+  Adjacency adjacency() const { return adj_; }
+
+  /// Number of (vertex, task) pairs sent each dense iteration.
+  std::uint64_t send_entries() const { return send_local_.size(); }
+  /// Number of ghost updates received each dense iteration.
+  std::uint64_t recv_entries() const { return recv_local_.size(); }
+  /// Global number of retained queue entries (allreduced at setup).
+  std::uint64_t entries_global() const { return entries_global_; }
+
+  /// Local ids (owner side) of each retained queue slot, grouped by
+  /// destination task.  Exposed for the rebuild-ablation and tests.
+  std::span<const lvid_t> send_local() const { return send_local_; }
+  std::span<const std::uint64_t> send_counts() const { return send_counts_; }
+
+ private:
+  template <typename T, typename F>
+  void exchange_impl(std::span<T> vals, parcomm::Communicator& comm,
+                     GhostMode mode, std::vector<lvid_t>* changed_ghosts,
+                     F&& combine) {
     HG_CHECK_MSG(vals.size() >= n_total_,
                  "value array must cover locals + ghosts");
     PoolFallback pf(pool_);
@@ -189,30 +291,18 @@ class GhostExchange {
     }
 
     if (sparse) {
-      exchange_sparse(vals, comm, tp, changed_local, changed_ghosts);
+      exchange_sparse(vals, comm, tp, changed_local, changed_ghosts, combine);
     } else {
-      exchange_dense(vals, comm, tp, changed_ghosts);
+      exchange_dense(vals, comm, tp, changed_ghosts, combine);
     }
     clear_dirty(tp);
   }
 
-  /// Number of (vertex, task) pairs sent each dense iteration.
-  std::uint64_t send_entries() const { return send_local_.size(); }
-  /// Number of ghost updates received each dense iteration.
-  std::uint64_t recv_entries() const { return recv_local_.size(); }
-  /// Global number of retained queue entries (allreduced at setup).
-  std::uint64_t entries_global() const { return entries_global_; }
-
-  /// Local ids (owner side) of each retained queue slot, grouped by
-  /// destination task.  Exposed for the rebuild-ablation and tests.
-  std::span<const lvid_t> send_local() const { return send_local_; }
-  std::span<const std::uint64_t> send_counts() const { return send_counts_; }
-
- private:
   // Dense round: refresh the full payload queue (ids are retained).
-  template <typename T>
+  template <typename T, typename F>
   void exchange_dense(std::span<T> vals, parcomm::Communicator& comm,
-                      ThreadPool& tp, std::vector<lvid_t>* changed_ghosts) {
+                      ThreadPool& tp, std::vector<lvid_t>* changed_ghosts,
+                      F&& combine) {
     payload_bytes_.resize(send_local_.size() * sizeof(T));
     T* send = reinterpret_cast<T*>(payload_bytes_.data());
     {
@@ -228,11 +318,15 @@ class GhostExchange {
         {send, send_local_.size()}, send_counts_, nullptr, pool_);
     {
       Timer t;
+      // Scatter is race-free under combine: each ghost slot has exactly one
+      // owner, so it appears at most once in recv_local_.
       if (!changed_ghosts) {
         tp.for_range(0, recv.size(),
                      [&](unsigned, std::uint64_t lo, std::uint64_t hi) {
-                       for (std::uint64_t i = lo; i < hi; ++i)
-                         vals[recv_local_[i]] = recv[i];
+                       for (std::uint64_t i = lo; i < hi; ++i) {
+                         T& dst = vals[recv_local_[i]];
+                         dst = combine(dst, recv[i]);
+                       }
                      });
       } else {
         std::vector<std::vector<lvid_t>> tchg(tp.num_threads());
@@ -241,8 +335,9 @@ class GhostExchange {
                        auto& out = tchg[tid];
                        for (std::uint64_t i = lo; i < hi; ++i) {
                          const lvid_t l = recv_local_[i];
-                         if (vals[l] != recv[i]) out.push_back(l);
-                         vals[l] = recv[i];
+                         const T nv = combine(vals[l], recv[i]);
+                         if (vals[l] != nv) out.push_back(l);
+                         vals[l] = nv;
                        }
                      });
         for (const auto& c : tchg)
@@ -256,10 +351,10 @@ class GhostExchange {
   // Sparse round: ship (slot, value) pairs for the `changed_local` marked
   // slots counted by count_changed() (which also filled chg_tcounts_ /
   // chg_counts_ for this exact pool chunking).
-  template <typename T>
+  template <typename T, typename F>
   void exchange_sparse(std::span<T> vals, parcomm::Communicator& comm,
                        ThreadPool& tp, std::uint64_t changed_local,
-                       std::vector<lvid_t>* changed_ghosts) {
+                       std::vector<lvid_t>* changed_ghosts, F&& combine) {
     using Pair = SlotVal<T>;
     const std::size_t p = send_counts_.size();
     payload_bytes_.resize(changed_local * sizeof(Pair));
@@ -319,9 +414,10 @@ class GhostExchange {
                        const std::uint64_t pos = recv_displs_[s] + pr.slot;
                        HG_DCHECK(pos < recv_displs_[s + 1]);
                        const lvid_t l = recv_local_[pos];
-                       if (changed_ghosts && vals[l] != pr.value)
+                       const T nv = combine(vals[l], pr.value);
+                       if (changed_ghosts && vals[l] != nv)
                          tchg[tid].push_back(l);
-                       vals[l] = pr.value;
+                       vals[l] = nv;
                      }
                    });
       if (changed_ghosts)
@@ -355,11 +451,13 @@ class GhostExchange {
   std::vector<std::uint64_t> send_displs_;  // CSR offsets of send segments
   std::vector<lvid_t> recv_local_;          // retained receive targets
   std::vector<std::uint64_t> recv_displs_;  // CSR offsets per source task
+  std::vector<std::uint64_t> recv_counts_;  // per-source counts (reduce path)
   std::vector<std::uint8_t> payload_bytes_; // reused per-iteration buffer
   std::vector<std::uint8_t> dirty_;         // per local vertex changed flag
   std::vector<std::vector<std::uint64_t>> chg_tcounts_;  // [thread][dest]
   std::vector<std::uint64_t> chg_counts_;                // per-dest changed
   ThreadPool* pool_ = nullptr;
+  Adjacency adj_ = Adjacency::kBoth;        // rule the plan was built with
   std::uint64_t entries_global_ = 0;        // allreduced send entries
   double sparse_crossover_ = 1.0;           // adaptive byte-cost factor
   std::size_t n_total_ = 0;                 // locals + ghosts, for checking

@@ -43,6 +43,7 @@ struct CommStats {
 
   std::uint64_t ghost_rounds_dense = 0;   ///< ghost exchanges on dense wire
   std::uint64_t ghost_rounds_sparse = 0;  ///< ghost exchanges on sparse wire
+  std::uint64_t ghost_rounds_reduce = 0;  ///< reverse (ghost->owner) rounds
   std::int64_t ghost_bytes_saved = 0;     ///< dense-equivalent minus actual
 
   void reset() { *this = CommStats{}; }
@@ -56,6 +57,7 @@ struct CommStats {
     barrier_calls += o.barrier_calls;
     ghost_rounds_dense += o.ghost_rounds_dense;
     ghost_rounds_sparse += o.ghost_rounds_sparse;
+    ghost_rounds_reduce += o.ghost_rounds_reduce;
     ghost_bytes_saved += o.ghost_bytes_saved;
     return *this;
   }

@@ -1,0 +1,48 @@
+#pragma once
+/// \file bitmask64.hpp
+/// Machine-word bit-mask helpers for the bit-parallel (multi-source) engines:
+/// one std::uint64_t per vertex carries one bit per batched source, so a
+/// single CSR sweep serves up to 64 traversals ("next |= adj & ~seen").
+///
+/// Kept deliberately tiny: a bit constructor, set-bit iteration via
+/// countr_zero, and a relaxed atomic OR for concurrent frontier scatter
+/// (std::atomic_ref, so the masks live in plain contiguous vectors and the
+/// single-thread path pays nothing).
+
+#include <atomic>
+#include <bit>
+#include <cstdint>
+
+#include "util/error.hpp"
+
+namespace hpcgraph::bits {
+
+/// Mask with only bit j set (j < 64).
+inline constexpr std::uint64_t bit(std::size_t j) {
+  HG_DCHECK(j < 64);
+  return std::uint64_t{1} << j;
+}
+
+/// Mask with the low `n` bits set (n <= 64); n == 64 yields all-ones.
+inline constexpr std::uint64_t low_mask(std::size_t n) {
+  HG_DCHECK(n <= 64);
+  return n >= 64 ? ~std::uint64_t{0} : (std::uint64_t{1} << n) - 1;
+}
+
+/// Invoke fn(j) for every set bit position j of `mask`, ascending.
+template <typename F>
+inline void for_each_set_bit(std::uint64_t mask, F&& fn) {
+  while (mask != 0) {
+    const int j = std::countr_zero(mask);
+    fn(static_cast<std::size_t>(j));
+    mask &= mask - 1;  // clear lowest set bit
+  }
+}
+
+/// Relaxed atomic word |= bits, for concurrent scatter into shared masks.
+inline void atomic_or(std::uint64_t& word, std::uint64_t bits) {
+  std::atomic_ref<std::uint64_t>(word).fetch_or(bits,
+                                                std::memory_order_relaxed);
+}
+
+}  // namespace hpcgraph::bits

@@ -3,6 +3,7 @@
 #include <gtest/gtest.h>
 
 #include <algorithm>
+#include <set>
 
 #include "dgraph/ghost_exchange.hpp"
 #include "gen/rmat.hpp"
@@ -265,6 +266,115 @@ TEST_P(GhostExchangeParam, SparseQuietRoundSavesBytes) {
         static_cast<std::int64_t>(gx.send_entries() * sizeof(std::uint64_t)));
     for (lvid_t l = 0; l < g.n_total(); ++l)
       ASSERT_EQ(vals[l], f(g.global_id(l)));
+  });
+}
+
+// exchange_combining must merge incoming owner values into ghost slots
+// instead of clobbering them, identically on the dense and sparse wires.
+TEST_P(GhostExchangeParam, CombiningMergesIntoGhostSlots) {
+  gen::RmatParams rp;
+  rp.scale = 8;
+  rp.avg_degree = 6;
+  const gen::EdgeList el = gen::rmat(rp);
+  with_dist_graph(el, GetParam(), [&](const DistGraph& g,
+                                      parcomm::Communicator& comm) {
+    GhostExchange gxd(g, comm, Adjacency::kBoth);
+    GhostExchange gxs(g, comm, Adjacency::kBoth);
+    const auto orr = [](std::uint64_t a, std::uint64_t b) { return a | b; };
+
+    // Ghost slots pre-seeded with a sentinel bit pattern that the merge
+    // must preserve; owners hold f(gid).
+    std::vector<std::uint64_t> vd(g.n_total()), vs(g.n_total());
+    for (lvid_t l = 0; l < g.n_total(); ++l)
+      vd[l] = vs[l] = l < g.n_loc() ? f(g.global_id(l)) : 0x8000000000000001ULL;
+
+    gxd.exchange_combining<std::uint64_t>(vd, comm, orr, GhostMode::kDense);
+    gxs.mark_all_changed();
+    gxs.exchange_combining<std::uint64_t>(vs, comm, orr, GhostMode::kSparse);
+
+    for (lvid_t l = g.n_loc(); l < g.n_total(); ++l) {
+      const std::uint64_t want = 0x8000000000000001ULL | f(g.global_id(l));
+      ASSERT_EQ(vd[l], want) << "dense ghost " << g.global_id(l);
+      ASSERT_EQ(vs[l], want) << "sparse ghost " << g.global_id(l);
+    }
+    for (lvid_t v = 0; v < g.n_loc(); ++v) {
+      ASSERT_EQ(vd[v], f(g.global_id(v)));  // owner slots untouched
+      ASSERT_EQ(vs[v], f(g.global_id(v)));
+    }
+  });
+}
+
+// reduce() runs the retained queues backwards: every ghost replica's value
+// folds into the owner slot, once per holding rank.  With owner = 0 and
+// every ghost = 1 under `plus`, the owner ends up with its exact number of
+// holding ranks — which the owner can predict from its own adjacency.
+TEST_P(GhostExchangeParam, ReduceFoldsOneContributionPerHoldingRank) {
+  gen::RmatParams rp;
+  rp.scale = 8;
+  rp.avg_degree = 6;
+  const gen::EdgeList el = gen::rmat(rp);
+  with_dist_graph(el, GetParam(), [&](const DistGraph& g,
+                                      parcomm::Communicator& comm) {
+    GhostExchange gx(g, comm, Adjacency::kBoth);
+    std::vector<std::uint64_t> vals(g.n_total(), 0);
+    for (lvid_t l = g.n_loc(); l < g.n_total(); ++l) vals[l] = 1;
+
+    const auto before = comm.stats();
+    gx.reduce<std::uint64_t>(
+        vals, comm, [](std::uint64_t a, std::uint64_t b) { return a + b; });
+    const auto after = comm.stats();
+    EXPECT_EQ(after.ghost_rounds_reduce, before.ghost_rounds_reduce + 1);
+
+    // Under kBoth, rank t holds v as a ghost iff t owns one of v's in/out
+    // neighbours — and the owner of v sees all of those neighbours.
+    std::uint64_t sum_local = 0;
+    for (lvid_t v = 0; v < g.n_loc(); ++v) {
+      std::set<int> holders;
+      for (const lvid_t u : g.out_neighbors(v))
+        holders.insert(g.owner_of_global(g.global_id(u)));
+      for (const lvid_t u : g.in_neighbors(v))
+        holders.insert(g.owner_of_global(g.global_id(u)));
+      holders.erase(comm.rank());
+      ASSERT_EQ(vals[v], holders.size()) << "vertex " << g.global_id(v);
+      sum_local += vals[v];
+      // Ghost slots keep their shipped value.
+    }
+    // Global double-entry check: total folded contributions == total ghosts.
+    EXPECT_EQ(comm.allreduce_sum(sum_local),
+              comm.allreduce_sum<std::uint64_t>(g.n_gst()));
+  });
+}
+
+// OR-reduce then forward exchange round-trips distinguishable rank bits:
+// after the pair, every replica (owner and all ghosts) of a boundary vertex
+// holds the identical merged mask.
+TEST_P(GhostExchangeParam, ReduceThenExchangeConvergesReplicas) {
+  gen::RmatParams rp;
+  rp.scale = 8;
+  rp.avg_degree = 6;
+  const gen::EdgeList el = gen::rmat(rp);
+  with_dist_graph(el, GetParam(), [&](const DistGraph& g,
+                                      parcomm::Communicator& comm) {
+    GhostExchange gx(g, comm, Adjacency::kBoth);
+    const auto orr = [](std::uint64_t a, std::uint64_t b) { return a | b; };
+    // Every replica starts tagged with its hosting rank's bit.
+    std::vector<std::uint64_t> vals(g.n_total(),
+                                    std::uint64_t{1} << comm.rank());
+    gx.reduce<std::uint64_t>(vals, comm, orr);
+    gx.exchange<std::uint64_t>(vals, comm);
+
+    for (lvid_t l = 0; l < g.n_total(); ++l) {
+      // The owner's bit is always present...
+      const auto owner_bit = std::uint64_t{1}
+                             << g.owner_of_global(g.global_id(l));
+      ASSERT_TRUE(vals[l] & owner_bit) << g.global_id(l);
+      if (l >= g.n_loc()) {
+        // ...and this rank held l as a ghost, so its bit reached the owner
+        // and came back in the merged mask.
+        ASSERT_TRUE(vals[l] & (std::uint64_t{1} << comm.rank()))
+            << g.global_id(l);
+      }
+    }
   });
 }
 

@@ -3,6 +3,9 @@
 
 #include <gtest/gtest.h>
 
+#include <set>
+#include <utility>
+
 #include "analytics/harmonic.hpp"
 #include "gen/degree_tools.hpp"
 #include "gen/rmat.hpp"
@@ -93,6 +96,104 @@ TEST(Harmonic, TopKScoresAreDescendingAndCorrect) {
                                   ref::harmonic_centrality(sg, s.gid),
                                   1e-9);
                   });
+}
+
+// The batched (MS-BFS) engine must reproduce the per-source scores for a
+// full 64-root batch on multiple ranks, up to FP summation order.
+TEST(Harmonic, BatchedTopKMatchesPerSource) {
+  gen::RmatParams rp;
+  rp.scale = 8;
+  rp.avg_degree = 8;
+  const gen::EdgeList el = gen::rmat(rp);
+  for (const DistConfig cfg : {DistConfig{2, dgraph::PartitionKind::kVertexBlock},
+                               DistConfig{3, dgraph::PartitionKind::kRandom}}) {
+    with_dist_graph(el, cfg, [&](const DistGraph& g,
+                                 parcomm::Communicator& comm) {
+      HarmonicOptions per_source;
+      per_source.batched = false;
+      const auto want = harmonic_top_k(g, comm, 64, per_source);
+      for (const std::size_t bs : {std::size_t{64}, std::size_t{10}}) {
+        HarmonicOptions batched;
+        batched.batch_size = bs;
+        auto got = harmonic_top_k(g, comm, 64, batched);
+        ASSERT_EQ(got.size(), want.size()) << cfg.label();
+        // Compare per-vertex (near-tied scores may legally reorder between
+        // engines; the candidate *sets* must be identical).
+        auto by_gid = [](const ScoredVertex& a, const ScoredVertex& b) {
+          return a.gid < b.gid;
+        };
+        auto w = want;
+        std::sort(got.begin(), got.end(), by_gid);
+        std::sort(w.begin(), w.end(), by_gid);
+        for (std::size_t i = 0; i < w.size(); ++i) {
+          ASSERT_EQ(got[i].gid, w[i].gid)
+              << cfg.label() << " batch=" << bs << " entry " << i;
+          ASSERT_NEAR(got[i].score, w[i].score, w[i].score * 1e-12 + 1e-12)
+              << cfg.label() << " batch=" << bs << " vertex " << got[i].gid;
+        }
+      }
+    });
+  }
+}
+
+// Sampling every vertex degenerates the estimator to the exact scores.
+TEST(Harmonic, ApproxWithFullSamplingIsExact) {
+  gen::RmatParams rp;
+  rp.scale = 7;
+  rp.avg_degree = 6;
+  const gen::EdgeList el = gen::rmat(rp);
+  const ref::SeqGraph sg = ref::SeqGraph::from(el);
+  with_dist_graph(el, {3, dgraph::PartitionKind::kRandom},
+                  [&](const DistGraph& g, parcomm::Communicator& comm) {
+                    HarmonicApproxOptions opts;
+                    opts.n_samples = el.n;  // clamped; scale becomes 1
+                    const HarmonicApproxResult res =
+                        harmonic_approx(g, comm, opts);
+                    ASSERT_EQ(res.samples.size(), el.n);
+                    ASSERT_EQ(res.score.size(), g.n_loc());
+                    for (lvid_t v = 0; v < g.n_loc(); ++v) {
+                      const double want =
+                          ref::harmonic_centrality(sg, g.global_id(v));
+                      ASSERT_NEAR(res.score[v], want, want * 1e-12 + 1e-12)
+                          << "vertex " << g.global_id(v);
+                    }
+                  });
+}
+
+// Fixed seed => identical sample set and identical per-vertex estimates on
+// every rank count (the estimator's accumulation order is rank-independent).
+TEST(Harmonic, ApproxDeterministicAcrossRankCounts) {
+  gen::RmatParams rp;
+  rp.scale = 8;
+  rp.avg_degree = 6;
+  const gen::EdgeList el = gen::rmat(rp);
+
+  const auto run = [&](const DistConfig& cfg) {
+    std::vector<double> by_gid(el.n, 0.0);
+    std::vector<gvid_t> samples;
+    with_dist_graph(el, cfg, [&](const DistGraph& g,
+                                 parcomm::Communicator& comm) {
+      HarmonicApproxOptions opts;
+      opts.n_samples = 48;
+      const HarmonicApproxResult res = harmonic_approx(g, comm, opts);
+      // Distinct samples, clamped size.
+      EXPECT_EQ(res.samples.size(), 48u);
+      std::set<gvid_t> uniq(res.samples.begin(), res.samples.end());
+      EXPECT_EQ(uniq.size(), res.samples.size());
+      if (comm.rank() == 0) samples = res.samples;
+      for (lvid_t v = 0; v < g.n_loc(); ++v)  // disjoint gids per rank
+        by_gid[g.global_id(v)] = res.score[v];
+    });
+    return std::pair(by_gid, samples);
+  };
+
+  const auto [one_rank, one_samples] =
+      run({1, dgraph::PartitionKind::kVertexBlock});
+  const auto [four_rank, four_samples] =
+      run({4, dgraph::PartitionKind::kRandom});
+  EXPECT_EQ(one_samples, four_samples);
+  for (gvid_t v = 0; v < el.n; ++v)
+    ASSERT_DOUBLE_EQ(one_rank[v], four_rank[v]) << "vertex " << v;
 }
 
 TEST(Harmonic, KLargerThanNClamps) {
