@@ -14,17 +14,25 @@
 //   F. bit-parallel multi-source BFS: harmonic top-64 batched into one
 //      64-root MS-BFS sweep vs the paper's one-BFS-per-candidate loop —
 //      wall/Tpar, communication rounds, and bytes on the wire.
+//   G. superstep-engine overhead: PageRank through the SuperstepEngine
+//      (trace off / trace on) vs the pre-engine hand-rolled BSP loop,
+//      frozen here verbatim since the bespoke loops were deleted from
+//      src/analytics.  Pass --trace-json FILE to dump the traced run.
 
+#include <atomic>
+#include <cmath>
 #include <iostream>
 #include <memory>
 
 #include "analytics/analytics.hpp"
 #include "bench_common.hpp"
 #include "dgraph/compressed_csr.hpp"
+#include "dgraph/ghost_exchange.hpp"
 #include "dgraph/pulp_partition.hpp"
 #include "gen/erdos_renyi.hpp"
 #include "gen/rmat.hpp"
 #include "gen/webgraph.hpp"
+#include "util/parallel_for.hpp"
 #include "util/timer.hpp"
 
 namespace hb = hpcgraph::bench;
@@ -347,6 +355,88 @@ int main(int argc, char** argv) {
     t.print(std::cout);
   }
 
+  // ---- G. Superstep-engine overhead vs hand-rolled BSP loop. ----
+  {
+    const std::string trace_json = cli.get("trace-json", "");
+    const int pr_iters = 10;
+
+    // Frozen pre-engine PageRank: the exact bespoke loop the engine
+    // replaced (same collective schedule, same FP order), kept here as the
+    // ablation baseline.
+    const auto handrolled = [&](const dgraph::DistGraph& g,
+                                parcomm::Communicator& comm) {
+      PoolFallback pf(nullptr);
+      ThreadPool& tp = pf.get();
+      const double n = static_cast<double>(g.n_global());
+      dgraph::GhostExchange gx(g, comm, dgraph::Adjacency::kOut, nullptr);
+      std::vector<double> rank(g.n_loc(), 1.0 / n);
+      std::vector<double> next(g.n_loc());
+      std::vector<double> contrib(g.n_total(), 0.0);
+      constexpr double damping = 0.85;
+      for (int it = 0; it < pr_iters; ++it) {
+        double dangling_local = 0;
+        for (lvid_t v = 0; v < g.n_loc(); ++v)
+          if (g.out_degree(v) == 0) dangling_local += rank[v];
+        const double dangling = comm.allreduce_sum(dangling_local);
+        const double base = (1.0 - damping) / n + damping * dangling / n;
+        tp.for_range(0, g.n_loc(), [&](unsigned, std::uint64_t lo,
+                                       std::uint64_t hi) {
+          for (std::uint64_t v = lo; v < hi; ++v) {
+            const std::uint64_t d = g.out_degree(static_cast<lvid_t>(v));
+            contrib[v] = d ? damping * rank[v] / static_cast<double>(d) : 0.0;
+          }
+        });
+        gx.exchange<double>(contrib, comm);
+        double delta_local = 0;
+        tp.for_range(0, g.n_loc(), [&](unsigned, std::uint64_t lo,
+                                       std::uint64_t hi) {
+          double delta_chunk = 0;
+          for (std::uint64_t v = lo; v < hi; ++v) {
+            double sum = base;
+            for (const lvid_t u : g.in_neighbors(static_cast<lvid_t>(v)))
+              sum += contrib[u];
+            next[v] = sum;
+            delta_chunk += std::fabs(sum - rank[v]);
+          }
+          std::atomic_ref<double>(delta_local)
+              .fetch_add(delta_chunk, std::memory_order_relaxed);
+        });
+        rank.swap(next);
+        (void)comm.allreduce_sum(delta_local);
+      }
+    };
+
+    engine::SuperstepTrace trace;
+    const auto engine_run = [&](engine::SuperstepTrace* tr) {
+      return [&, tr](const dgraph::DistGraph& g,
+                     parcomm::Communicator& comm) {
+        analytics::PageRankOptions o;
+        o.max_iterations = pr_iters;
+        o.common.trace = tr;
+        (void)analytics::pagerank(g, comm, o);
+      };
+    };
+
+    TablePrinter t({"Driver", "Tpar(s)", "Wall(s)"});
+    const auto add = [&](const std::string& label, const auto& body) {
+      const hb::RegionReport rep = hb::run_region(
+          wc.graph, nranks, dgraph::PartitionKind::kRandom, body);
+      t.add_row({label, TablePrinter::fmt(rep.tpar, 3),
+                 TablePrinter::fmt(rep.wall, 3)});
+    };
+    add("hand-rolled loop (frozen)", handrolled);
+    add("engine, trace off", engine_run(nullptr));
+    add("engine, trace on", engine_run(&trace));
+    std::cout << "\nG. Superstep-engine overhead (PageRank x" << pr_iters
+              << "):\n";
+    t.print(std::cout);
+    if (!trace_json.empty()) {
+      trace.write_json(trace_json);
+      std::cout << "wrote " << trace_json << " (" << trace.size()
+                << " supersteps)\n";
+    }
+  }
+
   std::cout
       << "\nExpected: retained queues beat rebuilt ones (A); PuLP cuts far\n"
          "fewer edges than random hashing, approaching the natural-order\n"
@@ -362,6 +452,8 @@ int main(int argc, char** argv) {
          "rounds change few vertices.  (F) the 64-way bit-parallel batch\n"
          "must cut communication rounds by >= 4x (one sweep's collectives\n"
          "serve all 64 roots) and win on wall/Tpar; the top-1 score must\n"
-         "agree between engines up to FP summation order.\n";
+         "agree between engines up to FP summation order.  (G) the engine\n"
+         "reproduces the hand-rolled schedule, so all three rows should\n"
+         "land within run-to-run noise of each other.\n";
   return 0;
 }

@@ -42,6 +42,13 @@ int main(int argc, char** argv) {
   const int nranks = static_cast<int>(cli.get_int("ranks", 8));
   const double d_avg = cli.get_double("avg-degree", 16);
   const unsigned kcore_max_i = static_cast<unsigned>(cli.get_int("kcore-i", 16));
+  const std::string trace_json = cli.get("trace-json", "");
+
+  // Per-superstep telemetry: the engine-driven analytics append to one
+  // shared trace (rank 0 pushes; runs are sequential, so appends are too).
+  engine::SuperstepTrace trace;
+  engine::SuperstepTrace* const trace_ptr =
+      trace_json.empty() ? nullptr : &trace;
 
   const gvid_t n = gvid_t{1} << scale;
 
@@ -76,20 +83,24 @@ int main(int argc, char** argv) {
 
   const std::vector<AnalyticRow> rows = {
       {"PageRank (10 it)",
-       [](const dgraph::DistGraph& g, parcomm::Communicator& comm) {
+       [trace_ptr](const dgraph::DistGraph& g, parcomm::Communicator& comm) {
          analytics::PageRankOptions o;
          o.max_iterations = 10;
+         o.common.trace = trace_ptr;
          (void)analytics::pagerank(g, comm, o);
        }},
       {"Label Prop (10 it)",
-       [](const dgraph::DistGraph& g, parcomm::Communicator& comm) {
+       [trace_ptr](const dgraph::DistGraph& g, parcomm::Communicator& comm) {
          analytics::LabelPropOptions o;
          o.iterations = 10;
+         o.common.trace = trace_ptr;
          (void)analytics::label_propagation(g, comm, o);
        }},
       {"WCC (Multistep)",
-       [](const dgraph::DistGraph& g, parcomm::Communicator& comm) {
-         (void)analytics::wcc(g, comm);
+       [trace_ptr](const dgraph::DistGraph& g, parcomm::Communicator& comm) {
+         analytics::WccOptions o;
+         o.common.trace = trace_ptr;
+         (void)analytics::wcc(g, comm, o);
        }},
       {"Harmonic Cent. (1 vtx)",
        [](const dgraph::DistGraph& g, parcomm::Communicator& comm) {
@@ -97,9 +108,11 @@ int main(int argc, char** argv) {
          (void)analytics::harmonic_centrality(g, comm, hot);
        }},
       {"k-core (2^i sweep)",
-       [kcore_max_i](const dgraph::DistGraph& g, parcomm::Communicator& comm) {
+       [kcore_max_i, trace_ptr](const dgraph::DistGraph& g,
+                                parcomm::Communicator& comm) {
          analytics::KCoreOptions o;
          o.max_i = kcore_max_i;
+         o.common.trace = trace_ptr;
          (void)analytics::kcore_approx(g, comm, o);
        }},
       {"SCC (FW-BW)",
@@ -126,6 +139,12 @@ int main(int argc, char** argv) {
     table.add_row(std::move(cells));
   }
   table.print(std::cout);
+
+  if (trace_ptr) {
+    trace.write_json(trace_json);
+    std::cout << "\nwrote " << trace_json << " (" << trace.size()
+              << " supersteps)\n";
+  }
 
   std::cout
       << "\nPaper reference (256 nodes, 3.56B vertices): PageRank and SCC\n"

@@ -1,8 +1,10 @@
 #include "analytics/bfs.hpp"
 
 #include <atomic>
+#include <optional>
 
 #include "dgraph/ghost_exchange.hpp"
+#include "engine/trace.hpp"
 #include "util/thread_queue.hpp"
 
 namespace hpcgraph::analytics {
@@ -11,6 +13,11 @@ using dgraph::DistGraph;
 using parcomm::Communicator;
 
 namespace {
+
+// BFS keeps its bespoke loop (the paper's Algorithm 2 is its own reference)
+// but adopts the engine's telemetry sink: each level emits one
+// SuperstepRecord through engine::RoundTrace, so --trace-json covers every
+// analytic.
 
 /// Status-array policy: plain stores for the single-thread fast path,
 /// compare-exchange when several threads expand the frontier concurrently.
@@ -104,8 +111,11 @@ BfsResult bfs_impl(const DistGraph& g, Communicator& comm, gvid_t root,
   std::vector<ThreadScratch> scratch(nt);
   for (auto& s : scratch) s.send_counts.assign(p, 0);
 
+  engine::RoundTrace ltrace(opts.common.trace, comm, "bfs");
   while (global_size != 0) {
     ++num_levels;
+    const std::uint64_t processed = global_size;
+    ltrace.begin();
 
     // ---- Expansion: pop the frontier, stamp levels, claim neighbours. ----
     tp.for_range(0, q.size(), [&](unsigned tid, std::uint64_t lo,
@@ -167,6 +177,8 @@ BfsResult bfs_impl(const DistGraph& g, Communicator& comm, gvid_t root,
 
     std::swap(q, q_next);
     global_size = comm.allreduce_sum<std::uint64_t>(q.size());
+    ltrace.end(static_cast<std::uint64_t>(level), processed, global_size,
+               "queue");
     ++level;
   }
 
@@ -233,8 +245,11 @@ BfsResult bfs_diropt_impl(const DistGraph& g, Communicator& comm, gvid_t root,
   bool bottom_up = false;
   std::vector<std::uint64_t> tedges(tp.num_threads());
 
+  engine::RoundTrace ltrace(opts.common.trace, comm, "bfs");
   while (global_size != 0) {
     ++num_levels;
+    const std::uint64_t processed = global_size;
+    ltrace.begin();
 
     // ---- Mode decision (Beamer heuristics, collective). ----
     std::fill(tedges.begin(), tedges.end(), 0);
@@ -340,6 +355,8 @@ BfsResult bfs_diropt_impl(const DistGraph& g, Communicator& comm, gvid_t root,
 
     std::swap(q, q_next);
     global_size = comm.allreduce_sum<std::uint64_t>(q.size());
+    ltrace.end(static_cast<std::uint64_t>(level), processed, global_size,
+               bottom_up ? "dense" : "queue");
     ++level;
   }
 

@@ -1,5 +1,6 @@
 #include "analytics/bfs_tree.hpp"
 
+#include "engine/trace.hpp"
 #include "util/thread_queue.hpp"
 
 namespace hpcgraph::analytics {
@@ -41,8 +42,11 @@ BfsTreeResult bfs_tree(const DistGraph& g, Communicator& comm, gvid_t root,
   std::int64_t level = 0;
   std::uint64_t global_size = comm.allreduce_sum<std::uint64_t>(q.size());
 
+  engine::RoundTrace ltrace(opts.common.trace, comm, "bfs");
   while (global_size != 0) {
     ++res.num_levels;
+    const std::uint64_t processed = global_size;
+    ltrace.begin();
     q_next.clear();
     std::vector<Discovery> remote;
 
@@ -88,6 +92,8 @@ BfsTreeResult bfs_tree(const DistGraph& g, Communicator& comm, gvid_t root,
 
     std::swap(q, q_next);
     global_size = comm.allreduce_sum<std::uint64_t>(q.size());
+    ltrace.end(static_cast<std::uint64_t>(level), processed, global_size,
+               "queue");
     ++level;
   }
 

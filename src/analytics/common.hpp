@@ -9,6 +9,8 @@
 
 #include "dgraph/dist_graph.hpp"
 #include "dgraph/ghost_exchange.hpp"
+#include "engine/superstep.hpp"
+#include "engine/trace.hpp"
 #include "parcomm/comm.hpp"
 #include "util/parallel_for.hpp"
 #include "util/thread_queue.hpp"
@@ -38,7 +40,25 @@ struct CommonOptions {
   /// per round; PageRank ignores this (every rank value changes every
   /// iteration, so dense is always cheapest).
   dgraph::GhostMode ghost_mode = dgraph::GhostMode::kAdaptive;
+  /// Per-superstep telemetry sink, or null for no tracing.  Shared by all
+  /// ranks; the engine pushes records from rank 0 only.  Engine-ported
+  /// analytics emit one SuperstepRecord per round; BFS emits one per level
+  /// through the same sink.
+  engine::SuperstepTrace* trace = nullptr;
 };
+
+/// Engine knobs shared by the ported analytics: pool + trace from the
+/// common options, a per-analytic label, and an optional iteration cutoff.
+inline engine::EngineConfig engine_config(
+    const CommonOptions& o, const char* name,
+    std::uint64_t max_supersteps = UINT64_MAX) {
+  engine::EngineConfig cfg;
+  cfg.pool = o.pool;
+  cfg.max_supersteps = max_supersteps;
+  cfg.trace = o.trace;
+  cfg.name = name;
+  return cfg;
+}
 
 /// The pool-or-inline fallback every analytic needs: resolves the options'
 /// pool pointer to a usable ThreadPool reference.

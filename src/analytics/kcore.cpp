@@ -2,6 +2,7 @@
 
 #include "analytics/bfs.hpp"
 #include "dgraph/ghost_exchange.hpp"
+#include "engine/superstep.hpp"
 #include "util/prefix_sum.hpp"
 
 namespace hpcgraph::analytics {
@@ -25,6 +26,10 @@ namespace {
 /// once at setup, one entry per edge occurrence — exactly the multiplicity
 /// the per-event scheme transmitted.  The peeling fixpoint is
 /// order-independent, so results are identical.
+///
+/// The per-stage sweep-to-fixpoint loop itself runs on the SuperstepEngine
+/// (one PeelKernel per stage borrows this state through the kernel's
+/// `ghosts()` hook, so the exchange plan is built once for all stages).
 struct Peeler {
   const DistGraph& g;
   GhostExchange gx;
@@ -62,12 +67,10 @@ struct Peeler {
       each_ghost(v, [&](lvid_t u) { inc_verts[cur[u - n_loc]++] = v; });
   }
 
-  /// One peel sweep at the given degree limit.  Collective (one ghost
-  /// exchange).  Calls on_remove(v) for each local vertex removed; returns
-  /// the local removal count.
+  /// Remove local vertices below the degree limit (marking them on the
+  /// exchange plan); calls on_remove(v) per removal, returns the count.
   template <typename F>
-  std::uint64_t sweep(std::uint64_t limit, Communicator& comm,
-                      F&& on_remove) {
+  std::uint64_t remove_below(std::uint64_t limit, F&& on_remove) {
     std::uint64_t removed = 0;
     for (lvid_t v = 0; v < g.n_loc(); ++v) {
       if (!alive[v] || deg[v] >= limit) continue;
@@ -82,10 +85,12 @@ struct Peeler {
       for (const lvid_t u : g.out_neighbors(v)) drop(u);
       for (const lvid_t u : g.in_neighbors(v)) drop(u);
     }
+    return removed;
+  }
 
-    // Mirror alive flags, then apply each newly dead ghost's incident edge
-    // occurrences as local degree decrements.
-    gx.exchange<std::uint8_t>(alive, comm, mode, &flipped);
+  /// Apply each newly dead ghost's incident edge occurrences as local
+  /// degree decrements (post-exchange half of a sweep).
+  void apply_flipped() {
     const std::uint64_t n_loc = g.n_loc();
     for (const lvid_t gl : flipped) {
       const std::uint64_t gi = gl - n_loc;
@@ -94,7 +99,6 @@ struct Peeler {
         if (alive[u] && deg[u] > 0) --deg[u];
       }
     }
-    return removed;
   }
 
   /// Alive mask restricted to local vertices (the BFS option view).
@@ -102,6 +106,50 @@ struct Peeler {
     return {alive.data(), static_cast<std::size_t>(g.n_loc())};
   }
 };
+
+/// ValueKernel: peel one stage (fixed degree limit) to its fixpoint.  The
+/// exchanged value is the alive flag; the engine's changed_ghosts output
+/// (newly dead replicas) drives the incidence-CSR degree decrements in the
+/// apply hook.  A stage converges on the first sweep that removes nothing
+/// anywhere — the engine's fused allreduce of the removal count replaces
+/// the old per-sweep allreduce_sum.
+template <typename F>
+struct PeelKernel {
+  using Value = std::uint8_t;
+
+  Peeler& p;
+  std::uint64_t limit;
+  F on_remove;
+  std::uint64_t removed_total = 0;  ///< global removals over the stage
+
+  GhostExchange* ghosts() { return &p.gx; }
+  dgraph::GhostMode ghost_mode() const { return p.mode; }
+  std::span<std::uint8_t> values() { return {p.alive}; }
+  std::vector<lvid_t>* changed_ghosts() { return &p.flipped; }
+
+  void compute(engine::StepContext& ctx) {
+    ctx.active_local = p.remove_below(limit, on_remove);
+    ctx.touched_local = p.g.n_loc();
+  }
+
+  void apply(engine::StepContext&) { p.apply_flipped(); }
+
+  bool converged(std::uint64_t active_global, double) {
+    removed_total += active_global;
+    return active_global == 0;
+  }
+};
+
+/// Run one peel stage on the engine; returns (sweeps, global removals).
+template <typename F>
+std::pair<std::uint64_t, std::uint64_t> peel_stage(
+    Peeler& peel, Communicator& comm, const CommonOptions& opts,
+    std::uint64_t limit, F&& on_remove) {
+  PeelKernel<F> kernel{peel, limit, std::forward<F>(on_remove)};
+  engine::SuperstepEngine eng(peel.g, comm, engine_config(opts, "kcore"));
+  const engine::EngineResult er = eng.run_value(kernel);
+  return {er.supersteps, kernel.removed_total};
+}
 
 }  // namespace
 
@@ -119,14 +167,11 @@ KCoreResult kcore_approx(const DistGraph& g, Communicator& comm,
     stage.threshold = threshold;
 
     // ---- Peel to the 2^i-core fixpoint. ----
-    for (;;) {
-      ++stage.peel_sweeps;
-      const std::uint64_t removed_sweep = peel.sweep(
-          threshold, comm, [&](lvid_t v) { res.bound[v] = threshold; });
-      const std::uint64_t removed_global = comm.allreduce_sum(removed_sweep);
-      stage.removed += removed_global;
-      if (removed_global == 0) break;
-    }
+    const auto [sweeps, removed] = peel_stage(
+        peel, comm, opts.common, threshold,
+        [&](lvid_t v) { res.bound[v] = threshold; });
+    stage.peel_sweeps = static_cast<int>(sweeps);
+    stage.removed = removed;
 
     stage.alive_after = comm.allreduce_sum(peel.alive_local);
 
@@ -175,11 +220,7 @@ KCoreExactResult kcore_exact(const DistGraph& g, Communicator& comm,
     ++res.stages;
     // Peel to the k-core fixpoint; every vertex removed here survived the
     // (k-1)-core, so its coreness is exactly k-1.
-    for (;;) {
-      const std::uint64_t removed_sweep =
-          peel.sweep(k, comm, [&](lvid_t v) { res.core[v] = k - 1; });
-      if (comm.allreduce_sum(removed_sweep) == 0) break;
-    }
+    peel_stage(peel, comm, opts, k, [&](lvid_t v) { res.core[v] = k - 1; });
   }
 
   std::uint64_t max_local = 0;

@@ -2,37 +2,48 @@
 
 #include <atomic>
 
+#include "engine/superstep.hpp"
 #include "util/label_counter.hpp"
 
 namespace hpcgraph::analytics {
 
 using dgraph::Adjacency;
 using dgraph::DistGraph;
-using dgraph::GhostExchange;
-using parcomm::Communicator;
+using dgraph::GhostMode;
+using engine::StepContext;
 
-LabelPropResult label_propagation(const DistGraph& g, Communicator& comm,
-                                  const LabelPropOptions& opts) {
-  ScopedPool pf(opts.common);
-  ThreadPool& tp = pf.get();
+namespace {
+
+/// ValueKernel: one label-update sweep (paper Algorithm 1).  Exchanged value
+/// is the per-vertex label; changed vertices are marked on the engine's
+/// exchange plan to feed the sparse/adaptive wire format.
+struct LabelPropKernel {
+  const DistGraph& g;
+  const LabelPropOptions& opts;
+  std::vector<std::uint64_t> labels;  // locals + ghosts (exchanged)
+  std::vector<std::uint64_t> next;    // Jacobi buffer (opts.in_place == false)
+
+  using Value = std::uint64_t;
+
+  LabelPropKernel(const DistGraph& g_, const LabelPropOptions& o)
+      : g(g_), opts(o), labels(g_.n_total()), next(g_.n_loc()) {
+    for (lvid_t l = 0; l < g.n_total(); ++l) labels[l] = g.global_id(l);
+  }
 
   // Labels flow both directions -> boundary set w.r.t. in+out adjacency.
-  GhostExchange gx(g, comm, Adjacency::kBoth, opts.common.pool);
+  Adjacency adjacency() const { return Adjacency::kBoth; }
+  GhostMode ghost_mode() const { return opts.common.ghost_mode; }
+  bool retain_queues() const { return opts.retain_queues; }
+  std::span<std::uint64_t> values() { return labels; }
 
-  std::vector<std::uint64_t> labels(g.n_total());
-  for (lvid_t l = 0; l < g.n_total(); ++l) labels[l] = g.global_id(l);
-  std::vector<std::uint64_t> next(g.n_loc());
+  void compute(StepContext& ctx) {
+    const std::uint64_t round_seed = opts.tie_seed + ctx.superstep;
 
-  LabelPropResult res;
-  for (int it = 0; it < opts.iterations; ++it) {
-    const std::uint64_t round_seed =
-        opts.tie_seed + static_cast<std::uint64_t>(it);
-
-    std::atomic<bool> changed{false};
-    tp.for_range(0, g.n_loc(), [&](unsigned, std::uint64_t lo,
-                                   std::uint64_t hi) {
+    std::atomic<std::uint64_t> changed{0};
+    ctx.pool.for_range(0, g.n_loc(), [&](unsigned, std::uint64_t lo,
+                                         std::uint64_t hi) {
       LabelCounter lmap;
-      bool changed_chunk = false;
+      std::uint64_t changed_chunk = 0;
       for (std::uint64_t vi = lo; vi < hi; ++vi) {
         const lvid_t v = static_cast<lvid_t>(vi);
         lmap.clear();
@@ -40,8 +51,8 @@ LabelPropResult label_propagation(const DistGraph& g, Communicator& comm,
         for (const lvid_t u : g.in_neighbors(v)) lmap.add(labels[u]);
         const std::uint64_t picked = lmap.argmax(round_seed, labels[v]);
         if (picked != labels[v]) {
-          changed_chunk = true;
-          gx.mark_changed(v);  // feeds the sparse/adaptive wire format
+          ++changed_chunk;
+          ctx.gx->mark_changed(v);  // feeds the sparse/adaptive wire format
         }
         if (opts.in_place) {
           labels[v] = picked;  // Gauss-Seidel within the task (paper Alg. 1)
@@ -49,28 +60,36 @@ LabelPropResult label_propagation(const DistGraph& g, Communicator& comm,
           next[vi] = picked;
         }
       }
-      if (changed_chunk) changed.store(true, std::memory_order_relaxed);
+      if (changed_chunk)
+        changed.fetch_add(changed_chunk, std::memory_order_relaxed);
     });
     if (!opts.in_place)
       std::copy(next.begin(), next.end(), labels.begin());
 
-    if (opts.retain_queues) {
-      gx.exchange<std::uint64_t>(labels, comm, opts.common.ghost_mode);
-    } else {
-      // Rebuild ablation: a fresh queue has no change history, so the
-      // sparse contract (unmarked ghosts already mirror owners) cannot be
-      // asserted; always go dense.
-      GhostExchange fresh(g, comm, Adjacency::kBoth, opts.common.pool);
-      fresh.exchange<std::uint64_t>(labels, comm);
-    }
-    ++res.iterations_run;
-
-    if (opts.stop_when_stable &&
-        !comm.allreduce_lor(changed.load(std::memory_order_relaxed)))
-      break;
+    ctx.active_local = changed.load(std::memory_order_relaxed);
+    ctx.touched_local = g.n_loc();
   }
 
-  res.labels.assign(labels.begin(), labels.begin() + g.n_loc());
+  bool converged(std::uint64_t active_global, double) const {
+    return opts.stop_when_stable && active_global == 0;
+  }
+};
+
+}  // namespace
+
+LabelPropResult label_propagation(const DistGraph& g,
+                                  parcomm::Communicator& comm,
+                                  const LabelPropOptions& opts) {
+  LabelPropKernel kernel(g, opts);
+  engine::SuperstepEngine eng(
+      g, comm,
+      engine_config(opts.common, "label_prop",
+                    static_cast<std::uint64_t>(opts.iterations)));
+  const engine::EngineResult er = eng.run_value(kernel);
+
+  LabelPropResult res;
+  res.iterations_run = static_cast<int>(er.supersteps);
+  res.labels.assign(kernel.labels.begin(), kernel.labels.begin() + g.n_loc());
   return res;
 }
 

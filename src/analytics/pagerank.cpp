@@ -3,59 +3,69 @@
 #include <atomic>
 #include <cmath>
 
+#include "engine/superstep.hpp"
+
 namespace hpcgraph::analytics {
 
 using dgraph::Adjacency;
 using dgraph::DistGraph;
-using dgraph::GhostExchange;
-using parcomm::Communicator;
+using dgraph::GhostMode;
+using engine::StepContext;
 
-PageRankResult pagerank(const DistGraph& g, Communicator& comm,
-                        const PageRankOptions& opts) {
-  ScopedPool pf(opts.common);
-  ThreadPool& tp = pf.get();
-  const double n = static_cast<double>(g.n_global());
-  HG_CHECK(g.n_global() > 0);
+namespace {
 
-  // A local vertex u is needed by exactly the owners of u's out-neighbours
-  // (they read u's contribution through their in-edge lists).
-  GhostExchange gx(g, comm, Adjacency::kOut, opts.common.pool);
+/// ValueKernel: one power-iteration round.  The exchanged value is the
+/// per-vertex out-contribution `damping * rank(v) / outdeg(v)`; the apply
+/// hook gathers in-neighbour contributions into the next rank vector and
+/// accumulates the L1 delta the engine's fused allreduce turns into the
+/// global residual.
+struct PageRankKernel {
+  using Value = double;
 
-  // contrib[l] = damping * rank(l) / outdeg(l); ghost slots filled by the
-  // exchange.  rank[] covers locals only — ghost ranks are never needed.
-  std::vector<double> rank(g.n_loc(), 1.0 / n);
-  std::vector<double> next(g.n_loc());
-  std::vector<double> contrib(g.n_total(), 0.0);
+  const DistGraph& g;
+  const PageRankOptions& opts;
+  double n;                      // n_global as double
+  std::vector<double> rank;      // locals only
+  std::vector<double> next;      // locals only
+  std::vector<double> contrib;   // locals + ghosts (the exchanged array)
+  double base = 0;               // this round's teleport + dangling share
 
-  PageRankResult res;
-  for (int it = 0; it < opts.max_iterations; ++it) {
+  PageRankKernel(const DistGraph& g_, const PageRankOptions& o)
+      : g(g_),
+        opts(o),
+        n(static_cast<double>(g_.n_global())),
+        rank(g_.n_loc(), 1.0 / n),
+        next(g_.n_loc()),
+        contrib(g_.n_total(), 0.0) {}
+
+  Adjacency adjacency() const { return Adjacency::kOut; }
+  // Every rank value changes every iteration, so dense is always cheapest;
+  // the sparse/adaptive machinery is for the convergent analytics.
+  GhostMode ghost_mode() const { return GhostMode::kDense; }
+  bool retain_queues() const { return opts.retain_queues; }
+  std::span<double> values() { return contrib; }
+
+  void compute(StepContext& ctx) {
     // Dangling mass (vertices with no out-edges leak rank otherwise).
     double dangling_local = 0;
     for (lvid_t v = 0; v < g.n_loc(); ++v)
       if (g.out_degree(v) == 0) dangling_local += rank[v];
-    const double dangling = comm.allreduce_sum(dangling_local);
-    const double base =
-        (1.0 - opts.damping) / n + opts.damping * dangling / n;
+    const double dangling = ctx.comm.allreduce_sum(dangling_local);
+    base = (1.0 - opts.damping) / n + opts.damping * dangling / n;
 
-    tp.for_range(0, g.n_loc(), [&](unsigned, std::uint64_t lo,
-                                   std::uint64_t hi) {
+    ctx.pool.for_range(0, g.n_loc(), [&](unsigned, std::uint64_t lo,
+                                         std::uint64_t hi) {
       for (std::uint64_t v = lo; v < hi; ++v) {
         const std::uint64_t d = g.out_degree(static_cast<lvid_t>(v));
         contrib[v] = d ? opts.damping * rank[v] / static_cast<double>(d) : 0.0;
       }
     });
+  }
 
-    if (opts.retain_queues) {
-      gx.exchange<double>(contrib, comm);
-    } else {
-      // Ablation: pay the full setup cost every iteration.
-      GhostExchange fresh(g, comm, Adjacency::kOut, opts.common.pool);
-      fresh.exchange<double>(contrib, comm);
-    }
-
+  void apply(StepContext& ctx) {
     double delta_local = 0;
-    tp.for_range(0, g.n_loc(), [&](unsigned, std::uint64_t lo,
-                                   std::uint64_t hi) {
+    ctx.pool.for_range(0, g.n_loc(), [&](unsigned, std::uint64_t lo,
+                                         std::uint64_t hi) {
       double delta_chunk = 0;
       for (std::uint64_t v = lo; v < hi; ++v) {
         double sum = base;
@@ -70,13 +80,33 @@ PageRankResult pagerank(const DistGraph& g, Communicator& comm,
           .fetch_add(delta_chunk, std::memory_order_relaxed);
     });
     rank.swap(next);
-    ++res.iterations_run;
-
-    res.l1_delta = comm.allreduce_sum(delta_local);
-    if (opts.tolerance > 0 && res.l1_delta < opts.tolerance) break;
+    ctx.active_local = g.n_loc();
+    ctx.touched_local = g.n_loc();
+    ctx.residual_local = delta_local;
   }
 
-  res.scores = std::move(rank);
+  bool converged(std::uint64_t, double residual_global) const {
+    return opts.tolerance > 0 && residual_global < opts.tolerance;
+  }
+};
+
+}  // namespace
+
+PageRankResult pagerank(const DistGraph& g, parcomm::Communicator& comm,
+                        const PageRankOptions& opts) {
+  HG_CHECK(g.n_global() > 0);
+
+  PageRankKernel kernel(g, opts);
+  engine::SuperstepEngine eng(
+      g, comm,
+      engine_config(opts.common, "pagerank",
+                    static_cast<std::uint64_t>(opts.max_iterations)));
+  const engine::EngineResult er = eng.run_value(kernel);
+
+  PageRankResult res;
+  res.iterations_run = static_cast<int>(er.supersteps);
+  res.l1_delta = er.last_residual;
+  res.scores = std::move(kernel.rank);
   return res;
 }
 

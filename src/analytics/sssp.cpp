@@ -1,5 +1,6 @@
 #include "analytics/sssp.hpp"
 
+#include "engine/superstep.hpp"
 #include "util/thread_queue.hpp"
 
 namespace hpcgraph::analytics {
@@ -7,42 +8,40 @@ namespace hpcgraph::analytics {
 using dgraph::DistGraph;
 using parcomm::Communicator;
 
-SsspResult sssp(const DistGraph& g, Communicator& comm, gvid_t root,
-                const SsspOptions& opts) {
-  HG_CHECK(root < g.n_global());
-  const int p = comm.size();
-  const int me = comm.rank();
+namespace {
 
-  SsspResult res;
-  res.dist.assign(g.n_loc(), kInfDistance);
-
-  // Active set as a dense flag + list (vertices can re-activate, unlike
-  // BFS, so the kQueued claim trick does not apply).
-  std::vector<std::uint8_t> active(g.n_loc(), 0);
+/// FrontierKernel: one Bellman-Ford relaxation round.  The active set is a
+/// dense flag + list (vertices can re-activate, unlike BFS, so the kQueued
+/// claim trick does not apply); remote relaxations route to the owners
+/// through Algorithm-3 thread-local queues + one Alltoallv.
+struct SsspKernel {
+  const DistGraph& g;
+  const SsspOptions& opts;
+  std::vector<std::uint64_t>& dist;   // result array, locals only
+  std::vector<std::uint8_t> active;
   std::vector<lvid_t> frontier, frontier_next;
 
-  if (g.owner_of_global(root) == me) {
-    const lvid_t l = g.local_id_checked(root);
-    res.dist[l] = 0;
-    active[l] = 1;
-    frontier.push_back(l);
-  }
+  SsspKernel(const DistGraph& g_, const SsspOptions& o,
+             std::vector<std::uint64_t>& d)
+      : g(g_), opts(o), dist(d), active(g_.n_loc(), 0) {}
 
-  struct Relax {
-    gvid_t gid;
-    std::uint64_t dist;
-  };
+  std::uint64_t active_local() const { return frontier.size(); }
 
-  std::uint64_t global_active = comm.allreduce_sum<std::uint64_t>(frontier.size());
-  while (global_active != 0) {
-    ++res.rounds;
+  void step(engine::StepContext& ctx) {
+    ctx.touched_local = frontier.size();
+    const int p = ctx.comm.size();
+
+    struct Relax {
+      gvid_t gid;
+      std::uint64_t dist;
+    };
 
     // ---- Relax out-edges of the frontier. ----
     std::vector<Relax> remote;
     frontier_next.clear();
     const auto relax_local = [&](lvid_t u, std::uint64_t cand) {
-      if (cand < res.dist[u]) {
-        res.dist[u] = cand;
+      if (cand < dist[u]) {
+        dist[u] = cand;
         if (!active[u]) {
           active[u] = 1;
           frontier_next.push_back(u);
@@ -52,7 +51,7 @@ SsspResult sssp(const DistGraph& g, Communicator& comm, gvid_t root,
     for (const lvid_t v : frontier) {
       active[v] = 0;
       const gvid_t vg = g.global_id(v);
-      const std::uint64_t base = res.dist[v];
+      const std::uint64_t base = dist[v];
       for (const lvid_t u : g.out_neighbors(v)) {
         const gvid_t ug = g.global_id(u);
         const std::uint64_t cand = base + edge_weight(vg, ug, opts.max_weight);
@@ -75,13 +74,35 @@ SsspResult sssp(const DistGraph& g, Communicator& comm, gvid_t root,
       for (const Relax& r : remote)
         sink.push(static_cast<std::uint32_t>(g.owner_of_global(r.gid)), r);
     }
-    const std::vector<Relax> recv = comm.alltoallv<Relax>(q.buffer(), counts);
+    const std::vector<Relax> recv =
+        ctx.comm.alltoallv<Relax>(q.buffer(), counts);
     for (const Relax& r : recv)
       relax_local(g.local_id_checked(r.gid), r.dist);
 
     std::swap(frontier, frontier_next);
-    global_active = comm.allreduce_sum<std::uint64_t>(frontier.size());
   }
+};
+
+}  // namespace
+
+SsspResult sssp(const DistGraph& g, Communicator& comm, gvid_t root,
+                const SsspOptions& opts) {
+  HG_CHECK(root < g.n_global());
+
+  SsspResult res;
+  res.dist.assign(g.n_loc(), kInfDistance);
+
+  SsspKernel kernel(g, opts, res.dist);
+  if (g.owner_of_global(root) == comm.rank()) {
+    const lvid_t l = g.local_id_checked(root);
+    res.dist[l] = 0;
+    kernel.active[l] = 1;
+    kernel.frontier.push_back(l);
+  }
+
+  engine::SuperstepEngine eng(g, comm, engine_config(opts.common, "sssp"));
+  const engine::EngineResult er = eng.run_frontier(kernel);
+  res.rounds = static_cast<int>(er.supersteps);
 
   std::uint64_t reached_local = 0;
   for (const std::uint64_t d : res.dist)

@@ -4,13 +4,13 @@
 
 #include "analytics/bfs.hpp"
 #include "dgraph/ghost_exchange.hpp"
+#include "engine/superstep.hpp"
 #include "util/thread_queue.hpp"
 
 namespace hpcgraph::analytics {
 
 using dgraph::Adjacency;
 using dgraph::DistGraph;
-using dgraph::GhostExchange;
 using parcomm::Communicator;
 
 namespace {
@@ -23,6 +23,62 @@ struct DegVertex {
   static DegVertex better(DegVertex a, DegVertex b) {
     if (a.deg != b.deg) return a.deg > b.deg ? a : b;
     return a.gid <= b.gid ? a : b;
+  }
+};
+
+/// ValueKernel: HashMin coloring of the non-giant leftovers (step 2).  The
+/// init hook re-colors the BFS-swept giant members to the canonical label
+/// and the engine pushes that seed through one exchange (kSeedExchange)
+/// before round 0, because the ghost replicas still hold the id-init value.
+struct WccColorKernel {
+  using Value = gvid_t;
+  static constexpr bool kSeedExchange = true;
+
+  const DistGraph& g;
+  const WccOptions& opts;
+  std::span<const std::int64_t> level;  // giant membership (BFS level >= 0)
+  gvid_t giant_min;
+  std::vector<gvid_t> color;
+
+  WccColorKernel(const DistGraph& g_, const WccOptions& o,
+                 std::span<const std::int64_t> lvl, gvid_t gmin)
+      : g(g_), opts(o), level(lvl), giant_min(gmin), color(g_.n_total()) {
+    for (lvid_t l = 0; l < g.n_total(); ++l) color[l] = g.global_id(l);
+  }
+
+  Adjacency adjacency() const { return Adjacency::kBoth; }
+  dgraph::GhostMode ghost_mode() const { return opts.common.ghost_mode; }
+  std::span<gvid_t> values() { return color; }
+
+  void init(engine::StepContext& ctx) {
+    for (lvid_t v = 0; v < g.n_loc(); ++v)
+      if (level[v] >= 0 && color[v] != giant_min) {
+        color[v] = giant_min;
+        ctx.gx->mark_changed(v);  // ghosts still hold the id-init value
+      }
+  }
+
+  void compute(engine::StepContext& ctx) {
+    // Serial min-sweep: the in-place updates are what make HashMin converge
+    // fast; rank-level parallelism is the primary axis (see CommonOptions).
+    std::uint64_t changed = 0;
+    for (lvid_t v = 0; v < g.n_loc(); ++v) {
+      if (level[v] >= 0) continue;  // giant members are settled
+      gvid_t m = color[v];
+      for (const lvid_t u : g.out_neighbors(v)) m = std::min(m, color[u]);
+      for (const lvid_t u : g.in_neighbors(v)) m = std::min(m, color[u]);
+      if (m < color[v]) {
+        color[v] = m;
+        ctx.gx->mark_changed(v);
+        ++changed;
+      }
+    }
+    ctx.active_local = changed;
+    ctx.touched_local = g.n_loc();
+  }
+
+  bool converged(std::uint64_t active_global, double) const {
+    return active_global == 0;
   }
 };
 
@@ -55,38 +111,14 @@ WccResult wcc(const DistGraph& g, Communicator& comm, const WccOptions& opts) {
       giant_min_local = std::min(giant_min_local, g.global_id(v));
   const gvid_t giant_min = comm.allreduce_min(giant_min_local);
 
-  // ---- Step 2 (PageRank-like): HashMin coloring of the leftovers. ----
-  GhostExchange gx(g, comm, Adjacency::kBoth, opts.common.pool);
-  const dgraph::GhostMode mode = opts.common.ghost_mode;
-  std::vector<gvid_t> color(g.n_total());
-  for (lvid_t l = 0; l < g.n_total(); ++l) color[l] = g.global_id(l);
-  for (lvid_t v = 0; v < g.n_loc(); ++v)
-    if (b.level[v] >= 0 && color[v] != giant_min) {
-      color[v] = giant_min;
-      gx.mark_changed(v);  // ghosts still hold the id-init value
-    }
-  gx.exchange<gvid_t>(color, comm, mode);
+  // ---- Step 2 (PageRank-like): HashMin coloring of the leftovers,
+  // driven by the superstep engine (seed exchange + sweep-to-fixpoint). ----
+  WccColorKernel kernel(g, opts, b.level, giant_min);
+  engine::SuperstepEngine eng(g, comm, engine_config(opts.common, "wcc"));
+  const engine::EngineResult er = eng.run_value(kernel);
+  res.coloring_iters = static_cast<int>(er.supersteps);
 
-  bool changed_global = true;
-  while (changed_global) {
-    ++res.coloring_iters;
-    bool changed_local = false;
-    for (lvid_t v = 0; v < g.n_loc(); ++v) {
-      if (b.level[v] >= 0) continue;  // giant members are settled
-      gvid_t m = color[v];
-      for (const lvid_t u : g.out_neighbors(v)) m = std::min(m, color[u]);
-      for (const lvid_t u : g.in_neighbors(v)) m = std::min(m, color[u]);
-      if (m < color[v]) {
-        color[v] = m;
-        gx.mark_changed(v);
-        changed_local = true;
-      }
-    }
-    gx.exchange<gvid_t>(color, comm, mode);
-    changed_global = comm.allreduce_lor(changed_local);
-  }
-
-  res.comp.assign(color.begin(), color.begin() + g.n_loc());
+  res.comp.assign(kernel.color.begin(), kernel.color.begin() + g.n_loc());
 
   // ---- Largest component: aggregate per-label counts at the label's
   // owner, then a global max-reduce. ----

@@ -265,6 +265,12 @@ class GhostExchange {
   std::span<const lvid_t> send_local() const { return send_local_; }
   std::span<const std::uint64_t> send_counts() const { return send_counts_; }
 
+  /// Wire format the most recent exchange() round actually used — for
+  /// kAdaptive this is the *resolved* choice (kDense or kSparse), so
+  /// per-superstep telemetry can record what went on the wire without
+  /// diffing CommStats counters.  kAdaptive until the first exchange.
+  GhostMode last_round_mode() const { return last_round_mode_; }
+
  private:
   template <typename T, typename F>
   void exchange_impl(std::span<T> vals, parcomm::Communicator& comm,
@@ -295,6 +301,7 @@ class GhostExchange {
     } else {
       exchange_dense(vals, comm, tp, changed_ghosts, combine);
     }
+    last_round_mode_ = sparse ? GhostMode::kSparse : GhostMode::kDense;
     clear_dirty(tp);
   }
 
@@ -461,6 +468,24 @@ class GhostExchange {
   std::uint64_t entries_global_ = 0;        // allreduced send entries
   double sparse_crossover_ = 1.0;           // adaptive byte-cost factor
   std::size_t n_total_ = 0;                 // locals + ghosts, for checking
+  GhostMode last_round_mode_ = GhostMode::kAdaptive;  // resolved last round
 };
+
+/// Collective.  One-shot ghost refresh through a *freshly built* queue —
+/// the `retain_queues == false` ablation path shared by the engine-ported
+/// analytics.  A fresh queue has no change history, so the sparse contract
+/// ("every unmarked ghost already mirrors its owner") cannot be certified;
+/// the round therefore always goes dense regardless of what mode the caller
+/// runs retained exchanges with.  `changed_ghosts`, if non-null, still
+/// receives the ghost slots whose value actually changed (dense rounds
+/// compute it by comparison), so flip-driven analytics (k-core) stay correct
+/// under the ablation.
+template <typename T>
+void exchange_fresh(const DistGraph& g, parcomm::Communicator& comm,
+                    Adjacency adj, ThreadPool* pool, std::span<T> vals,
+                    std::vector<lvid_t>* changed_ghosts = nullptr) {
+  GhostExchange fresh(g, comm, adj, pool);
+  fresh.exchange<T>(vals, comm, GhostMode::kDense, changed_ghosts);
+}
 
 }  // namespace hpcgraph::dgraph

@@ -1,0 +1,305 @@
+#pragma once
+/// \file superstep.hpp
+/// The bulk-synchronous superstep engine — one outer loop for every
+/// analytic.
+///
+/// The paper's central observation is that its six analytics fall into two
+/// computational classes: *PageRank-like* dense value propagation over
+/// boundary exchanges, and *BFS-like* frontier expansion over per-owner
+/// queues.  Before this engine existed, each analytic hand-rolled the same
+/// iterate → mark-changed → ghost-exchange → allreduce-convergence skeleton;
+/// now a kernel supplies only the per-round computation and the engine owns
+/// the loop: pool fallback, GhostExchange lifecycle, the `retain_queues`
+/// ablation fallback, the fused convergence allreduce, the iteration cutoff
+/// and per-superstep telemetry.  Any loop-level optimization (async
+/// exchange, superstep fusion, adaptive scheduling) lands here once and
+/// every analytic inherits it.
+///
+/// ## ValueKernel (PageRank-like)
+///
+/// Required members:
+///   * `using Value = T;`                    exchanged per-vertex value type
+///   * `std::span<Value> values()`           length >= g.n_total(); ghost
+///                                           slots are refreshed by the
+///                                           engine's exchange each round
+///   * `dgraph::Adjacency adjacency()`       boundary rule for the engine's
+///                                           own GhostExchange (not needed if
+///                                           `ghosts()` is provided)
+///   * `void compute(StepContext&)`          local sweep; mark changed
+///                                           vertices on ctx.gx and report
+///                                           ctx.active/touched/residual
+///   * `bool converged(uint64 active_global, double residual_global)`
+///                                           stop decision from the fused
+///                                           allreduce (same inputs on every
+///                                           rank -> same decision)
+/// Optional members (detected with `if constexpr (requires ...)`):
+///   * `dgraph::GhostExchange* ghosts()`     reuse a caller-owned plan (built
+///                                           once across k-core stages)
+///   * `dgraph::GhostMode ghost_mode()`      wire policy (default kDense)
+///   * `bool retain_queues()`                false = rebuild-ablation: each
+///                                           round exchanges through a fresh
+///                                           dense queue (exchange_fresh)
+///   * `std::vector<lvid_t>* changed_ghosts()`  receive ghost slots whose
+///                                           value flipped (k-core)
+///   * `void init(StepContext&)`             pre-loop seeding; if the kernel
+///                                           also defines
+///                                           `static constexpr bool kSeedExchange = true`
+///                                           the engine runs one exchange
+///                                           after it (WCC pushes re-colored
+///                                           giant members before round 0)
+///   * `void apply(StepContext&)`            post-exchange step (PageRank's
+///                                           gather+delta, k-core's ghost
+///                                           decrement application)
+///
+/// Round structure (collective order is part of the engine's contract —
+/// ported analytics reproduce their pre-engine exchange/allreduce sequence
+/// exactly, which is what keeps outputs bit-for-bit identical):
+///
+///     compute -> exchange -> [apply] -> fused allreduce -> record -> stop?
+///
+/// ## FrontierKernel (BFS-like)
+///
+/// Required members:
+///   * `std::uint64_t active_local()`        current frontier size
+///   * `void step(StepContext&)`             expand + route (alltoallv) +
+///                                           apply + swap; report
+///                                           ctx.touched/residual
+/// The engine sizes the frontier globally before round 0 (empty frontier =>
+/// zero supersteps) and after every step; it stops when the global frontier
+/// drains or the superstep cutoff hits.
+///
+/// ## Convergence
+///
+/// One fused allreduce per round carries {active, touched, residual}: the
+/// convergence signal, and the telemetry, in a single collective.  The
+/// combiner adds element-wise in rank order — the same FP addition order as
+/// a scalar allreduce_sum — so PageRank's L1 residual is bitwise the value
+/// the old hand-rolled `allreduce_sum(delta_local)` produced.
+
+#include <cstdint>
+#include <optional>
+#include <span>
+#include <vector>
+
+#include "dgraph/dist_graph.hpp"
+#include "dgraph/ghost_exchange.hpp"
+#include "engine/trace.hpp"
+#include "parcomm/comm.hpp"
+#include "util/parallel_for.hpp"
+
+namespace hpcgraph::engine {
+
+/// Per-round view the engine hands to kernel hooks.
+struct StepContext {
+  const dgraph::DistGraph& g;
+  parcomm::Communicator& comm;
+  ThreadPool& pool;                    ///< resolved pool (never null)
+  dgraph::GhostExchange* gx = nullptr; ///< exchange plan (null for frontier
+                                       ///< kernels that route their own)
+  std::uint64_t superstep = 0;         ///< 0-based round within this run
+
+  // Kernel -> engine outputs, reset before each round and folded into the
+  // fused allreduce after it:
+  std::uint64_t active_local = 0;   ///< changed / newly-frontier vertices
+  std::uint64_t touched_local = 0;  ///< vertices this rank processed
+  double residual_local = 0.0;      ///< kernel-defined residual contribution
+};
+
+/// What a finished engine run reports back to the analytic.
+struct EngineResult {
+  std::uint64_t supersteps = 0;   ///< rounds executed (== old loop counters)
+  bool converged = false;         ///< kernel stop (vs. superstep cutoff)
+  std::uint64_t last_active = 0;  ///< global active count of the final round
+  double last_residual = 0.0;     ///< global residual of the final round
+};
+
+/// Engine-level knobs; analytics fill this from their CommonOptions.
+struct EngineConfig {
+  ThreadPool* pool = nullptr;     ///< worker pool (null = inline 1-thread)
+  std::uint64_t max_supersteps = UINT64_MAX;  ///< iteration cutoff
+  SuperstepTrace* trace = nullptr;  ///< telemetry sink (rank 0 pushes)
+  const char* name = "";            ///< analytic label in trace records
+};
+
+template <class K>
+concept ValueKernel =
+    requires(K k, StepContext& ctx, std::uint64_t a, double r) {
+      typename K::Value;
+      { k.values() } -> std::convertible_to<std::span<typename K::Value>>;
+      k.compute(ctx);
+      { k.converged(a, r) } -> std::convertible_to<bool>;
+    } &&
+    (requires(K k) {
+      { k.adjacency() } -> std::same_as<dgraph::Adjacency>;
+    } || requires(K k) {
+      { k.ghosts() } -> std::convertible_to<dgraph::GhostExchange*>;
+    });
+
+template <class K>
+concept FrontierKernel = requires(K k, StepContext& ctx) {
+  { k.active_local() } -> std::convertible_to<std::uint64_t>;
+  k.step(ctx);
+};
+
+/// Runs kernels over one distributed graph.  Collective: every rank must
+/// construct the engine and call the same run_* methods in the same order.
+class SuperstepEngine {
+ public:
+  SuperstepEngine(const dgraph::DistGraph& g, parcomm::Communicator& comm,
+                  EngineConfig cfg = {})
+      : g_(g), comm_(comm), cfg_(cfg), pf_(cfg.pool) {}
+
+  /// PageRank-like run: dense sweeps + ghost exchanges to a fixpoint.
+  template <ValueKernel K>
+  EngineResult run_value(K& kernel) {
+    using T = typename K::Value;
+    ThreadPool& tp = pf_.get();
+
+    // Exchange plan: borrow the kernel's retained plan if it has one, else
+    // build (collectively) from the kernel's adjacency rule.
+    dgraph::GhostExchange* gx = nullptr;
+    std::optional<dgraph::GhostExchange> owned;
+    if constexpr (requires { kernel.ghosts(); }) {
+      gx = kernel.ghosts();
+    } else {
+      owned.emplace(g_, comm_, kernel.adjacency(), cfg_.pool);
+      gx = &*owned;
+    }
+
+    dgraph::GhostMode mode = dgraph::GhostMode::kDense;
+    if constexpr (requires { kernel.ghost_mode(); }) mode = kernel.ghost_mode();
+
+    bool retain = true;
+    if constexpr (requires { kernel.retain_queues(); })
+      retain = kernel.retain_queues();
+
+    std::vector<lvid_t>* changed_ghosts = nullptr;
+    if constexpr (requires { kernel.changed_ghosts(); })
+      changed_ghosts = kernel.changed_ghosts();
+
+    const auto do_exchange = [&] {
+      std::span<T> vals = kernel.values();
+      if (retain) {
+        gx->exchange<T>(vals, comm_, mode, changed_ghosts);
+      } else {
+        // Rebuild ablation: no change history on a fresh queue, so the
+        // round goes through the always-dense exchange_fresh helper.
+        dgraph::exchange_fresh<T>(g_, comm_, gx->adjacency(), cfg_.pool, vals,
+                                  changed_ghosts);
+      }
+    };
+
+    StepContext ctx{g_, comm_, tp, gx};
+    if constexpr (requires { kernel.init(ctx); }) {
+      kernel.init(ctx);
+      if constexpr (requires { K::kSeedExchange; }) {
+        if constexpr (K::kSeedExchange) do_exchange();
+      }
+    }
+
+    EngineResult res;
+    for (std::uint64_t step = 0; step < cfg_.max_supersteps; ++step) {
+      const auto rec0 = begin_record();
+      ctx.superstep = step;
+      ctx.active_local = 0;
+      ctx.touched_local = 0;
+      ctx.residual_local = 0.0;
+
+      kernel.compute(ctx);
+      do_exchange();
+      if constexpr (requires { kernel.apply(ctx); }) kernel.apply(ctx);
+
+      const Signal sig = fused_allreduce(
+          {ctx.active_local, ctx.touched_local, ctx.residual_local});
+      ++res.supersteps;
+      res.last_active = sig.active;
+      res.last_residual = sig.residual;
+      res.converged = kernel.converged(sig.active, sig.residual);
+
+      end_record(rec0, step, sig, res.converged,
+                 retain ? dgraph::ghost_mode_label(gx->last_round_mode())
+                        : "dense");
+      if (res.converged) break;
+    }
+    return res;
+  }
+
+  /// BFS-like run: expand the frontier until it drains globally.
+  template <FrontierKernel K>
+  EngineResult run_frontier(K& kernel) {
+    ThreadPool& tp = pf_.get();
+
+    dgraph::GhostExchange* gx = nullptr;
+    if constexpr (requires { kernel.ghosts(); }) gx = kernel.ghosts();
+
+    StepContext ctx{g_, comm_, tp, gx};
+    if constexpr (requires { kernel.init(ctx); }) kernel.init(ctx);
+
+    EngineResult res;
+    std::uint64_t global_active =
+        comm_.allreduce_sum<std::uint64_t>(kernel.active_local());
+    res.converged = (global_active == 0);  // empty frontier: trivially done
+    while (global_active != 0 && res.supersteps < cfg_.max_supersteps) {
+      const auto rec0 = begin_record();
+      ctx.superstep = res.supersteps;
+      ctx.touched_local = 0;
+      ctx.residual_local = 0.0;
+
+      kernel.step(ctx);
+
+      const Signal sig = fused_allreduce(
+          {kernel.active_local(), ctx.touched_local, ctx.residual_local});
+      global_active = sig.active;
+      ++res.supersteps;
+      res.last_active = sig.active;
+      res.last_residual = sig.residual;
+      res.converged = (global_active == 0);
+
+      end_record(rec0, res.supersteps - 1, sig, res.converged, "queue");
+    }
+    return res;
+  }
+
+ private:
+  /// The fused per-round collective: convergence signal + telemetry in one
+  /// allreduce.  Element-wise sums combined in rank order (bitwise-equal to
+  /// the scalar allreduce_sum each field replaced).
+  struct Signal {
+    std::uint64_t active;
+    std::uint64_t touched;
+    double residual;
+  };
+  Signal fused_allreduce(Signal s) {
+    return comm_.allreduce(s, [](Signal a, Signal b) {
+      return Signal{a.active + b.active, a.touched + b.touched,
+                    a.residual + b.residual};
+    });
+  }
+
+  bool recording() const { return cfg_.trace && comm_.rank() == 0; }
+  std::optional<StepRecorder> begin_record() {
+    if (!recording()) return std::nullopt;
+    return std::make_optional<StepRecorder>(comm_);
+  }
+  void end_record(const std::optional<StepRecorder>& rec0, std::uint64_t step,
+                  const Signal& sig, bool converged, const char* wire) {
+    if (!rec0) return;
+    SuperstepRecord rec;
+    rec.analytic = cfg_.name;
+    rec.superstep = step;
+    rec.active = sig.active;
+    rec.touched = sig.touched;
+    rec.residual = sig.residual;
+    rec.converged = converged;
+    rec.wire = wire;
+    rec0->finish(rec);
+    cfg_.trace->push(std::move(rec));
+  }
+
+  const dgraph::DistGraph& g_;
+  parcomm::Communicator& comm_;
+  EngineConfig cfg_;
+  PoolFallback pf_;
+};
+
+}  // namespace hpcgraph::engine

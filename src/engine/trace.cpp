@@ -1,0 +1,65 @@
+#include "engine/trace.hpp"
+
+#include <cstdio>
+
+#include "util/error.hpp"
+#include "util/json.hpp"
+
+namespace hpcgraph::engine {
+
+std::string SuperstepTrace::to_json() const {
+  util::JsonWriter w;
+  w.begin_object();
+  w.kv("schema", "hpcgraph-superstep-trace-v1");
+  w.kv("supersteps_total", static_cast<std::uint64_t>(records_.size()));
+  w.key("supersteps");
+  w.begin_array();
+  for (const SuperstepRecord& r : records_) {
+    w.begin_object();
+    w.kv("index", r.index);
+    w.kv("analytic", r.analytic);
+    w.kv("superstep", r.superstep);
+    w.kv("active", r.active);
+    w.kv("touched", r.touched);
+    w.kv("residual", r.residual);
+    w.kv("converged", r.converged);
+    w.kv("wire", r.wire);
+    w.key("comm");
+    w.begin_object();
+    w.kv("bytes_sent", r.comm.bytes_sent);
+    w.kv("bytes_remote", r.comm.bytes_remote);
+    w.kv("bytes_self", r.comm.bytes_self);
+    w.kv("bytes_received", r.comm.bytes_received);
+    w.kv("collective_calls", r.comm.collective_calls);
+    w.kv("barrier_calls", r.comm.barrier_calls);
+    w.kv("ghost_rounds_dense", r.comm.ghost_rounds_dense);
+    w.kv("ghost_rounds_sparse", r.comm.ghost_rounds_sparse);
+    w.kv("ghost_rounds_reduce", r.comm.ghost_rounds_reduce);
+    w.kv("ghost_bytes_saved",
+         static_cast<std::int64_t>(r.comm.ghost_bytes_saved));
+    w.end_object();
+    w.key("phase");
+    w.begin_object();
+    w.kv("comp_s", r.phase.comp);
+    w.kv("comm_s", r.phase.comm);
+    w.kv("idle_s", r.phase.idle);
+    w.kv("pack_s", r.phase.pack);
+    w.kv("total_s", r.phase.total);
+    w.end_object();
+    w.end_object();
+  }
+  w.end_array();
+  w.end_object();
+  return w.str();
+}
+
+void SuperstepTrace::write_json(const std::string& path) const {
+  std::FILE* f = std::fopen(path.c_str(), "wb");
+  HG_CHECK_MSG(f != nullptr, "cannot open trace output file " << path);
+  const std::string body = to_json();
+  const std::size_t n = std::fwrite(body.data(), 1, body.size(), f);
+  const bool ok = (n == body.size()) && std::fclose(f) == 0;
+  HG_CHECK_MSG(ok, "short write to trace output file " << path);
+}
+
+}  // namespace hpcgraph::engine

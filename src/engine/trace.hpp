@@ -1,0 +1,141 @@
+#pragma once
+/// \file trace.hpp
+/// Per-superstep telemetry: the structured record the SuperstepEngine emits
+/// each round, the in-memory trace collecting them, and the snapshot helper
+/// that measures one superstep without disturbing enclosing instrumentation.
+///
+/// Cross-system graph-processing studies compare *per-superstep* metrics —
+/// frontier size, bytes on wire, phase decomposition per round — not just
+/// end-to-end walls.  The trace makes every engine-driven analytic emit that
+/// unit of comparison for free.
+///
+/// Aggregation model: records are pushed by **rank 0 only**.  The
+/// `active`/`touched`/`residual` fields are global (every rank computes the
+/// same value from the engine's fused allreduce); the CommStats and
+/// PhaseBreakdown deltas are rank 0's local view of the round.  On this
+/// simulated-MPI runtime ranks run symmetric collective schedules, so rank
+/// 0's counters are representative; a real-MPI port would gather all ranks.
+
+#include <cstdint>
+#include <optional>
+#include <string>
+#include <vector>
+
+#include "parcomm/comm.hpp"
+#include "parcomm/comm_stats.hpp"
+#include "parcomm/phase_timer.hpp"
+
+namespace hpcgraph::engine {
+
+/// One bulk-synchronous round of one engine run.
+struct SuperstepRecord {
+  std::uint64_t index = 0;      ///< trace-global, monotone (assigned by push)
+  std::string analytic;         ///< engine run label ("pagerank", "sssp", ...)
+  std::uint64_t superstep = 0;  ///< 0-based round within the run
+  std::uint64_t active = 0;     ///< global frontier size / changed vertices
+  std::uint64_t touched = 0;    ///< global vertices processed this round
+  double residual = 0.0;        ///< global residual (kernel-defined, e.g. L1)
+  bool converged = false;       ///< this round triggered the stop condition
+  std::string wire;             ///< ghost wire format used ("dense"/"sparse"/
+                                ///< "queue" for alltoallv frontier kernels)
+  parcomm::CommStats comm;      ///< rank-0 counter delta over the round
+  parcomm::PhaseBreakdown phase;  ///< rank-0 comp/comm/idle/pack delta
+};
+
+/// Append-only in-memory trace; serializable to JSON.  Not thread-safe by
+/// design: the engine pushes from rank 0 only.
+class SuperstepTrace {
+ public:
+  /// Appends `rec`, overwriting rec.index with the trace-global counter so
+  /// indices stay monotone across multiple engine runs (k-core stages, a
+  /// WCC seed run + coloring run, back-to-back analytics in one session).
+  void push(SuperstepRecord rec) {
+    rec.index = records_.size();
+    records_.push_back(std::move(rec));
+  }
+
+  const std::vector<SuperstepRecord>& records() const { return records_; }
+  std::size_t size() const { return records_.size(); }
+  bool empty() const { return records_.empty(); }
+  void clear() { records_.clear(); }
+
+  /// Serialize the whole trace as a single JSON object
+  /// `{"schema": ..., "supersteps": [...]}`.
+  std::string to_json() const;
+
+  /// Write to_json() to `path`; throws via HG_CHECK on I/O failure.
+  void write_json(const std::string& path) const;
+
+ private:
+  std::vector<SuperstepRecord> records_;
+};
+
+/// Captures CommStats + PhaseTimer at construction and fills a record with
+/// the deltas at finish().  Snapshot-based, so an enclosing measurement
+/// (bench region, another recorder) keeps seeing the full run.
+class StepRecorder {
+ public:
+  explicit StepRecorder(parcomm::Communicator& comm)
+      : comm_(comm),
+        stats0_(comm.stats()),
+        phase0_(comm.phase_timer().snapshot()) {}
+
+  /// Fill the comm/phase delta fields of `rec` for the region since
+  /// construction.
+  void finish(SuperstepRecord& rec) const {
+    rec.comm = comm_.stats() - stats0_;
+    rec.phase = comm_.phase_timer().snapshot() - phase0_;
+  }
+
+ private:
+  parcomm::Communicator& comm_;
+  parcomm::CommStats stats0_;
+  parcomm::PhaseBreakdown phase0_;
+};
+
+/// Telemetry-only engine adoption for analytics that keep bespoke loops
+/// (the BFS variants, whose Algorithm-2 structure is its own reference):
+/// bundles the rank-0 gate, the per-round StepRecorder and the record
+/// assembly so a hand-rolled loop emits the same SuperstepRecord stream as
+/// an engine-driven one.  Call begin() at the top of each round and end()
+/// after the round's terminating allreduce.
+class RoundTrace {
+ public:
+  RoundTrace(SuperstepTrace* trace, parcomm::Communicator& comm,
+             std::string analytic)
+      : trace_(trace && comm.rank() == 0 ? trace : nullptr),
+        comm_(comm),
+        analytic_(std::move(analytic)) {}
+
+  void begin() {
+    if (trace_) rec0_.emplace(comm_);
+  }
+
+  /// \param superstep     0-based round index within the run
+  /// \param processed     global vertices processed this round (touched)
+  /// \param next_active   global frontier/changed count after the round;
+  ///                      zero marks the run converged
+  /// \param wire          wire-format label for the round
+  void end(std::uint64_t superstep, std::uint64_t processed,
+           std::uint64_t next_active, const char* wire) {
+    if (!trace_) return;
+    SuperstepRecord rec;
+    rec.analytic = analytic_;
+    rec.superstep = superstep;
+    rec.active = next_active;
+    rec.touched = processed;
+    rec.converged = next_active == 0;
+    rec.wire = wire;
+    rec0_->finish(rec);
+    trace_->push(std::move(rec));
+    rec0_.reset();
+  }
+
+ private:
+  SuperstepTrace* trace_;
+  parcomm::Communicator& comm_;
+  std::string analytic_;
+  std::optional<StepRecorder> rec0_;
+};
+
+}  // namespace hpcgraph::engine

@@ -61,6 +61,31 @@ struct CommStats {
     ghost_bytes_saved += o.ghost_bytes_saved;
     return *this;
   }
+
+  /// Counter-wise difference: what happened between an earlier snapshot `o`
+  /// and this one.  Counters are monotone within a run (ghost_bytes_saved is
+  /// signed and may go either way), so telemetry code takes a snapshot before
+  /// a region and calls `now.delta(before)` after instead of hand-subtracting
+  /// ten fields.  The conservation law (sum received == sum remote + self)
+  /// holds for deltas of a common region because subtraction is linear.
+  CommStats operator-(const CommStats& o) const {
+    CommStats d;
+    d.bytes_sent = bytes_sent - o.bytes_sent;
+    d.bytes_remote = bytes_remote - o.bytes_remote;
+    d.bytes_self = bytes_self - o.bytes_self;
+    d.bytes_received = bytes_received - o.bytes_received;
+    d.collective_calls = collective_calls - o.collective_calls;
+    d.barrier_calls = barrier_calls - o.barrier_calls;
+    d.ghost_rounds_dense = ghost_rounds_dense - o.ghost_rounds_dense;
+    d.ghost_rounds_sparse = ghost_rounds_sparse - o.ghost_rounds_sparse;
+    d.ghost_rounds_reduce = ghost_rounds_reduce - o.ghost_rounds_reduce;
+    d.ghost_bytes_saved = ghost_bytes_saved - o.ghost_bytes_saved;
+    return d;
+  }
+
+  /// `now.delta(before)` == `now - before`; named form for call sites where
+  /// the subtraction order would otherwise need a comment.
+  CommStats delta(const CommStats& before) const { return *this - before; }
 };
 
 }  // namespace hpcgraph::parcomm

@@ -26,6 +26,21 @@ struct PhaseBreakdown {
   double comp_ratio() const { return total > 0 ? comp / total : 0; }
   double comm_ratio() const { return total > 0 ? comm / total : 0; }
   double idle_ratio() const { return total > 0 ? idle / total : 0; }
+
+  /// Difference of two snapshots of the *same running region*: the breakdown
+  /// of what happened between them.  Lets per-superstep telemetry measure each
+  /// round without reset()ing the timer out from under an enclosing
+  /// measurement (bench regions snapshot the whole run).
+  PhaseBreakdown operator-(const PhaseBreakdown& o) const {
+    PhaseBreakdown d;
+    d.comp = comp - o.comp;
+    d.comm = comm - o.comm;
+    d.idle = idle - o.idle;
+    d.pack = pack - o.pack;
+    d.total = total - o.total;
+    if (d.comp < 0) d.comp = 0;  // clock noise at microsecond scale
+    return d;
+  }
 };
 
 /// Accumulates comm/idle inside the communicator; comp is derived.

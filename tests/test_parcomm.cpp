@@ -294,6 +294,64 @@ TEST(CommStats, ReceivedEqualsRemotePlusSelfAcrossCollectives) {
   }
 }
 
+TEST(CommStats, DeltaSubtractsEveryCounter) {
+  CommWorld world(2);
+  world.run([&](Communicator& comm) {
+    std::vector<std::uint64_t> counts{1, 1};
+    const std::vector<std::uint32_t> send{1u, 2u};
+    (void)comm.alltoallv<std::uint32_t>(send, counts);
+    const CommStats before = comm.stats();
+    (void)comm.alltoallv<std::uint32_t>(send, counts);
+    (void)comm.allreduce_sum(1);
+    comm.barrier();
+    const CommStats d = comm.stats().delta(before);
+    // The delta sees only the second region: one alltoallv (8 B sent,
+    // 4 B remote / 4 B self each way), one allreduce, one barrier.
+    EXPECT_EQ(d.collective_calls, 2u);
+    EXPECT_EQ(d.barrier_calls, 1u);
+    EXPECT_EQ(d.bytes_remote, 4u + sizeof(int));  // alltoallv + allreduce
+    EXPECT_EQ(d.bytes_self, 4u + sizeof(int));
+    // operator- and delta() agree.
+    const CommStats d2 = comm.stats() - before;
+    EXPECT_EQ(d2.bytes_sent, d.bytes_sent);
+    EXPECT_EQ(d2.bytes_received, d.bytes_received);
+  });
+}
+
+// Conservation must hold on deltas too: subtraction is field-wise, so the
+// law received == remote + self carries over to any [t0, t1) window by
+// linearity.  Regression guard for per-superstep telemetry, which reports
+// exactly such windows.
+TEST(CommStats, ConservationHoldsOnDeltas) {
+  for (const int p : {1, 2, 3, 4}) {
+    CommWorld world(p);
+    std::vector<CommStats> deltas(p);
+    world.run([&](Communicator& comm) {
+      const int me = comm.rank();
+      // Pollute the pre-window counters with an asymmetric collective.
+      (void)comm.allgatherv<double>(std::vector<double>(me + 1, 0.5));
+      const CommStats before = comm.stats();
+      std::vector<std::uint64_t> counts(p,
+                                        static_cast<std::uint64_t>(me) + 1);
+      std::vector<std::uint32_t> payload(
+          static_cast<std::size_t>(p) * (me + 1),
+          static_cast<std::uint32_t>(me));
+      (void)comm.alltoallv<std::uint32_t>(payload, counts);
+      (void)comm.allreduce_sum(static_cast<std::uint64_t>(me));
+      (void)comm.allgather(me);
+      deltas[me] = comm.stats().delta(before);
+    });
+    std::uint64_t received = 0, remote = 0, self = 0;
+    for (const CommStats& s : deltas) {
+      received += s.bytes_received;
+      remote += s.bytes_remote;
+      self += s.bytes_self;
+    }
+    EXPECT_EQ(received, remote + self) << "p=" << p;
+    EXPECT_GT(received, 0u) << "p=" << p;
+  }
+}
+
 TEST(PhaseTimer, BreakdownComponentsSumToTotal) {
   CommWorld world(2);
   world.run([&](Communicator& comm) {

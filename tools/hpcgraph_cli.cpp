@@ -46,6 +46,8 @@ int usage(const char* msg = nullptr) {
       "                    [--ranks P] [--partition np|mp|rand|pulp] "
       "[--iters K]\n"
       "                    [--root V] [--output FILE] [--seed S]\n"
+      "                    [--trace-json FILE]   per-superstep telemetry "
+      "(engine analytics + bfs)\n"
       "analytics: stats pagerank labelprop wcc scc scc-decompose bfs sssp\n"
       "           harmonic kcore kcore-exact triangles betweenness\n"
       "generators: webgraph rmat er twitter livejournal google\n";
@@ -120,6 +122,7 @@ int main(int argc, char** argv) {
       static_cast<std::size_t>(cli.get_int("top-k", 10));
   const std::size_t bc_sources =
       static_cast<std::size_t>(cli.get_int("sources", 16));
+  const std::string trace_json = cli.get("trace-json", "");
 
   bool from_file = false;
   std::string path;
@@ -145,6 +148,11 @@ int main(int argc, char** argv) {
 
   Timer total;
   parcomm::CommWorld world(nranks);
+  // Shared across ranks; the engine (and the BFS sink) push records from
+  // rank 0 only, so the trace needs no locking.
+  engine::SuperstepTrace trace;
+  engine::SuperstepTrace* const trace_ptr =
+      trace_json.empty() ? nullptr : &trace;
   int status = 0;
   world.run([&](parcomm::Communicator& comm) {
     // ---- Build. ----
@@ -185,17 +193,21 @@ int main(int argc, char** argv) {
     } else if (analytic == "pagerank") {
       analytics::PageRankOptions o;
       o.max_iterations = iters;
+      o.common.trace = trace_ptr;
       const auto res = analytics::pagerank(g, comm, o);
       if (!output.empty())
         write_tsv<double>(g, comm, res.scores, output, "pagerank");
     } else if (analytic == "labelprop") {
       analytics::LabelPropOptions o;
       o.iterations = iters;
+      o.common.trace = trace_ptr;
       const auto res = analytics::label_propagation(g, comm, o);
       if (!output.empty())
         write_tsv<std::uint64_t>(g, comm, res.labels, output, "community");
     } else if (analytic == "wcc") {
-      const auto res = analytics::wcc(g, comm);
+      analytics::WccOptions o;
+      o.common.trace = trace_ptr;
+      const auto res = analytics::wcc(g, comm, o);
       if (root_rank)
         std::cout << "largest WCC: " << res.largest_size << " (label "
                   << res.largest_label << ")\n";
@@ -218,14 +230,18 @@ int main(int argc, char** argv) {
       if (!output.empty())
         write_tsv<gvid_t>(g, comm, res.comp, output, "scc");
     } else if (analytic == "bfs") {
-      const auto res = analytics::bfs_tree(g, comm, root);
+      analytics::BfsOptions o;
+      o.common.trace = trace_ptr;
+      const auto res = analytics::bfs_tree(g, comm, root, o);
       if (root_rank)
         std::cout << "visited " << res.visited << " in " << res.num_levels
                   << " levels from " << root << "\n";
       if (!output.empty())
         write_tsv<std::int64_t>(g, comm, res.level, output, "level");
     } else if (analytic == "sssp") {
-      const auto res = analytics::sssp(g, comm, root);
+      analytics::SsspOptions o;
+      o.common.trace = trace_ptr;
+      const auto res = analytics::sssp(g, comm, root, o);
       if (root_rank)
         std::cout << "reached " << res.reached << " in " << res.rounds
                   << " rounds from " << root << "\n";
@@ -242,6 +258,7 @@ int main(int argc, char** argv) {
       }
     } else if (analytic == "kcore") {
       analytics::KCoreOptions o;
+      o.common.trace = trace_ptr;
       const auto res = analytics::kcore_approx(g, comm, o);
       if (root_rank)
         for (const auto& s : res.stages)
@@ -250,7 +267,9 @@ int main(int argc, char** argv) {
       if (!output.empty())
         write_tsv<std::uint64_t>(g, comm, res.bound, output, "coreness_ub");
     } else if (analytic == "kcore-exact") {
-      const auto res = analytics::kcore_exact(g, comm);
+      analytics::CommonOptions o;
+      o.trace = trace_ptr;
+      const auto res = analytics::kcore_exact(g, comm, o);
       if (root_rank) std::cout << "degeneracy " << res.max_core << "\n";
       if (!output.empty())
         write_tsv<std::uint64_t>(g, comm, res.core, output, "coreness");
@@ -269,6 +288,11 @@ int main(int argc, char** argv) {
     }
   });
 
+  if (status == 0 && trace_ptr) {
+    trace.write_json(trace_json);
+    std::cout << "wrote " << trace_json << " (" << trace.size()
+              << " supersteps)\n";
+  }
   if (status == 0)
     std::cout << "done in " << TablePrinter::fmt(total.elapsed(), 2)
               << " s\n";
