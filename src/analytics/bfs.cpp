@@ -74,7 +74,9 @@ class AtomicStatus {
   }
 
  private:
-  std::vector<std::atomic<std::int64_t>> s_;
+  // Per-vertex CAS claims cannot hide behind a fold-style util helper; the
+  // container itself must be atomic.  Reviewed: rank-private, pool-only.
+  std::vector<std::atomic<std::int64_t>> s_;  // lint:allow(raw-sync: intra-rank frontier claims)
 };
 
 template <typename Status>
@@ -191,7 +193,7 @@ BfsResult bfs_impl(const DistGraph& g, Communicator& comm, gvid_t root,
     res.level[v] = status.load(v);
     if (res.level[v] >= 0) ++visited_local;
   }
-  res.visited = comm.allreduce_sum(visited_local);
+  res.visited = comm.allreduce_sum<std::uint64_t>(visited_local);
   return res;
 }
 
@@ -263,7 +265,7 @@ BfsResult bfs_diropt_impl(const DistGraph& g, Communicator& comm, gvid_t root,
     std::uint64_t frontier_edges_local = 0;
     for (const std::uint64_t e : tedges) frontier_edges_local += e;
     const std::uint64_t frontier_edges =
-        comm.allreduce_sum(frontier_edges_local);
+        comm.allreduce_sum<std::uint64_t>(frontier_edges_local);
     if (!bottom_up) {
       bottom_up = static_cast<double>(frontier_edges) >
                   static_cast<double>(g.m_global()) / opts.alpha;
@@ -368,7 +370,7 @@ BfsResult bfs_diropt_impl(const DistGraph& g, Communicator& comm, gvid_t root,
     res.level[v] = status.load(v);
     if (res.level[v] >= 0) ++visited_local;
   }
-  res.visited = comm.allreduce_sum(visited_local);
+  res.visited = comm.allreduce_sum<std::uint64_t>(visited_local);
   return res;
 }
 

@@ -1,8 +1,7 @@
 #include "analytics/label_prop.hpp"
 
-#include <atomic>
-
 #include "engine/superstep.hpp"
+#include "util/atomics.hpp"
 #include "util/label_counter.hpp"
 
 namespace hpcgraph::analytics {
@@ -39,7 +38,7 @@ struct LabelPropKernel {
   void compute(StepContext& ctx) {
     const std::uint64_t round_seed = opts.tie_seed + ctx.superstep;
 
-    std::atomic<std::uint64_t> changed{0};
+    RelaxedCounter changed;
     ctx.pool.for_range(0, g.n_loc(), [&](unsigned, std::uint64_t lo,
                                          std::uint64_t hi) {
       LabelCounter lmap;
@@ -60,13 +59,12 @@ struct LabelPropKernel {
           next[vi] = picked;
         }
       }
-      if (changed_chunk)
-        changed.fetch_add(changed_chunk, std::memory_order_relaxed);
+      if (changed_chunk) changed.add(changed_chunk);
     });
     if (!opts.in_place)
       std::copy(next.begin(), next.end(), labels.begin());
 
-    ctx.active_local = changed.load(std::memory_order_relaxed);
+    ctx.active_local = changed.load();
     ctx.touched_local = g.n_loc();
   }
 

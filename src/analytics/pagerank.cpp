@@ -1,9 +1,9 @@
 #include "analytics/pagerank.hpp"
 
-#include <atomic>
 #include <cmath>
 
 #include "engine/superstep.hpp"
+#include "util/atomics.hpp"
 
 namespace hpcgraph::analytics {
 
@@ -75,9 +75,7 @@ struct PageRankKernel {
         delta_chunk += std::fabs(sum - rank[v]);
       }
       // Threads write distinct ranges; fold the partial delta atomically.
-      static_assert(sizeof(double) == 8);
-      std::atomic_ref<double>(delta_local)
-          .fetch_add(delta_chunk, std::memory_order_relaxed);
+      atomic_add_relaxed(delta_local, delta_chunk);
     });
     rank.swap(next);
     ctx.active_local = g.n_loc();

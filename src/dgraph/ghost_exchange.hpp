@@ -214,6 +214,7 @@ class GhostExchange {
   /// at the owner); with `plus` it is a ghost-side partial-sum reduction.
   template <typename T, typename F>
   void reduce(std::span<T> vals, parcomm::Communicator& comm, F&& combine) {
+    static_assert(std::is_trivially_copyable_v<T>);
     HG_CHECK_MSG(vals.size() >= n_total_,
                  "value array must cover locals + ghosts");
     PoolFallback pf(pool_);
@@ -276,6 +277,7 @@ class GhostExchange {
   void exchange_impl(std::span<T> vals, parcomm::Communicator& comm,
                      GhostMode mode, std::vector<lvid_t>* changed_ghosts,
                      F&& combine) {
+    static_assert(std::is_trivially_copyable_v<T>);
     HG_CHECK_MSG(vals.size() >= n_total_,
                  "value array must cover locals + ghosts");
     PoolFallback pf(pool_);
@@ -310,6 +312,7 @@ class GhostExchange {
   void exchange_dense(std::span<T> vals, parcomm::Communicator& comm,
                       ThreadPool& tp, std::vector<lvid_t>* changed_ghosts,
                       F&& combine) {
+    static_assert(std::is_trivially_copyable_v<T>);
     payload_bytes_.resize(send_local_.size() * sizeof(T));
     T* send = reinterpret_cast<T*>(payload_bytes_.data());
     {
@@ -363,6 +366,7 @@ class GhostExchange {
                        ThreadPool& tp, std::uint64_t changed_local,
                        std::vector<lvid_t>* changed_ghosts, F&& combine) {
     using Pair = SlotVal<T>;
+    static_assert(std::is_trivially_copyable_v<Pair>);
     const std::size_t p = send_counts_.size();
     payload_bytes_.resize(changed_local * sizeof(Pair));
     Pair* pairs = reinterpret_cast<Pair*>(payload_bytes_.data());
@@ -484,6 +488,7 @@ template <typename T>
 void exchange_fresh(const DistGraph& g, parcomm::Communicator& comm,
                     Adjacency adj, ThreadPool* pool, std::span<T> vals,
                     std::vector<lvid_t>* changed_ghosts = nullptr) {
+  static_assert(std::is_trivially_copyable_v<T>);
   GhostExchange fresh(g, comm, adj, pool);
   fresh.exchange<T>(vals, comm, GhostMode::kDense, changed_ghosts);
 }

@@ -12,6 +12,9 @@ void CommWorld::run(const std::function<void(Communicator&)>& fn) {
   board_.cnt.assign(nranks_, nullptr);
   board_.displ.assign(nranks_, nullptr);
   board_.scalar.assign(nranks_, 0);
+#if HPCGRAPH_VERIFY_ENABLED
+  board_.fp.assign(nranks_, verify::Fingerprint{});
+#endif
   last_stats_.assign(nranks_, CommStats{});
 
   std::vector<std::exception_ptr> errors(nranks_);

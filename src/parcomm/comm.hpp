@@ -41,10 +41,29 @@
 #include "parcomm/barrier.hpp"
 #include "parcomm/comm_stats.hpp"
 #include "parcomm/phase_timer.hpp"
+#include "parcomm/verify.hpp"
 #include "util/error.hpp"
 #include "util/parallel_for.hpp"
 #include "util/prefix_sum.hpp"
 #include "util/timer.hpp"
+
+// Collective-matching verifier hooks (see verify.hpp / DESIGN.md §8).  With
+// PARCOMM_VERIFY on, every public collective gains a defaulted
+// std::source_location argument so mismatch reports can name the user's
+// call site; with it off the extra parameter and every hook below compile
+// away and the signatures are exactly the historical ones.
+#if HPCGRAPH_VERIFY_ENABLED
+#include <source_location>
+#define HPCGRAPH_COLLECTIVE_SITE \
+  , std::source_location hg_call_site = std::source_location::current()
+#define HPCGRAPH_BARRIER_SITE \
+  std::source_location hg_call_site = std::source_location::current()
+#define HPCGRAPH_SITE_FWD , hg_call_site
+#else
+#define HPCGRAPH_COLLECTIVE_SITE
+#define HPCGRAPH_BARRIER_SITE
+#define HPCGRAPH_SITE_FWD
+#endif
 
 namespace hpcgraph::parcomm {
 
@@ -76,6 +95,7 @@ class CommWorld {
     std::vector<const std::uint64_t*> cnt;
     std::vector<const std::uint64_t*> displ;
     std::vector<std::uint64_t> scalar;
+    std::vector<verify::Fingerprint> fp;  // populated only under PARCOMM_VERIFY
   };
 
   const int nranks_;
@@ -91,8 +111,11 @@ class Communicator {
   int size() const { return world_.nranks_; }
 
   /// Synchronize all ranks. Wait time is accounted as idle.
-  void barrier() {
+  void barrier(HPCGRAPH_BARRIER_SITE) {
     ++stats_.barrier_calls;
+#if HPCGRAPH_VERIFY_ENABLED
+    verify_rendezvous(verify::Op::kBarrier, 0, -1, 0, hg_call_site);
+#endif
     timed_barrier();
   }
 
@@ -110,10 +133,14 @@ class Communicator {
   std::vector<T> alltoallv(std::span<const T> send,
                            std::span<const std::uint64_t> sendcounts,
                            std::vector<std::uint64_t>* recvcounts = nullptr,
-                           ThreadPool* pool = nullptr) {
+                           ThreadPool* pool = nullptr HPCGRAPH_COLLECTIVE_SITE) {
     static_assert(std::is_trivially_copyable_v<T>);
     HG_CHECK(static_cast<int>(sendcounts.size()) == size());
     ++stats_.collective_calls;
+#if HPCGRAPH_VERIFY_ENABLED
+    verify_rendezvous(verify::Op::kAlltoallv, sizeof(T), -1,
+                      verify::counts_checksum(sendcounts), hg_call_site);
+#endif
 
     std::vector<std::uint64_t> displs(size());
     const std::uint64_t total =
@@ -140,6 +167,18 @@ class Communicator {
       roffs[s] = rtotal;
       rtotal += (rcounts[s] = b.cnt[s][rank_]);
     }
+#if HPCGRAPH_VERIFY_ENABLED
+    // Send/recv count symmetry: what this receiver consumes from rank s must
+    // be exactly what s declared at the rendezvous; a differing checksum
+    // means s reused its counts buffer mid-collective.
+    for (int s = 0; s < size(); ++s) {
+      const std::uint64_t h = verify::counts_checksum(
+          {b.cnt[s], static_cast<std::size_t>(size())});
+      if (h != b.fp[static_cast<std::size_t>(s)].aux)
+        throw verify::CollectiveMismatch(
+            verify::mutation_report(s, b.fp[static_cast<std::size_t>(s)]));
+    }
+#endif
 
     std::vector<T> recv(rtotal);
     {
@@ -169,18 +208,23 @@ class Communicator {
 
   /// Fixed-size all-to-all: rank r's send[d] lands in rank d's result[r].
   template <typename T>
-  std::vector<T> alltoall(std::span<const T> send) {
+  std::vector<T> alltoall(std::span<const T> send HPCGRAPH_COLLECTIVE_SITE) {
     HG_CHECK(static_cast<int>(send.size()) == size());
     std::vector<std::uint64_t> counts(size(), 1);
-    return alltoallv<T>(send, counts);
+    return alltoallv<T>(send, counts, nullptr, nullptr HPCGRAPH_SITE_FWD);
   }
 
   /// All-reduce with a caller-supplied combiner, applied in rank order
   /// (deterministic floating-point results).
   template <typename T, typename F>
-  T allreduce(const T& value, F&& combine) {
+  T allreduce(const T& value, F&& combine HPCGRAPH_COLLECTIVE_SITE) {
     static_assert(std::is_trivially_copyable_v<T>);
     ++stats_.collective_calls;
+#if HPCGRAPH_VERIFY_ENABLED
+    verify_rendezvous(verify::Op::kAllreduce, sizeof(T), -1, 0, hg_call_site);
+    verify::check_allreduce_input(value, rank_, hg_call_site.file_name(),
+                                  hg_call_site.line());
+#endif
     stats_.bytes_sent += sizeof(T);
     stats_.bytes_remote += static_cast<std::uint64_t>(size() - 1) * sizeof(T);
     stats_.bytes_self += sizeof(T);
@@ -197,27 +241,33 @@ class Communicator {
   }
 
   template <typename T>
-  T allreduce_sum(const T& v) {
-    return allreduce(v, [](T a, T b) { return a + b; });
+  T allreduce_sum(const T& v HPCGRAPH_COLLECTIVE_SITE) {
+    return allreduce(v, [](T a, T b) { return a + b; } HPCGRAPH_SITE_FWD);
   }
   template <typename T>
-  T allreduce_max(const T& v) {
-    return allreduce(v, [](T a, T b) { return a > b ? a : b; });
+  T allreduce_max(const T& v HPCGRAPH_COLLECTIVE_SITE) {
+    return allreduce(v, [](T a, T b) { return a > b ? a : b; }
+                     HPCGRAPH_SITE_FWD);
   }
   template <typename T>
-  T allreduce_min(const T& v) {
-    return allreduce(v, [](T a, T b) { return a < b ? a : b; });
+  T allreduce_min(const T& v HPCGRAPH_COLLECTIVE_SITE) {
+    return allreduce(v, [](T a, T b) { return a < b ? a : b; }
+                     HPCGRAPH_SITE_FWD);
   }
-  bool allreduce_lor(bool v) {
-    return allreduce(static_cast<int>(v), [](int a, int b) { return a | b; }) !=
+  bool allreduce_lor(bool v HPCGRAPH_COLLECTIVE_SITE) {
+    return allreduce(static_cast<int>(v),
+                     [](int a, int b) { return a | b; } HPCGRAPH_SITE_FWD) !=
            0;
   }
 
   /// Gather one item from every rank, at every rank.
   template <typename T>
-  std::vector<T> allgather(const T& value) {
+  std::vector<T> allgather(const T& value HPCGRAPH_COLLECTIVE_SITE) {
     static_assert(std::is_trivially_copyable_v<T>);
     ++stats_.collective_calls;
+#if HPCGRAPH_VERIFY_ENABLED
+    verify_rendezvous(verify::Op::kAllgather, sizeof(T), -1, 0, hg_call_site);
+#endif
     stats_.bytes_sent += sizeof(T);
     stats_.bytes_remote += static_cast<std::uint64_t>(size() - 1) * sizeof(T);
     stats_.bytes_self += sizeof(T);
@@ -237,9 +287,13 @@ class Communicator {
   /// concatenated in rank order.  Optional out-param: per-source counts.
   template <typename T>
   std::vector<T> allgatherv(std::span<const T> local,
-                            std::vector<std::uint64_t>* counts = nullptr) {
+                            std::vector<std::uint64_t>* counts =
+                                nullptr HPCGRAPH_COLLECTIVE_SITE) {
     static_assert(std::is_trivially_copyable_v<T>);
     ++stats_.collective_calls;
+#if HPCGRAPH_VERIFY_ENABLED
+    verify_rendezvous(verify::Op::kAllgatherv, sizeof(T), -1, 0, hg_call_site);
+#endif
     stats_.bytes_sent += local.size() * sizeof(T);
     stats_.bytes_remote +=
         local.size() * sizeof(T) * static_cast<std::uint64_t>(size() - 1);
@@ -271,9 +325,13 @@ class Communicator {
 
   /// Broadcast `value` from `root` to all ranks.
   template <typename T>
-  T broadcast(const T& value, int root) {
+  T broadcast(const T& value, int root HPCGRAPH_COLLECTIVE_SITE) {
     static_assert(std::is_trivially_copyable_v<T>);
     ++stats_.collective_calls;
+#if HPCGRAPH_VERIFY_ENABLED
+    verify_rendezvous(verify::Op::kBroadcast, sizeof(T), root, 0,
+                      hg_call_site);
+#endif
     CommWorld::Board& b = world_.board_;
     if (rank_ == root) {
       b.ptr[root] = &value;
@@ -290,9 +348,14 @@ class Communicator {
 
   /// Broadcast a vector from `root`; all ranks return the root's vector.
   template <typename T>
-  std::vector<T> broadcast_vec(std::span<const T> local, int root) {
+  std::vector<T> broadcast_vec(std::span<const T> local,
+                               int root HPCGRAPH_COLLECTIVE_SITE) {
     static_assert(std::is_trivially_copyable_v<T>);
     ++stats_.collective_calls;
+#if HPCGRAPH_VERIFY_ENABLED
+    verify_rendezvous(verify::Op::kBroadcastVec, sizeof(T), root, 0,
+                      hg_call_site);
+#endif
     CommWorld::Board& b = world_.board_;
     if (rank_ == root) {
       b.ptr[root] = local.data();
@@ -317,9 +380,13 @@ class Communicator {
   /// Gather variable-length vectors at `root` (others receive empty).
   template <typename T>
   std::vector<T> gatherv(std::span<const T> local, int root,
-                         std::vector<std::uint64_t>* counts = nullptr) {
+                         std::vector<std::uint64_t>* counts =
+                             nullptr HPCGRAPH_COLLECTIVE_SITE) {
     static_assert(std::is_trivially_copyable_v<T>);
     ++stats_.collective_calls;
+#if HPCGRAPH_VERIFY_ENABLED
+    verify_rendezvous(verify::Op::kGatherv, sizeof(T), root, 0, hg_call_site);
+#endif
     stats_.bytes_sent += local.size() * sizeof(T);
     if (rank_ != root) {
       stats_.bytes_remote += local.size() * sizeof(T);
@@ -369,10 +436,34 @@ class Communicator {
     phase_.add_idle(t.elapsed());
   }
 
+#if HPCGRAPH_VERIFY_ENABLED
+  /// Fingerprint rendezvous executed at the head of every collective: post
+  /// this rank's fingerprint, synchronize, and cross-check all ranks with
+  /// the same pure predicate.  On divergence *every* rank throws the same
+  /// CollectiveMismatch between barriers, so no rank is left waiting and
+  /// CommWorld::run surfaces the report instead of a hang or silent board
+  /// corruption.  Slots stay readable until each rank's next rendezvous,
+  /// which is gated behind the current collective's own barriers.
+  void verify_rendezvous(verify::Op op, std::uint32_t elem_size,
+                         std::int32_t root, std::uint64_t aux,
+                         const std::source_location& loc) {
+    world_.board_.fp[static_cast<std::size_t>(rank_)] = verify::Fingerprint{
+        verify_seq_++, op,       elem_size,
+        root,          aux,      loc.file_name(),
+        loc.line(),    loc.function_name()};
+    timed_barrier();
+    const std::string err = verify::check_fingerprints(world_.board_.fp);
+    if (!err.empty()) throw verify::CollectiveMismatch(err);
+  }
+#endif
+
   CommWorld& world_;
   const int rank_;
   CommStats stats_;
   PhaseTimer phase_;
+#if HPCGRAPH_VERIFY_ENABLED
+  std::uint64_t verify_seq_ = 0;  // per-rank collective counter
+#endif
 };
 
 }  // namespace hpcgraph::parcomm

@@ -1,0 +1,51 @@
+#pragma once
+/// \file atomics.hpp
+/// Sanctioned intra-rank atomic helpers.
+///
+/// Rank-isolation discipline (DESIGN.md §8): algorithm code under
+/// src/analytics, src/engine and src/dgraph must not use raw std::thread /
+/// std::mutex / std::atomic — cross-rank coordination goes through parcomm
+/// collectives, and *intra-rank* worker-pool synchronization goes through
+/// the helpers here (or util/parallel_for.hpp, util/thread_queue.hpp,
+/// util/bitmask64.hpp).  Centralizing the memory-order reasoning in one
+/// header keeps `tools/lint_discipline.py`'s raw-sync check meaningful: any
+/// std::atomic token appearing in analytics code is either a reviewed
+/// exception (`// lint:allow(raw-sync: why)`) or a bug.
+///
+/// Everything here is relaxed-order: these helpers fold thread-local partial
+/// results where the enclosing ThreadPool::for_range / run call provides the
+/// release/acquire edges at task start and join.
+
+#include <atomic>
+#include <cstdint>
+#include <type_traits>
+
+namespace hpcgraph {
+
+/// Relaxed accumulation counter for pool workers folding per-chunk tallies
+/// (e.g. "vertices changed this superstep").  Read with load() after the
+/// pool join.
+class RelaxedCounter {
+ public:
+  RelaxedCounter() = default;
+  explicit RelaxedCounter(std::uint64_t init) : v_(init) {}
+
+  void add(std::uint64_t delta) {
+    v_.fetch_add(delta, std::memory_order_relaxed);
+  }
+  std::uint64_t load() const { return v_.load(std::memory_order_relaxed); }
+
+ private:
+  std::atomic<std::uint64_t> v_{0};
+};
+
+/// Relaxed fetch-add on a plain variable via std::atomic_ref — for folding
+/// floating-point partials into a stack local that outlives the pool call.
+/// (atomic_ref<double>::fetch_add is a C++20 library CAS loop.)
+template <typename T>
+inline void atomic_add_relaxed(T& target, T delta) {
+  static_assert(std::is_arithmetic_v<T>);
+  std::atomic_ref<T>(target).fetch_add(delta, std::memory_order_relaxed);
+}
+
+}  // namespace hpcgraph

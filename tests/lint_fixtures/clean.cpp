@@ -1,0 +1,44 @@
+// Fixture: disciplined code that must produce NO findings — the
+// false-positive guard for every rule.
+// EXPECT-CLEAN
+
+#include <atomic>  // lint:allow(raw-sync: include only; token below is allowed)
+#include <cstdint>
+#include <span>
+#include <vector>
+
+namespace hpcgraph::analytics {
+
+constexpr std::uint64_t kBatchWidth = 64;        // constexpr global: fine
+const double kDampingDefault = 0.85;             // const global: fine
+
+// Reviewed raw-sync exception with the mandatory reason:
+using Slot = std::atomic<std::uint64_t>;  // lint:allow(raw-sync: fixture example)
+
+template <typename Comm, typename T>
+std::vector<T> rotate_values(Comm& comm, std::span<const T> vals,
+                             std::span<const std::uint64_t> counts) {
+  static_assert(std::is_trivially_copyable_v<T>);
+  return comm.template alltoallv<T>(vals, counts);
+}
+
+template <typename Comm>
+std::uint64_t disciplined_total(Comm& comm, std::uint64_t local) {
+  // Same collective on every rank; rank-conditional code only *uses* the
+  // result differently — that is fine.  The explicit element type documents
+  // what crosses the wire (deduced-T calls need an assert instead).
+  const std::uint64_t total =
+      comm.template allreduce_sum<std::uint64_t>(local);
+  if (comm.rank() == 0) {
+    return total * 2;
+  }
+  return total;
+}
+
+// Explicit-capture per-rank entry: fine.
+template <typename World, typename Communicator>
+void launch(World& world, std::vector<std::uint64_t>& out) {
+  world.run([&out](Communicator& comm) { out[comm.rank()] = 1; });
+}
+
+}  // namespace hpcgraph::analytics

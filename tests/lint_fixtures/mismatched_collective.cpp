@@ -1,0 +1,27 @@
+// Fixture: mismatched collective — the statically visible form.  Rank 0
+// calls allreduce_sum while everyone else calls allgather: in real MPI this
+// deadlocks or corrupts; in the simulated runtime the exchange boards are
+// silently misread.  (The dynamic form — ranks diverging at runtime — is
+// caught by the PARCOMM_VERIFY fingerprint rendezvous; see
+// tests/test_verify.cpp.)
+// EXPECT-LINT: rank-divergent-collective
+
+#include <cstdint>
+#include <vector>
+
+namespace hpcgraph::analytics {
+
+template <typename Comm>
+std::uint64_t broken_total(Comm& comm, std::uint64_t local) {
+  static_assert(std::is_trivially_copyable_v<std::uint64_t>);
+  if (comm.rank() == 0) {
+    return comm.allreduce_sum(local);      // rank 0: allreduce...
+  }
+  const std::vector<std::uint64_t> all =
+      comm.allgather(local);               // ...everyone else: allgather
+  std::uint64_t total = 0;
+  for (const auto v : all) total += v;
+  return total;
+}
+
+}  // namespace hpcgraph::analytics

@@ -1,0 +1,19 @@
+// Fixture: template function ships T through a collective without asserting
+// std::is_trivially_copyable_v<T> in its own body.  The communicator
+// asserts internally, but the error then points at comm.hpp instead of
+// this call layer.
+// EXPECT-LINT: missing-trivially-copyable-assert
+
+#include <cstdint>
+#include <span>
+#include <vector>
+
+namespace hpcgraph::analytics {
+
+template <typename Comm, typename T>
+std::vector<T> rotate_values(Comm& comm, std::span<const T> vals,
+                             std::span<const std::uint64_t> counts) {
+  return comm.template alltoallv<T>(vals, counts);
+}
+
+}  // namespace hpcgraph::analytics

@@ -1,0 +1,19 @@
+// Fixture: mutable state at namespace scope.  Every rank thread sees this
+// one object — a hidden cross-rank channel the collectives never mediate.
+// EXPECT-LINT: mutable-global
+
+#include <cstdint>
+#include <vector>
+
+namespace hpcgraph::analytics {
+
+std::uint64_t g_total_edges_seen = 0;  // shared by all rank threads!
+
+constexpr std::uint64_t kChunk = 4096;         // fine: constexpr
+const char* const kPhaseName = "relaxation";   // fine: const pointer to const
+
+void tally(const std::vector<std::uint64_t>& degs) {
+  for (const auto d : degs) g_total_edges_seen += d;
+}
+
+}  // namespace hpcgraph::analytics

@@ -1,0 +1,28 @@
+// Fixture: raw std::thread / std::mutex in algorithm code.  Cross-rank
+// coordination must go through parcomm collectives; intra-rank pool sync
+// through the util helpers.
+// EXPECT-LINT: raw-sync
+
+#include <cstdint>
+#include <mutex>
+#include <thread>
+#include <vector>
+
+namespace hpcgraph::analytics {
+
+struct DegreeSum {
+  std::mutex mu;            // raw lock in analytics code
+  std::uint64_t total = 0;
+
+  void accumulate(const std::vector<std::uint64_t>& degs) {
+    std::thread worker([this, &degs] {
+      std::uint64_t local = 0;
+      for (const auto d : degs) local += d;
+      const std::lock_guard<std::mutex> lk(mu);
+      total += local;
+    });
+    worker.join();
+  }
+};
+
+}  // namespace hpcgraph::analytics

@@ -1,0 +1,34 @@
+// Fixture: [&] default capture on a per-rank entry lambda.  Every local in
+// the enclosing scope silently becomes cross-rank shared state; captures
+// into rank entry points must be spelled out.
+// EXPECT-LINT: ref-capture-entry
+
+#include <cstdint>
+#include <vector>
+
+namespace hpcgraph::parcomm {
+class Communicator {
+ public:
+  int rank() const { return 0; }
+};
+class CommWorld {
+ public:
+  template <typename F>
+  void run(F&& fn) {
+    Communicator c;
+    fn(c);
+  }
+};
+}  // namespace hpcgraph::parcomm
+
+namespace hpcgraph::analytics {
+
+std::uint64_t launch(parcomm::CommWorld& world) {
+  std::uint64_t scratch = 0;  // captured by reference on every rank below
+  world.run([&](parcomm::Communicator& comm) {
+    scratch += static_cast<std::uint64_t>(comm.rank());  // racy
+  });
+  return scratch;
+}
+
+}  // namespace hpcgraph::analytics

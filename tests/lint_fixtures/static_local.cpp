@@ -1,0 +1,19 @@
+// Fixture: mutable function-local static.  Looks innocent, but the single
+// instance is shared by every rank thread that calls the function.
+// EXPECT-LINT: mutable-global
+
+#include <cstdint>
+
+namespace hpcgraph::analytics {
+
+std::uint64_t next_query_id() {
+  static std::uint64_t counter = 0;  // one counter for ALL ranks
+  return ++counter;
+}
+
+double scale_factor() {
+  static constexpr double kFactor = 1.5;  // fine: constexpr static
+  return kFactor;
+}
+
+}  // namespace hpcgraph::analytics

@@ -1,0 +1,213 @@
+/// \file test_barrier_abort.cpp
+/// Abort propagation: one rank failing mid-collective must release every
+/// peer from the barrier (WorldAborted), unwind all rank stacks cleanly, and
+/// surface the root-cause exception from CommWorld::run — never a hang.
+///
+/// Covers the generation-counter edge in Barrier::wait (barrier.hpp:41): a
+/// waiter whose generation already completed must NOT be retroactively
+/// poisoned by a later abort, while waiters still parked in the aborted
+/// generation must throw.
+
+#include <gtest/gtest.h>
+
+#include <atomic>
+#include <cstdint>
+#include <stdexcept>
+#include <string>
+#include <thread>
+#include <vector>
+
+#include "parcomm/barrier.hpp"
+#include "parcomm/comm.hpp"
+
+namespace {
+
+using hpcgraph::parcomm::Barrier;
+using hpcgraph::parcomm::CommWorld;
+using hpcgraph::parcomm::Communicator;
+using hpcgraph::parcomm::WorldAborted;
+
+// ---------------------------------------------------------------------------
+// Barrier unit tests (no CommWorld).
+// ---------------------------------------------------------------------------
+
+TEST(BarrierAbort, WaitAfterAbortThrowsImmediately) {
+  Barrier b(2);
+  EXPECT_FALSE(b.aborted());
+  b.abort();
+  EXPECT_TRUE(b.aborted());
+  EXPECT_THROW(b.wait(), WorldAborted);
+  EXPECT_THROW(b.wait(), WorldAborted);  // abort is sticky
+}
+
+TEST(BarrierAbort, AbortReleasesParkedWaiters) {
+  // 2 of 3 parties arrive and park; the barrier can never complete, so only
+  // abort() can release them.  Both must observe WorldAborted (the
+  // barrier.hpp:41 same-generation path: aborted_ set, generation unchanged).
+  Barrier b(3);
+  std::atomic<int> threw{0};
+  std::atomic<int> entered{0};
+  std::vector<std::thread> waiters;
+  for (int i = 0; i < 2; ++i) {
+    waiters.emplace_back([&] {
+      entered.fetch_add(1);
+      try {
+        b.wait();
+      } catch (const WorldAborted&) {
+        threw.fetch_add(1);
+      }
+    });
+  }
+  while (entered.load() < 2) std::this_thread::yield();
+  b.abort();
+  for (auto& t : waiters) t.join();
+  EXPECT_EQ(threw.load(), 2);
+}
+
+TEST(BarrierAbort, CompletedGenerationIsNotRetroactivelyPoisoned) {
+  // The other side of barrier.hpp:41: a waiter released by a normal
+  // generation bump may wake *after* a subsequent abort() has set aborted_.
+  // Its own generation completed, so that wait() must succeed; only the next
+  // wait() throws.
+  Barrier b(2);
+  std::atomic<bool> first_wait_ok{false};
+  std::atomic<int> second_wait_threw{0};
+  std::thread t([&] {
+    b.wait();  // completes when the main thread arrives
+    first_wait_ok.store(true);
+    try {
+      b.wait();  // parked alone in the new generation until abort
+    } catch (const WorldAborted&) {
+      second_wait_threw.fetch_add(1);
+    }
+  });
+  b.wait();   // completes generation 0, releasing the thread
+  b.abort();  // may race the thread's wake-up from generation 0 — that is
+              // the point: line 41 must see generation_ != my_gen
+  t.join();
+  EXPECT_TRUE(first_wait_ok.load());
+  EXPECT_EQ(second_wait_threw.load(), 1);
+}
+
+TEST(BarrierAbort, SingleSelfReleasingPartyUnaffectedUntilAbort) {
+  Barrier b(1);
+  EXPECT_NO_THROW(b.wait());
+  EXPECT_NO_THROW(b.wait());
+  b.abort();
+  EXPECT_THROW(b.wait(), WorldAborted);
+}
+
+// ---------------------------------------------------------------------------
+// CommWorld abort propagation: a throwing rank mid-collective.
+// ---------------------------------------------------------------------------
+
+/// Destructor-counted guard proving each rank's stack unwound normally.
+class UnwindSentinel {
+ public:
+  explicit UnwindSentinel(std::atomic<int>& counter) : counter_(counter) {}
+  ~UnwindSentinel() { counter_.fetch_add(1); }
+  UnwindSentinel(const UnwindSentinel&) = delete;
+  UnwindSentinel& operator=(const UnwindSentinel&) = delete;
+
+ private:
+  std::atomic<int>& counter_;
+};
+
+class CommWorldAbortTest : public ::testing::TestWithParam<int> {};
+
+TEST_P(CommWorldAbortTest, ThrowingRankReleasesPeersStuckInBarrier) {
+  const int nranks = GetParam();
+  CommWorld world(nranks);
+  std::atomic<int> unwound{0};
+  try {
+    world.run([&unwound](Communicator& comm) {
+      const UnwindSentinel sentinel(unwound);
+      if (comm.rank() == 1) throw std::runtime_error("rank 1 exploded");
+      comm.barrier();  // without abort propagation this would hang forever
+      (void)comm.allreduce_sum(std::uint64_t{1});
+    });
+    FAIL() << "the rank's exception must surface from run()";
+  } catch (const std::runtime_error& e) {
+    EXPECT_STREQ(e.what(), "rank 1 exploded");
+  }
+  EXPECT_EQ(unwound.load(), nranks) << "every rank must unwind cleanly";
+}
+
+TEST_P(CommWorldAbortTest, ThrowAfterSuccessfulCollectiveMidAlltoallv) {
+  const int nranks = GetParam();
+  CommWorld world(nranks);
+  std::atomic<int> unwound{0};
+  std::vector<std::uint64_t> first_reduce(
+      static_cast<std::size_t>(nranks), 0);
+  try {
+    world.run([&](Communicator& comm) {
+      const UnwindSentinel sentinel(unwound);
+      // One full collective succeeds on every rank first...
+      first_reduce[static_cast<std::size_t>(comm.rank())] =
+          comm.allreduce_sum(std::uint64_t{1});
+      // ...then the last rank dies while the others enter an alltoallv.
+      if (comm.rank() == comm.size() - 1)
+        throw std::runtime_error("died between collectives");
+      const std::vector<std::uint64_t> counts(
+          static_cast<std::size_t>(comm.size()), 2);
+      const std::vector<std::uint64_t> payload(
+          static_cast<std::size_t>(2 * comm.size()),
+          static_cast<std::uint64_t>(comm.rank()));
+      (void)comm.alltoallv<std::uint64_t>(payload, counts);
+    });
+    FAIL() << "the rank's exception must surface from run()";
+  } catch (const std::runtime_error& e) {
+    EXPECT_STREQ(e.what(), "died between collectives");
+  }
+  EXPECT_EQ(unwound.load(), nranks);
+  for (int r = 0; r < nranks; ++r)
+    EXPECT_EQ(first_reduce[static_cast<std::size_t>(r)],
+              static_cast<std::uint64_t>(nranks))
+        << "rank " << r;
+}
+
+TEST_P(CommWorldAbortTest, LowestRankRootCauseWinsOverLaterFailures) {
+  const int nranks = GetParam();
+  CommWorld world(nranks);
+  try {
+    world.run([](Communicator& comm) {
+      // Two ranks fail independently; peers become WorldAborted casualties.
+      if (comm.rank() == 1) throw std::runtime_error("boom from rank 1");
+      if (comm.rank() == comm.size() - 1 && comm.rank() != 1)
+        throw std::runtime_error("boom from last rank");
+      comm.barrier();
+    });
+    FAIL() << "a rank exception must surface from run()";
+  } catch (const std::runtime_error& e) {
+    EXPECT_STREQ(e.what(), "boom from rank 1")
+        << "run() must rethrow the lowest-rank root cause, "
+           "never a WorldAborted casualty";
+  }
+}
+
+TEST_P(CommWorldAbortTest, WorldIsReusableAfterAbort) {
+  const int nranks = GetParam();
+  CommWorld world(nranks);
+  EXPECT_THROW(world.run([](Communicator& comm) {
+    if (comm.rank() == 0) throw std::runtime_error("first run dies");
+    comm.barrier();
+  }),
+               std::runtime_error);
+  // run() re-arms the barrier (abort is sticky per-Barrier, not per-world).
+  std::vector<std::uint64_t> out(static_cast<std::size_t>(nranks), 0);
+  world.run([&out](Communicator& comm) {
+    comm.barrier();
+    out[static_cast<std::size_t>(comm.rank())] =
+        comm.allreduce_sum(std::uint64_t{2});
+  });
+  for (int r = 0; r < nranks; ++r)
+    EXPECT_EQ(out[static_cast<std::size_t>(r)],
+              static_cast<std::uint64_t>(2 * nranks));
+}
+
+INSTANTIATE_TEST_SUITE_P(Worlds, CommWorldAbortTest, ::testing::Values(2, 4),
+                         [](const ::testing::TestParamInfo<int>& pinfo) {
+                           return "ranks" + std::to_string(pinfo.param);
+                         });
+
+}  // namespace

@@ -84,8 +84,8 @@ TEST_P(BetweennessParam, MatchesBrandesReference) {
 INSTANTIATE_TEST_SUITE_P(
     Configs, BetweennessParam,
     ::testing::ValuesIn(hpcgraph::testing::standard_configs()),
-    [](const ::testing::TestParamInfo<DistConfig>& info) {
-      return info.param.label();
+    [](const ::testing::TestParamInfo<DistConfig>& pinfo) {
+      return pinfo.param.label();
     });
 
 TEST(Betweenness, ExactModeOnTinyGraph) {

@@ -108,8 +108,8 @@ TEST_P(BfsParam, UnreachableVerticesStayUnvisited) {
 
 INSTANTIATE_TEST_SUITE_P(
     Configs, BfsParam, ::testing::ValuesIn(standard_configs()),
-    [](const ::testing::TestParamInfo<DistConfig>& info) {
-      return info.param.label();
+    [](const ::testing::TestParamInfo<DistConfig>& pinfo) {
+      return pinfo.param.label();
     });
 
 TEST(Bfs, AliveMaskRestrictsTraversal) {
@@ -225,8 +225,8 @@ TEST_P(DirOptParam, LevelsIdenticalToTopDown) {
 INSTANTIATE_TEST_SUITE_P(
     Configs, DirOptParam,
     ::testing::ValuesIn(hpcgraph::testing::small_configs()),
-    [](const ::testing::TestParamInfo<DistConfig>& info) {
-      return info.param.label();
+    [](const ::testing::TestParamInfo<DistConfig>& pinfo) {
+      return pinfo.param.label();
     });
 
 TEST(DirOptBfs, ForcedBottomUpStillCorrect) {

@@ -75,8 +75,8 @@ TEST_P(BfsTreeParam, TreeIsValidAndLevelsMatchPlainBfs) {
 INSTANTIATE_TEST_SUITE_P(
     Configs, BfsTreeParam,
     ::testing::ValuesIn(hpcgraph::testing::standard_configs()),
-    [](const ::testing::TestParamInfo<DistConfig>& info) {
-      return info.param.label();
+    [](const ::testing::TestParamInfo<DistConfig>& pinfo) {
+      return pinfo.param.label();
     });
 
 TEST(BfsTree, TinyGraphTreeShape) {

@@ -176,8 +176,8 @@ TEST_P(BuilderParam, AdjacencySetsMatchSequentialReference) {
 
 INSTANTIATE_TEST_SUITE_P(
     Configs, BuilderParam, ::testing::ValuesIn(standard_configs()),
-    [](const ::testing::TestParamInfo<DistConfig>& info) {
-      return info.param.label();
+    [](const ::testing::TestParamInfo<DistConfig>& pinfo) {
+      return pinfo.param.label();
     });
 
 TEST(Builder, FromFileMatchesFromEdgeList) {

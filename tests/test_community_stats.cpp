@@ -82,8 +82,8 @@ TEST_P(CommunityParam, HistogramCountsCommunitySizes) {
 
 INSTANTIATE_TEST_SUITE_P(
     Configs, CommunityParam, ::testing::ValuesIn(standard_configs()),
-    [](const ::testing::TestParamInfo<DistConfig>& info) {
-      return info.param.label();
+    [](const ::testing::TestParamInfo<DistConfig>& pinfo) {
+      return pinfo.param.label();
     });
 
 TEST(CommunityStats, TopKTruncates) {

@@ -393,8 +393,8 @@ TEST(GhostExchange, SparseCrossoverValidated) {
 INSTANTIATE_TEST_SUITE_P(
     Configs, GhostExchangeParam,
     ::testing::ValuesIn(standard_configs()),
-    [](const ::testing::TestParamInfo<DistConfig>& info) {
-      return info.param.label();
+    [](const ::testing::TestParamInfo<DistConfig>& pinfo) {
+      return pinfo.param.label();
     });
 
 TEST(GhostExchange, ThreadedSetupMatchesSerial) {

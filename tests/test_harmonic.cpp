@@ -54,8 +54,8 @@ TEST_P(HarmonicParam, PathValuesExact) {
 
 INSTANTIATE_TEST_SUITE_P(
     Configs, HarmonicParam, ::testing::ValuesIn(standard_configs()),
-    [](const ::testing::TestParamInfo<DistConfig>& info) {
-      return info.param.label();
+    [](const ::testing::TestParamInfo<DistConfig>& pinfo) {
+      return pinfo.param.label();
     });
 
 TEST(Harmonic, TopKSelectsHighestDegreeVertices) {

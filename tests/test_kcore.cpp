@@ -84,8 +84,8 @@ TEST_P(KcoreParam, StageStatisticsAreCoherent) {
 
 INSTANTIATE_TEST_SUITE_P(
     Configs, KcoreParam, ::testing::ValuesIn(standard_configs()),
-    [](const ::testing::TestParamInfo<DistConfig>& info) {
-      return info.param.label();
+    [](const ::testing::TestParamInfo<DistConfig>& pinfo) {
+      return pinfo.param.label();
     });
 
 TEST(Kcore, CliqueSurvivesUntilThresholdExceedsDegree) {
@@ -195,8 +195,8 @@ TEST_P(KcoreExactParam, MatchesSequentialPeeling) {
 INSTANTIATE_TEST_SUITE_P(
     Configs, KcoreExactParam,
     ::testing::ValuesIn(hpcgraph::testing::small_configs()),
-    [](const ::testing::TestParamInfo<DistConfig>& info) {
-      return info.param.label();
+    [](const ::testing::TestParamInfo<DistConfig>& pinfo) {
+      return pinfo.param.label();
     });
 
 TEST(KcoreExact, GhostModesProduceIdenticalCoreness) {

@@ -85,8 +85,8 @@ TEST_P(LabelPropParam, InPlaceModeLabelsAreValidVertexIds) {
 
 INSTANTIATE_TEST_SUITE_P(
     Configs, LabelPropParam, ::testing::ValuesIn(standard_configs()),
-    [](const ::testing::TestParamInfo<DistConfig>& info) {
-      return info.param.label();
+    [](const ::testing::TestParamInfo<DistConfig>& pinfo) {
+      return pinfo.param.label();
     });
 
 TEST(LabelProp, RecoversPlantedCliqueCommunities) {

@@ -138,8 +138,8 @@ TEST_P(MsBfsParam, VisitedCountsMatchPerSourceSum) {
 
 INSTANTIATE_TEST_SUITE_P(
     Configs, MsBfsParam, ::testing::ValuesIn(msbfs_configs()),
-    [](const ::testing::TestParamInfo<DistConfig>& info) {
-      return info.param.label();
+    [](const ::testing::TestParamInfo<DistConfig>& pinfo) {
+      return pinfo.param.label();
     });
 
 TEST(MsBfs, TinyGraphEdgeCases) {

@@ -74,8 +74,8 @@ TEST_P(PageRankParam, ScoresArePositive) {
 
 INSTANTIATE_TEST_SUITE_P(
     Configs, PageRankParam, ::testing::ValuesIn(standard_configs()),
-    [](const ::testing::TestParamInfo<DistConfig>& info) {
-      return info.param.label();
+    [](const ::testing::TestParamInfo<DistConfig>& pinfo) {
+      return pinfo.param.label();
     });
 
 TEST(PageRank, RebuildAblationGivesSameScores) {

@@ -75,8 +75,8 @@ TEST_P(SccParam, TinyGraphLargestSccIsTriangle) {
 
 INSTANTIATE_TEST_SUITE_P(
     Configs, SccParam, ::testing::ValuesIn(standard_configs()),
-    [](const ::testing::TestParamInfo<DistConfig>& info) {
-      return info.param.label();
+    [](const ::testing::TestParamInfo<DistConfig>& pinfo) {
+      return pinfo.param.label();
     });
 
 TEST(Scc, WebGraphCoreIsExactlyTheLargestScc) {
@@ -217,8 +217,8 @@ TEST_P(SccDecomposeParam, EqualsTarjanExactly) {
 INSTANTIATE_TEST_SUITE_P(
     Configs, SccDecomposeParam,
     ::testing::ValuesIn(hpcgraph::testing::small_configs()),
-    [](const ::testing::TestParamInfo<DistConfig>& info) {
-      return info.param.label();
+    [](const ::testing::TestParamInfo<DistConfig>& pinfo) {
+      return pinfo.param.label();
     });
 
 TEST(SccDecompose, TinyGraphExactDecomposition) {

@@ -77,8 +77,8 @@ TEST_P(SnapshotTest, RoundTripIdenticalGraph) {
 INSTANTIATE_TEST_SUITE_P(
     Configs, SnapshotTest,
     ::testing::ValuesIn(hpcgraph::testing::small_configs()),
-    [](const ::testing::TestParamInfo<DistConfig>& info) {
-      return info.param.label();
+    [](const ::testing::TestParamInfo<DistConfig>& pinfo) {
+      return pinfo.param.label();
     });
 
 TEST_F(SnapshotTest, AnalyticsOnReloadedGraphMatch) {

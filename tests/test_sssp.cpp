@@ -73,8 +73,8 @@ TEST_P(SsspParam, ReachabilityMatchesBfs) {
 
 INSTANTIATE_TEST_SUITE_P(
     Configs, SsspParam, ::testing::ValuesIn(standard_configs()),
-    [](const ::testing::TestParamInfo<DistConfig>& info) {
-      return info.param.label();
+    [](const ::testing::TestParamInfo<DistConfig>& pinfo) {
+      return pinfo.param.label();
     });
 
 TEST(Sssp, UnitWeightsReduceToBfsLevels) {

@@ -65,8 +65,8 @@ TEST_P(TriangleParam, MatchesOracleOnRmat) {
 INSTANTIATE_TEST_SUITE_P(
     Configs, TriangleParam,
     ::testing::ValuesIn(hpcgraph::testing::standard_configs()),
-    [](const ::testing::TestParamInfo<DistConfig>& info) {
-      return info.param.label();
+    [](const ::testing::TestParamInfo<DistConfig>& pinfo) {
+      return pinfo.param.label();
     });
 
 TEST(Triangles, K5AcrossRankBoundaries) {

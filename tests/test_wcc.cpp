@@ -76,8 +76,8 @@ TEST_P(WccParam, LargestComponentSizeMatchesReference) {
 
 INSTANTIATE_TEST_SUITE_P(
     Configs, WccParam, ::testing::ValuesIn(standard_configs()),
-    [](const ::testing::TestParamInfo<DistConfig>& info) {
-      return info.param.label();
+    [](const ::testing::TestParamInfo<DistConfig>& pinfo) {
+      return pinfo.param.label();
     });
 
 TEST(Wcc, WebGraphGroundTruth) {
