@@ -1,8 +1,13 @@
 #include "bench_common.hpp"
 
+#include <algorithm>
+#include <cmath>
+#include <cstdio>
 #include <iostream>
 #include <sstream>
 
+#include "util/error.hpp"
+#include "util/json.hpp"
 #include "util/timer.hpp"
 
 namespace hpcgraph::bench {
@@ -52,6 +57,54 @@ RegionReport run_region(
   rep.cpu = {cpu.min(), cpu.mean(), cpu.max()};
   if (per_rank) *per_rank = std::move(metrics);
   return rep;
+}
+
+std::string BenchJson::to_json() const {
+  util::JsonWriter w;
+  w.begin_object();
+  w.kv("schema", "hpcgraph-bench-v1");
+  w.kv("results_total", static_cast<std::uint64_t>(records_.size()));
+  w.key("results");
+  w.begin_array();
+  for (const BenchRecord& r : records_) {
+    w.begin_object();
+    w.kv("name", r.name);
+    w.kv("ranks", r.ranks);
+    w.kv("threads", r.threads);
+    w.kv("median_s", r.median_s);
+    w.kv("stddev_s", r.stddev_s);
+    for (const auto& [k, v] : r.extra) w.kv(k, v);
+    w.end_object();
+  }
+  w.end_array();
+  w.end_object();
+  return w.str();
+}
+
+void BenchJson::write(const std::string& path) const {
+  std::FILE* f = std::fopen(path.c_str(), "wb");
+  HG_CHECK_MSG(f != nullptr, "cannot open bench output file " << path);
+  const std::string body = to_json();
+  const std::size_t n = std::fwrite(body.data(), 1, body.size(), f);
+  const bool ok = (n == body.size()) && std::fclose(f) == 0;
+  HG_CHECK_MSG(ok, "short write to bench output file " << path);
+}
+
+double median_of(std::vector<double> xs) {
+  if (xs.empty()) return 0.0;
+  std::sort(xs.begin(), xs.end());
+  const std::size_t mid = xs.size() / 2;
+  return xs.size() % 2 ? xs[mid] : 0.5 * (xs[mid - 1] + xs[mid]);
+}
+
+double stddev_of(std::span<const double> xs) {
+  if (xs.size() < 2) return 0.0;
+  double mean = 0;
+  for (const double x : xs) mean += x;
+  mean /= static_cast<double>(xs.size());
+  double var = 0;
+  for (const double x : xs) var += (x - mean) * (x - mean);
+  return std::sqrt(var / static_cast<double>(xs.size()));
 }
 
 void print_banner(const std::string& artifact, const std::string& workload) {

@@ -21,7 +21,9 @@
 /// wall time is printed for completeness.
 
 #include <functional>
+#include <span>
 #include <string>
+#include <utility>
 #include <vector>
 
 #include "dgraph/builder.hpp"
@@ -68,6 +70,38 @@ RegionReport run_region(
                              parcomm::Communicator&)>& body,
     std::uint64_t part_seed = 0,
     std::vector<RankMetrics>* per_rank = nullptr);
+
+/// One machine-readable benchmark sample for `--json <path>` output: the
+/// configuration, the primary metric's median/stddev across repetitions,
+/// and any number of named secondary metrics.
+struct BenchRecord {
+  std::string name;     ///< measurement id, e.g. "H.pagerank.dense"
+  int ranks = 0;        ///< simulated rank count
+  int threads = 1;      ///< intra-rank worker threads
+  double median_s = 0;  ///< median of the repetitions' primary metric
+  double stddev_s = 0;  ///< population stddev across the repetitions
+  std::vector<std::pair<std::string, double>> extra;  ///< metric -> value
+};
+
+/// Collects BenchRecords and writes them as one JSON document
+/// (schema "hpcgraph-bench-v1") — the machine-readable counterpart to the
+/// harnesses' printed tables, for CI smoke checks and committed baselines.
+class BenchJson {
+ public:
+  void add(BenchRecord r) { records_.push_back(std::move(r)); }
+  bool empty() const { return records_.empty(); }
+  std::string to_json() const;
+  void write(const std::string& path) const;
+
+ private:
+  std::vector<BenchRecord> records_;
+};
+
+/// Median of a sample set (0 if empty; argument by value, it is sorted).
+double median_of(std::vector<double> xs);
+
+/// Population standard deviation of a sample set (0 if fewer than 2).
+double stddev_of(std::span<const double> xs);
 
 /// Standard bench banner: what paper artifact this regenerates plus the
 /// machine caveat.

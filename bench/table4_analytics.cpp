@@ -43,6 +43,7 @@ int main(int argc, char** argv) {
   const double d_avg = cli.get_double("avg-degree", 16);
   const unsigned kcore_max_i = static_cast<unsigned>(cli.get_int("kcore-i", 16));
   const std::string trace_json = cli.get("trace-json", "");
+  const bool overlap = cli.get_bool("overlap", false);
 
   // Per-superstep telemetry: the engine-driven analytics append to one
   // shared trace (rank 0 pushes; runs are sequential, so appends are too).
@@ -83,23 +84,29 @@ int main(int argc, char** argv) {
 
   const std::vector<AnalyticRow> rows = {
       {"PageRank (10 it)",
-       [trace_ptr](const dgraph::DistGraph& g, parcomm::Communicator& comm) {
+       [trace_ptr, overlap](const dgraph::DistGraph& g,
+                            parcomm::Communicator& comm) {
          analytics::PageRankOptions o;
          o.max_iterations = 10;
          o.common.trace = trace_ptr;
+         o.common.overlap = overlap;
          (void)analytics::pagerank(g, comm, o);
        }},
       {"Label Prop (10 it)",
-       [trace_ptr](const dgraph::DistGraph& g, parcomm::Communicator& comm) {
+       [trace_ptr, overlap](const dgraph::DistGraph& g,
+                            parcomm::Communicator& comm) {
          analytics::LabelPropOptions o;
          o.iterations = 10;
          o.common.trace = trace_ptr;
+         o.common.overlap = overlap;
          (void)analytics::label_propagation(g, comm, o);
        }},
       {"WCC (Multistep)",
-       [trace_ptr](const dgraph::DistGraph& g, parcomm::Communicator& comm) {
+       [trace_ptr, overlap](const dgraph::DistGraph& g,
+                            parcomm::Communicator& comm) {
          analytics::WccOptions o;
          o.common.trace = trace_ptr;
+         o.common.overlap = overlap;
          (void)analytics::wcc(g, comm, o);
        }},
       {"Harmonic Cent. (1 vtx)",

@@ -45,6 +45,12 @@ struct CommonOptions {
   /// analytics emit one SuperstepRecord per round; BFS emits one per level
   /// through the same sink.
   engine::SuperstepTrace* trace = nullptr;
+  /// Run overlap-safe engine kernels (PageRank, Label Propagation, WCC
+  /// coloring) on the overlapped round schedule: boundary sweep, launch the
+  /// split-phase ghost exchange, interior sweep while the payload is in
+  /// flight, then finish.  Results are identical to the blocking schedule;
+  /// must be set the same on every rank.
+  bool overlap = false;
 };
 
 /// Engine knobs shared by the ported analytics: pool + trace from the
@@ -57,6 +63,7 @@ inline engine::EngineConfig engine_config(
   cfg.max_supersteps = max_supersteps;
   cfg.trace = o.trace;
   cfg.name = name;
+  cfg.overlap = o.overlap;
   return cfg;
 }
 

@@ -20,12 +20,18 @@ struct LabelPropKernel {
   const DistGraph& g;
   const LabelPropOptions& opts;
   std::vector<std::uint64_t> labels;  // locals + ghosts (exchanged)
-  std::vector<std::uint64_t> next;    // Jacobi buffer (opts.in_place == false)
+  std::vector<std::uint64_t> prev;    // pre-round snapshot (Jacobi reads it)
 
   using Value = std::uint64_t;
+  // Overlap-safe in the default Jacobi mode: every vertex's new label is a
+  // pure function of the pre-round snapshot, so the boundary and interior
+  // sweeps commute.  The in-place Gauss-Seidel sweep is order-dependent
+  // (later vertices read earlier updates), so it vetoes at runtime.
+  static constexpr bool kOverlapSafe = true;
+  bool overlap_ok() const { return !opts.in_place; }
 
   LabelPropKernel(const DistGraph& g_, const LabelPropOptions& o)
-      : g(g_), opts(o), labels(g_.n_total()), next(g_.n_loc()) {
+      : g(g_), opts(o), labels(g_.n_total()) {
     for (lvid_t l = 0; l < g.n_total(); ++l) labels[l] = g.global_id(l);
   }
 
@@ -38,34 +44,54 @@ struct LabelPropKernel {
   void compute(StepContext& ctx) {
     const std::uint64_t round_seed = opts.tie_seed + ctx.superstep;
 
-    RelaxedCounter changed;
-    ctx.pool.for_range(0, g.n_loc(), [&](unsigned, std::uint64_t lo,
-                                         std::uint64_t hi) {
-      LabelCounter lmap;
-      std::uint64_t changed_chunk = 0;
-      for (std::uint64_t vi = lo; vi < hi; ++vi) {
-        const lvid_t v = static_cast<lvid_t>(vi);
-        lmap.clear();
-        for (const lvid_t u : g.out_neighbors(v)) lmap.add(labels[u]);
-        for (const lvid_t u : g.in_neighbors(v)) lmap.add(labels[u]);
-        const std::uint64_t picked = lmap.argmax(round_seed, labels[v]);
-        if (picked != labels[v]) {
-          ++changed_chunk;
-          ctx.gx->mark_changed(v);  // feeds the sparse/adaptive wire format
-        }
-        if (opts.in_place) {
-          labels[v] = picked;  // Gauss-Seidel within the task (paper Alg. 1)
-        } else {
-          next[vi] = picked;
-        }
-      }
-      if (changed_chunk) changed.add(changed_chunk);
-    });
-    if (!opts.in_place)
-      std::copy(next.begin(), next.end(), labels.begin());
+    // Jacobi reads the pre-round snapshot (locals + ghosts) and writes
+    // labels[] directly — equivalent to the classic next-buffer + copy, and
+    // it keeps the freshly-written boundary labels visible to the engine's
+    // exchange pack while the interior sweep still reads old values.  The
+    // snapshot is taken once per round: in the full sweep, or the boundary
+    // phase (which the overlapped schedule runs first).
+    const bool jacobi = !opts.in_place;
+    if (jacobi && ctx.sweep != engine::SweepPhase::kInterior)
+      prev.assign(labels.begin(), labels.end());
+    const std::vector<std::uint64_t>& read = jacobi ? prev : labels;
 
-    ctx.active_local = changed.load();
-    ctx.touched_local = g.n_loc();
+    RelaxedCounter changed;
+    const auto sweep_one = [&](lvid_t v, LabelCounter& lmap,
+                               std::uint64_t& changed_chunk) {
+      lmap.clear();
+      for (const lvid_t u : g.out_neighbors(v)) lmap.add(read[u]);
+      for (const lvid_t u : g.in_neighbors(v)) lmap.add(read[u]);
+      const std::uint64_t picked = lmap.argmax(round_seed, read[v]);
+      if (picked != read[v]) {
+        ++changed_chunk;
+        ctx.gx->mark_changed(v);  // feeds the sparse/adaptive wire format
+      }
+      labels[v] = picked;  // Gauss-Seidel when read aliases labels
+    };
+    if (ctx.sweep == engine::SweepPhase::kFull) {
+      ctx.pool.for_range(0, g.n_loc(), [&](unsigned, std::uint64_t lo,
+                                           std::uint64_t hi) {
+        LabelCounter lmap;
+        std::uint64_t changed_chunk = 0;
+        for (std::uint64_t vi = lo; vi < hi; ++vi)
+          sweep_one(static_cast<lvid_t>(vi), lmap, changed_chunk);
+        if (changed_chunk) changed.add(changed_chunk);
+      });
+      ctx.touched_local += g.n_loc();
+    } else {
+      const std::span<const lvid_t> verts = ctx.sweep_vertices;
+      ctx.pool.for_range(0, verts.size(), [&](unsigned, std::uint64_t lo,
+                                              std::uint64_t hi) {
+        LabelCounter lmap;
+        std::uint64_t changed_chunk = 0;
+        for (std::uint64_t i = lo; i < hi; ++i)
+          sweep_one(verts[i], lmap, changed_chunk);
+        if (changed_chunk) changed.add(changed_chunk);
+      });
+      ctx.touched_local += verts.size();
+    }
+
+    ctx.active_local += changed.load();
   }
 
   bool converged(std::uint64_t active_global, double) const {

@@ -33,6 +33,11 @@ struct DegVertex {
 struct WccColorKernel {
   using Value = gvid_t;
   static constexpr bool kSeedExchange = true;
+  // Overlap-safe: HashMin converges to the unique per-component minimum
+  // regardless of sweep order, so splitting the sweep into boundary and
+  // interior phases changes (at most) the iteration count the equivalence
+  // tests don't pin, never the fixpoint comp[] values.
+  static constexpr bool kOverlapSafe = true;
 
   const DistGraph& g;
   const WccOptions& opts;
@@ -62,8 +67,8 @@ struct WccColorKernel {
     // Serial min-sweep: the in-place updates are what make HashMin converge
     // fast; rank-level parallelism is the primary axis (see CommonOptions).
     std::uint64_t changed = 0;
-    for (lvid_t v = 0; v < g.n_loc(); ++v) {
-      if (level[v] >= 0) continue;  // giant members are settled
+    const auto sweep_one = [&](lvid_t v) {
+      if (level[v] >= 0) return;  // giant members are settled
       gvid_t m = color[v];
       for (const lvid_t u : g.out_neighbors(v)) m = std::min(m, color[u]);
       for (const lvid_t u : g.in_neighbors(v)) m = std::min(m, color[u]);
@@ -72,9 +77,15 @@ struct WccColorKernel {
         ctx.gx->mark_changed(v);
         ++changed;
       }
+    };
+    if (ctx.sweep == engine::SweepPhase::kFull) {
+      for (lvid_t v = 0; v < g.n_loc(); ++v) sweep_one(v);
+      ctx.touched_local += g.n_loc();
+    } else {
+      for (const lvid_t v : ctx.sweep_vertices) sweep_one(v);
+      ctx.touched_local += ctx.sweep_vertices.size();
     }
-    ctx.active_local = changed;
-    ctx.touched_local = g.n_loc();
+    ctx.active_local += changed;
   }
 
   bool converged(std::uint64_t active_global, double) const {

@@ -151,6 +151,8 @@ DistGraph Builder::from_chunk(Communicator& comm, gvid_t n_global,
     }
   }
 
+  g.build_vertex_classes();
+
   comm.barrier();
   const double t_lconv = stage.restart();
 

@@ -203,6 +203,173 @@ class GhostExchange {
     exchange_impl(vals, comm, mode, nullptr, std::forward<F>(combine));
   }
 
+  // ---- Split-phase exchange (overlapped schedules). ----
+  //
+  // exchange_start() packs and launches the wire round (same formats and
+  // the same adaptive byte-cost allreduce as exchange()), then returns with
+  // the payload in flight; exchange_finish() completes the round and
+  // scatters into the ghost slots.  Between the two the caller may run any
+  // *local* computation — the superstep engine computes interior vertices
+  // there — but no collectives (enforced by the communicator).
+  //
+  // Double-buffer contract: the split-phase pack stages into its own buffer
+  // (`async_bytes_`, distinct from the blocking path's `payload_bytes_`)
+  // and the dirty set is cleared at *start*, immediately after the pack
+  // consumed it.  `mark_changed` calls made between start and finish are
+  // therefore recorded for the *next* round and cannot race the in-flight
+  // payload; writes to `vals` between start and finish are likewise
+  // invisible to the current round (the pack already copied them out).
+
+  /// Collective.  Pack current boundary values and launch the wire round.
+  /// `mode` resolves exactly as in exchange() (adaptive runs its allreduce
+  /// here).  The round stays in flight until exchange_finish(); starting a
+  /// second round or issuing any collective before that is a hard error.
+  template <typename T>
+  void exchange_start(std::span<const T> vals, parcomm::Communicator& comm,
+                      GhostMode mode = GhostMode::kDense) {
+    static_assert(std::is_trivially_copyable_v<T>);
+    using Pair = SlotVal<T>;
+    HG_CHECK_MSG(vals.size() >= n_total_,
+                 "value array must cover locals + ghosts");
+    HG_CHECK_MSG(!async_.valid(),
+                 "exchange_start with a split-phase round already in flight");
+    PoolFallback pf(pool_);
+    ThreadPool& tp = pf.get();
+
+    bool sparse = false;
+    std::uint64_t changed_local = 0;
+    if (mode != GhostMode::kDense) {
+      changed_local = count_changed(tp);
+      if (mode == GhostMode::kSparse) {
+        sparse = true;
+      } else {
+        const std::uint64_t changed_global = comm.allreduce_sum(changed_local);
+        sparse = static_cast<double>(changed_global * sizeof(Pair)) <
+                 sparse_crossover_ *
+                     static_cast<double>(entries_global_ * sizeof(T));
+      }
+    }
+
+    // The wire round ships bytes (counts scaled by the record size) so the
+    // in-flight handle is type-erased; receivers reassemble whole records.
+    const std::size_t p = send_counts_.size();
+    std::vector<std::uint64_t> bcounts(p);
+    if (sparse) {
+      async_bytes_.resize(changed_local * sizeof(Pair));
+      Pair* pairs = reinterpret_cast<Pair*>(async_bytes_.data());
+      const std::vector<std::uint64_t> sdispl =
+          csr_offsets(std::span<const std::uint64_t>(chg_counts_));
+      {
+        Timer t;
+        tp.for_range(0, send_local_.size(),
+                     [&](unsigned tid, std::uint64_t lo, std::uint64_t hi) {
+                       std::vector<std::uint64_t> cur(p);
+                       for (std::size_t d = 0; d < p; ++d) {
+                         cur[d] = sdispl[d];
+                         for (unsigned t2 = 0; t2 < tid; ++t2)
+                           cur[d] += chg_tcounts_[t2][d];
+                       }
+                       std::size_t d = dest_of_slot(lo);
+                       for (std::uint64_t i = lo; i < hi; ++i) {
+                         while (i >= send_displs_[d + 1]) ++d;
+                         const lvid_t v = send_local_[i];
+                         if (!dirty_[v]) continue;
+                         pairs[cur[d]++] = Pair{
+                             static_cast<std::uint32_t>(i - send_displs_[d]),
+                             vals[v]};
+                       }
+                     });
+        comm.phase_timer().add_pack(t.elapsed());
+      }
+      for (std::size_t d = 0; d < p; ++d)
+        bcounts[d] = chg_counts_[d] * sizeof(Pair);
+    } else {
+      async_bytes_.resize(send_local_.size() * sizeof(T));
+      T* send = reinterpret_cast<T*>(async_bytes_.data());
+      {
+        Timer t;
+        tp.for_range(0, send_local_.size(),
+                     [&](unsigned, std::uint64_t lo, std::uint64_t hi) {
+                       for (std::uint64_t i = lo; i < hi; ++i)
+                         send[i] = vals[send_local_[i]];
+                     });
+        comm.phase_timer().add_pack(t.elapsed());
+      }
+      for (std::size_t d = 0; d < p; ++d)
+        bcounts[d] = send_counts_[d] * sizeof(T);
+    }
+
+    async_ = comm.ialltoallv<std::uint8_t>(
+        {async_bytes_.data(), async_bytes_.size()}, bcounts, pool_);
+    async_wire_ = sparse ? GhostMode::kSparse : GhostMode::kDense;
+    async_elem_ = sizeof(T);
+    async_changed_ = changed_local;
+    last_round_mode_ = async_wire_;
+    // Clear at start: the pack above consumed the dirty set, so marks made
+    // from here on belong to the next round (double-buffer contract).
+    clear_dirty(tp);
+  }
+
+  /// Collective.  Complete the in-flight round: wait for the payload and
+  /// scatter into ghost slots (overwrite semantics, like exchange()).  The
+  /// optional `changed_ghosts` matches exchange()'s contract.  T must be
+  /// the same type the round was started with.
+  template <typename T>
+  void exchange_finish(std::span<T> vals, parcomm::Communicator& comm,
+                       std::vector<lvid_t>* changed_ghosts = nullptr) {
+    exchange_finish_combining(vals, comm, OverwriteCombine{}, changed_ghosts);
+  }
+
+  /// Collective.  As exchange_finish(), with a combine hook (the split-phase
+  /// analogue of exchange_combining).
+  template <typename T, typename F>
+  void exchange_finish_combining(std::span<T> vals,
+                                 parcomm::Communicator& comm, F&& combine,
+                                 std::vector<lvid_t>* changed_ghosts =
+                                     nullptr) {
+    static_assert(std::is_trivially_copyable_v<T>);
+    using Pair = SlotVal<T>;
+    HG_CHECK_MSG(async_.valid(),
+                 "exchange_finish without a round in flight");
+    HG_CHECK_MSG(async_elem_ == sizeof(T),
+                 "exchange_finish element type differs from exchange_start");
+    PoolFallback pf(pool_);
+    ThreadPool& tp = pf.get();
+    if (changed_ghosts) changed_ghosts->clear();
+
+    std::vector<std::uint64_t> rbytes;
+    const std::vector<std::uint8_t> recv = async_.wait(&rbytes);
+
+    auto& st = comm.stats();
+    if (async_wire_ == GhostMode::kSparse) {
+      std::vector<std::uint64_t> rcounts(rbytes.size());
+      for (std::size_t s = 0; s < rbytes.size(); ++s) {
+        HG_DCHECK(rbytes[s] % sizeof(Pair) == 0);
+        rcounts[s] = rbytes[s] / sizeof(Pair);
+      }
+      Timer t;
+      scatter_sparse(vals, reinterpret_cast<const Pair*>(recv.data()),
+                     recv.size() / sizeof(Pair), rcounts, tp, changed_ghosts,
+                     combine);
+      comm.phase_timer().add_pack(t.elapsed());
+      ++st.ghost_rounds_sparse;
+      st.ghost_bytes_saved +=
+          static_cast<std::int64_t>(send_local_.size() * sizeof(T)) -
+          static_cast<std::int64_t>(async_changed_ * sizeof(Pair));
+    } else {
+      HG_DCHECK(recv.size() == recv_local_.size() * sizeof(T));
+      Timer t;
+      scatter_dense(vals, reinterpret_cast<const T*>(recv.data()),
+                    recv.size() / sizeof(T), tp, changed_ghosts, combine);
+      comm.phase_timer().add_pack(t.elapsed());
+      ++st.ghost_rounds_dense;
+    }
+    ++st.ghost_rounds_async;
+  }
+
+  /// True while a split-phase round is in flight (between start and finish).
+  bool exchange_pending() const { return async_.valid(); }
+
   /// Collective.  Reverse flow: every rank sends the current value of each
   /// of its *ghost* slots back to the vertex's owner; the owner folds all
   /// incoming replica values into its own slot,
@@ -328,34 +495,42 @@ class GhostExchange {
         {send, send_local_.size()}, send_counts_, nullptr, pool_);
     {
       Timer t;
-      // Scatter is race-free under combine: each ghost slot has exactly one
-      // owner, so it appears at most once in recv_local_.
-      if (!changed_ghosts) {
-        tp.for_range(0, recv.size(),
-                     [&](unsigned, std::uint64_t lo, std::uint64_t hi) {
-                       for (std::uint64_t i = lo; i < hi; ++i) {
-                         T& dst = vals[recv_local_[i]];
-                         dst = combine(dst, recv[i]);
-                       }
-                     });
-      } else {
-        std::vector<std::vector<lvid_t>> tchg(tp.num_threads());
-        tp.for_range(0, recv.size(),
-                     [&](unsigned tid, std::uint64_t lo, std::uint64_t hi) {
-                       auto& out = tchg[tid];
-                       for (std::uint64_t i = lo; i < hi; ++i) {
-                         const lvid_t l = recv_local_[i];
-                         const T nv = combine(vals[l], recv[i]);
-                         if (vals[l] != nv) out.push_back(l);
-                         vals[l] = nv;
-                       }
-                     });
-        for (const auto& c : tchg)
-          changed_ghosts->insert(changed_ghosts->end(), c.begin(), c.end());
-      }
+      scatter_dense(vals, recv.data(), recv.size(), tp, changed_ghosts,
+                    combine);
       comm.phase_timer().add_pack(t.elapsed());
     }
     ++comm.stats().ghost_rounds_dense;
+  }
+
+  // Dense scatter back-half, shared by the blocking and split-phase paths.
+  // Race-free under combine: each ghost slot has exactly one owner, so it
+  // appears at most once in recv_local_.
+  template <typename T, typename F>
+  void scatter_dense(std::span<T> vals, const T* recv, std::uint64_t n,
+                     ThreadPool& tp, std::vector<lvid_t>* changed_ghosts,
+                     F&& combine) {
+    if (!changed_ghosts) {
+      tp.for_range(0, n, [&](unsigned, std::uint64_t lo, std::uint64_t hi) {
+        for (std::uint64_t i = lo; i < hi; ++i) {
+          T& dst = vals[recv_local_[i]];
+          dst = combine(dst, recv[i]);
+        }
+      });
+    } else {
+      std::vector<std::vector<lvid_t>> tchg(tp.num_threads());
+      tp.for_range(0, n, [&](unsigned tid, std::uint64_t lo,
+                             std::uint64_t hi) {
+        auto& out = tchg[tid];
+        for (std::uint64_t i = lo; i < hi; ++i) {
+          const lvid_t l = recv_local_[i];
+          const T nv = combine(vals[l], recv[i]);
+          if (vals[l] != nv) out.push_back(l);
+          vals[l] = nv;
+        }
+      });
+      for (const auto& c : tchg)
+        changed_ghosts->insert(changed_ghosts->end(), c.begin(), c.end());
+    }
   }
 
   // Sparse round: ship (slot, value) pairs for the `changed_local` marked
@@ -403,37 +578,10 @@ class GhostExchange {
     const std::vector<Pair> recv = comm.alltoallv<Pair>(
         {pairs, changed_local}, chg_counts_, &rcounts, pool_);
 
-    // Scatter against the retained receive map: pair from source s updates
-    // recv_local_[recv_displs_[s] + slot].
-    const std::vector<std::uint64_t> rdispl =
-        csr_offsets(std::span<const std::uint64_t>(rcounts));
     {
       Timer t;
-      std::vector<std::vector<lvid_t>> tchg(
-          changed_ghosts ? tp.num_threads() : 0);
-      tp.for_range(0, recv.size(),
-                   [&](unsigned tid, std::uint64_t lo, std::uint64_t hi) {
-                     std::size_t s =
-                         static_cast<std::size_t>(
-                             std::upper_bound(rdispl.begin(), rdispl.end(),
-                                              lo) -
-                             rdispl.begin()) -
-                         1;
-                     for (std::uint64_t j = lo; j < hi; ++j) {
-                       while (j >= rdispl[s + 1]) ++s;
-                       const Pair& pr = recv[j];
-                       const std::uint64_t pos = recv_displs_[s] + pr.slot;
-                       HG_DCHECK(pos < recv_displs_[s + 1]);
-                       const lvid_t l = recv_local_[pos];
-                       const T nv = combine(vals[l], pr.value);
-                       if (changed_ghosts && vals[l] != nv)
-                         tchg[tid].push_back(l);
-                       vals[l] = nv;
-                     }
-                   });
-      if (changed_ghosts)
-        for (const auto& c : tchg)
-          changed_ghosts->insert(changed_ghosts->end(), c.begin(), c.end());
+      scatter_sparse(vals, recv.data(), recv.size(), rcounts, tp,
+                     changed_ghosts, combine);
       comm.phase_timer().add_pack(t.elapsed());
     }
 
@@ -442,6 +590,39 @@ class GhostExchange {
     st.ghost_bytes_saved +=
         static_cast<std::int64_t>(send_local_.size() * sizeof(T)) -
         static_cast<std::int64_t>(changed_local * sizeof(Pair));
+  }
+
+  // Sparse scatter back-half, shared by the blocking and split-phase paths:
+  // the pair from source s updates recv_local_[recv_displs_[s] + slot].
+  template <typename T, typename F>
+  void scatter_sparse(std::span<T> vals, const SlotVal<T>* recv,
+                      std::uint64_t n, std::span<const std::uint64_t> rcounts,
+                      ThreadPool& tp, std::vector<lvid_t>* changed_ghosts,
+                      F&& combine) {
+    using Pair = SlotVal<T>;
+    const std::vector<std::uint64_t> rdispl = csr_offsets(rcounts);
+    std::vector<std::vector<lvid_t>> tchg(
+        changed_ghosts ? tp.num_threads() : 0);
+    tp.for_range(0, n, [&](unsigned tid, std::uint64_t lo, std::uint64_t hi) {
+      std::size_t s =
+          static_cast<std::size_t>(
+              std::upper_bound(rdispl.begin(), rdispl.end(), lo) -
+              rdispl.begin()) -
+          1;
+      for (std::uint64_t j = lo; j < hi; ++j) {
+        while (j >= rdispl[s + 1]) ++s;
+        const Pair& pr = recv[j];
+        const std::uint64_t pos = recv_displs_[s] + pr.slot;
+        HG_DCHECK(pos < recv_displs_[s + 1]);
+        const lvid_t l = recv_local_[pos];
+        const T nv = combine(vals[l], pr.value);
+        if (changed_ghosts && vals[l] != nv) tchg[tid].push_back(l);
+        vals[l] = nv;
+      }
+    });
+    if (changed_ghosts)
+      for (const auto& c : tchg)
+        changed_ghosts->insert(changed_ghosts->end(), c.begin(), c.end());
   }
 
   /// Destination task owning retained slot i (segments are contiguous).
@@ -464,6 +645,13 @@ class GhostExchange {
   std::vector<std::uint64_t> recv_displs_;  // CSR offsets per source task
   std::vector<std::uint64_t> recv_counts_;  // per-source counts (reduce path)
   std::vector<std::uint8_t> payload_bytes_; // reused per-iteration buffer
+  std::vector<std::uint8_t> async_bytes_;   // split-phase pack staging
+                                            // (double buffer: must outlive
+                                            // the in-flight round)
+  parcomm::PendingExchange<std::uint8_t> async_;  // in-flight wire round
+  GhostMode async_wire_ = GhostMode::kDense;  // resolved wire of the round
+  std::uint32_t async_elem_ = 0;            // sizeof(T) of the round
+  std::uint64_t async_changed_ = 0;         // changed slots shipped (sparse)
   std::vector<std::uint8_t> dirty_;         // per local vertex changed flag
   std::vector<std::vector<std::uint64_t>> chg_tcounts_;  // [thread][dest]
   std::vector<std::uint64_t> chg_counts_;                // per-dest changed

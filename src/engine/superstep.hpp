@@ -11,9 +11,11 @@
 /// now a kernel supplies only the per-round computation and the engine owns
 /// the loop: pool fallback, GhostExchange lifecycle, the `retain_queues`
 /// ablation fallback, the fused convergence allreduce, the iteration cutoff
-/// and per-superstep telemetry.  Any loop-level optimization (async
-/// exchange, superstep fusion, adaptive scheduling) lands here once and
-/// every analytic inherits it.
+/// and per-superstep telemetry.  Any loop-level optimization lands here
+/// once and every analytic inherits it — the overlapped (split-phase)
+/// exchange schedule below is the first: boundary sweep → exchange_start →
+/// interior sweep → exchange_finish, opt-in per kernel via `kOverlapSafe`
+/// (DESIGN.md §9).
 ///
 /// ## ValueKernel (PageRank-like)
 ///
@@ -86,8 +88,21 @@
 #include "engine/trace.hpp"
 #include "parcomm/comm.hpp"
 #include "util/parallel_for.hpp"
+#include "util/timer.hpp"
 
 namespace hpcgraph::engine {
+
+/// Which slice of the local vertex set a compute() call covers.  Blocking
+/// rounds sweep everything in one kFull call; overlapped rounds split the
+/// sweep into kBoundary (before the exchange launches) and kInterior (while
+/// the payload is in flight), with `StepContext::sweep_vertices` carrying
+/// the exact id list for the partial phases.
+enum class SweepPhase : std::uint8_t {
+  kFull,      ///< one call covering all of [0, n_loc)
+  kBoundary,  ///< boundary vertices only (their values go on the wire)
+  kInterior,  ///< interior vertices only (exchange already in flight —
+              ///< compute() must not issue collectives in this phase)
+};
 
 /// Per-round view the engine hands to kernel hooks.
 struct StepContext {
@@ -98,8 +113,15 @@ struct StepContext {
                                        ///< kernels that route their own)
   std::uint64_t superstep = 0;         ///< 0-based round within this run
 
+  /// Sweep slice of this compute() call.  kFull unless the engine runs the
+  /// overlapped schedule; then `sweep_vertices` lists the local ids to
+  /// process (ascending; the two phases partition [0, n_loc)).
+  SweepPhase sweep = SweepPhase::kFull;
+  std::span<const lvid_t> sweep_vertices;
+
   // Kernel -> engine outputs, reset before each round and folded into the
-  // fused allreduce after it:
+  // fused allreduce after it.  Overlap-safe kernels must *accumulate* (+=)
+  // so the two partial sweeps of an overlapped round add up.
   std::uint64_t active_local = 0;   ///< changed / newly-frontier vertices
   std::uint64_t touched_local = 0;  ///< vertices this rank processed
   double residual_local = 0.0;      ///< kernel-defined residual contribution
@@ -119,6 +141,13 @@ struct EngineConfig {
   std::uint64_t max_supersteps = UINT64_MAX;  ///< iteration cutoff
   SuperstepTrace* trace = nullptr;  ///< telemetry sink (rank 0 pushes)
   const char* name = "";            ///< analytic label in trace records
+  /// Opt into the overlapped round schedule (compute boundary →
+  /// exchange_start → compute interior → exchange_finish).  Takes effect
+  /// only for kernels that declare `static constexpr bool kOverlapSafe =
+  /// true` (and whose optional runtime `overlap_ok()` agrees) with retained
+  /// queues; everything else keeps the blocking schedule.  Must be set
+  /// identically on every rank.
+  bool overlap = false;
 };
 
 template <class K>
@@ -189,6 +218,21 @@ class SuperstepEngine {
       }
     };
 
+    // Overlapped schedule eligibility.  Static opt-in (`kOverlapSafe`: the
+    // kernel's local sweep reads no ghost slot it also writes mid-round and
+    // tolerates the split boundary/interior call pair), optional runtime
+    // veto (`overlap_ok()`: e.g. LP's in-place Gauss-Seidel sweep is
+    // order-dependent), and retained queues (a fresh queue has no split
+    // path).  All three are rank-uniform, so the schedule is collective.
+    bool overlap = false;
+    if constexpr (requires { K::kOverlapSafe; }) {
+      if constexpr (K::kOverlapSafe) {
+        overlap = cfg_.overlap && retain;
+        if constexpr (requires { kernel.overlap_ok(); })
+          overlap = overlap && kernel.overlap_ok();
+      }
+    }
+
     StepContext ctx{g_, comm_, tp, gx};
     if constexpr (requires { kernel.init(ctx); }) {
       kernel.init(ctx);
@@ -205,8 +249,41 @@ class SuperstepEngine {
       ctx.touched_local = 0;
       ctx.residual_local = 0.0;
 
-      kernel.compute(ctx);
-      do_exchange();
+      double exchange_s = 0;  // wall inside this round's exchange calls
+      double overlap_s = 0;   // interior-compute wall hidden behind the wire
+      if (overlap) {
+        // compute(boundary) -> exchange_start -> compute(interior) ->
+        // exchange_finish.  Ordering invariant: boundary values are final
+        // before the pack reads them, and interior values never go on the
+        // wire, so the payload equals the blocking schedule's bit-for-bit.
+        ctx.sweep = SweepPhase::kBoundary;
+        ctx.sweep_vertices = g_.boundary_locals();
+        kernel.compute(ctx);
+        {
+          Timer t;
+          gx->exchange_start<T>(kernel.values(), comm_, mode);
+          exchange_s += t.elapsed();
+        }
+        ctx.sweep = SweepPhase::kInterior;
+        ctx.sweep_vertices = g_.interior_locals();
+        {
+          Timer t;
+          kernel.compute(ctx);
+          overlap_s = t.elapsed();
+        }
+        {
+          Timer t;
+          gx->exchange_finish<T>(kernel.values(), comm_, changed_ghosts);
+          exchange_s += t.elapsed();
+        }
+        ctx.sweep = SweepPhase::kFull;
+        ctx.sweep_vertices = {};
+      } else {
+        kernel.compute(ctx);
+        Timer t;
+        do_exchange();
+        exchange_s = t.elapsed();
+      }
       if constexpr (requires { kernel.apply(ctx); }) kernel.apply(ctx);
 
       const Signal sig = fused_allreduce(
@@ -218,7 +295,8 @@ class SuperstepEngine {
 
       end_record(rec0, step, sig, res.converged,
                  retain ? dgraph::ghost_mode_label(gx->last_round_mode())
-                        : "dense");
+                        : "dense",
+                 exchange_s, overlap_s);
       if (res.converged) break;
     }
     return res;
@@ -255,7 +333,7 @@ class SuperstepEngine {
       res.last_residual = sig.residual;
       res.converged = (global_active == 0);
 
-      end_record(rec0, res.supersteps - 1, sig, res.converged, "queue");
+      end_record(rec0, res.supersteps - 1, sig, res.converged, "queue", 0, 0);
     }
     return res;
   }
@@ -282,7 +360,8 @@ class SuperstepEngine {
     return std::make_optional<StepRecorder>(comm_);
   }
   void end_record(const std::optional<StepRecorder>& rec0, std::uint64_t step,
-                  const Signal& sig, bool converged, const char* wire) {
+                  const Signal& sig, bool converged, const char* wire,
+                  double exchange_s, double overlap_s) {
     if (!rec0) return;
     SuperstepRecord rec;
     rec.analytic = cfg_.name;
@@ -292,6 +371,8 @@ class SuperstepEngine {
     rec.residual = sig.residual;
     rec.converged = converged;
     rec.wire = wire;
+    rec.exchange_us = static_cast<std::uint64_t>(exchange_s * 1e6);
+    rec.overlap_us = static_cast<std::uint64_t>(overlap_s * 1e6);
     rec0->finish(rec);
     cfg_.trace->push(std::move(rec));
   }

@@ -24,6 +24,9 @@ std::string SuperstepTrace::to_json() const {
     w.kv("residual", r.residual);
     w.kv("converged", r.converged);
     w.kv("wire", r.wire);
+    w.kv("exchange_us", r.exchange_us);
+    w.kv("overlap_us", r.overlap_us);
+    w.kv("comm_hidden", r.comm_hidden());
     w.key("comm");
     w.begin_object();
     w.kv("bytes_sent", r.comm.bytes_sent);
@@ -35,6 +38,7 @@ std::string SuperstepTrace::to_json() const {
     w.kv("ghost_rounds_dense", r.comm.ghost_rounds_dense);
     w.kv("ghost_rounds_sparse", r.comm.ghost_rounds_sparse);
     w.kv("ghost_rounds_reduce", r.comm.ghost_rounds_reduce);
+    w.kv("ghost_rounds_async", r.comm.ghost_rounds_async);
     w.kv("ghost_bytes_saved",
          static_cast<std::int64_t>(r.comm.ghost_bytes_saved));
     w.end_object();
@@ -44,6 +48,7 @@ std::string SuperstepTrace::to_json() const {
     w.kv("comm_s", r.phase.comm);
     w.kv("idle_s", r.phase.idle);
     w.kv("pack_s", r.phase.pack);
+    w.kv("wait_s", r.phase.wait);
     w.kv("total_s", r.phase.total);
     w.end_object();
     w.end_object();

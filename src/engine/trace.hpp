@@ -38,8 +38,22 @@ struct SuperstepRecord {
   bool converged = false;       ///< this round triggered the stop condition
   std::string wire;             ///< ghost wire format used ("dense"/"sparse"/
                                 ///< "queue" for alltoallv frontier kernels)
+  std::uint64_t exchange_us = 0;  ///< rank-0 wall µs inside the round's
+                                  ///< exchange calls (blocking: the single
+                                  ///< call; overlapped: start + finish)
+  std::uint64_t overlap_us = 0;   ///< rank-0 wall µs of interior compute run
+                                  ///< while the exchange was in flight (0 on
+                                  ///< the blocking schedule)
   parcomm::CommStats comm;      ///< rank-0 counter delta over the round
   parcomm::PhaseBreakdown phase;  ///< rank-0 comp/comm/idle/pack delta
+
+  /// Fraction of the round's communication window hidden behind interior
+  /// compute: overlap / (overlap + exchange).  0 for blocking rounds.
+  double comm_hidden() const {
+    const double denom =
+        static_cast<double>(overlap_us) + static_cast<double>(exchange_us);
+    return denom > 0 ? static_cast<double>(overlap_us) / denom : 0.0;
+  }
 };
 
 /// Append-only in-memory trace; serializable to JSON.  Not thread-safe by

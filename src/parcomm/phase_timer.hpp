@@ -21,6 +21,7 @@ struct PhaseBreakdown {
   double comm = 0;   ///< seconds moving payload
   double idle = 0;   ///< seconds waiting for other ranks
   double pack = 0;   ///< subset of comp: ghost-exchange pack/scatter staging
+  double wait = 0;   ///< overlay: seconds completing split-phase exchanges
   double total = 0;  ///< wall seconds of the region
 
   double comp_ratio() const { return total > 0 ? comp / total : 0; }
@@ -37,6 +38,7 @@ struct PhaseBreakdown {
     d.comm = comm - o.comm;
     d.idle = idle - o.idle;
     d.pack = pack - o.pack;
+    d.wait = wait - o.wait;
     d.total = total - o.total;
     if (d.comp < 0) d.comp = 0;  // clock noise at microsecond scale
     return d;
@@ -51,6 +53,7 @@ class PhaseTimer {
     comm_.reset();
     idle_.reset();
     pack_.reset();
+    wait_.reset();
     region_ = Timer{};
   }
 
@@ -60,6 +63,12 @@ class PhaseTimer {
   /// still attributed to comp in the comp/comm/idle decomposition, since it
   /// is rank-local work that overlaps nothing.
   void add_pack(double s) { pack_.add(s); }
+  /// Time blocked completing a split-phase exchange (PendingExchange::wait).
+  /// An overlay like pack: the barrier/copy inside the wait still lands in
+  /// idle/comm as usual, this just attributes the same wall span to a
+  /// distinct `comm_wait` bucket so overlapped schedules can show how much
+  /// completion cost remains after hiding.
+  void add_wait(double s) { wait_.add(s); }
 
   /// Breakdown of the region so far.
   PhaseBreakdown snapshot() const {
@@ -68,6 +77,7 @@ class PhaseTimer {
     b.comm = comm_.total();
     b.idle = idle_.total();
     b.pack = pack_.total();
+    b.wait = wait_.total();
     b.comp = b.total - b.comm - b.idle;
     if (b.comp < 0) b.comp = 0;  // clock noise at microsecond scale
     return b;
@@ -77,6 +87,7 @@ class PhaseTimer {
   AccumTimer comm_;
   AccumTimer idle_;
   AccumTimer pack_;
+  AccumTimer wait_;
   Timer region_;
 };
 

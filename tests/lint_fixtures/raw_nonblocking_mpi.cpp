@@ -1,0 +1,25 @@
+// Fixture: raw MPI nonblocking primitives in algorithm code.  Split-phase
+// communication must go through parcomm::Communicator::ialltoallv and
+// PendingExchange::wait — a raw MPI_Ialltoallv/MPI_Wait bypasses the
+// request pool, the pending-depth discipline check, and the PARCOMM_VERIFY
+// fingerprint rendezvous.
+// EXPECT-LINT: raw-nonblocking-mpi
+
+#include <cstdint>
+#include <vector>
+
+namespace hpcgraph::analytics {
+
+void overlap_exchange(const std::vector<std::uint8_t>& payload,
+                      const std::vector<int>& counts,
+                      const std::vector<int>& displs,
+                      std::vector<std::uint8_t>& recv) {
+  MPI_Request req;  // raw nonblocking handle in analytics code
+  MPI_Ialltoallv(payload.data(), counts.data(), displs.data(), MPI_BYTE,
+                 recv.data(), counts.data(), displs.data(), MPI_BYTE,
+                 MPI_COMM_WORLD, &req);
+  // ... interior compute would go here ...
+  MPI_Wait(&req, MPI_STATUS_IGNORE);
+}
+
+}  // namespace hpcgraph::analytics

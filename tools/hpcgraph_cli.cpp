@@ -48,6 +48,8 @@ int usage(const char* msg = nullptr) {
       "                    [--root V] [--output FILE] [--seed S]\n"
       "                    [--trace-json FILE]   per-superstep telemetry "
       "(engine analytics + bfs)\n"
+      "                    [--overlap]           split-phase ghost exchange "
+      "(pagerank/labelprop/wcc)\n"
       "analytics: stats pagerank labelprop wcc scc scc-decompose bfs sssp\n"
       "           harmonic kcore kcore-exact triangles betweenness\n"
       "generators: webgraph rmat er twitter livejournal google\n";
@@ -123,6 +125,7 @@ int main(int argc, char** argv) {
   const std::size_t bc_sources =
       static_cast<std::size_t>(cli.get_int("sources", 16));
   const std::string trace_json = cli.get("trace-json", "");
+  const bool overlap = cli.get_bool("overlap", false);
 
   bool from_file = false;
   std::string path;
@@ -194,6 +197,7 @@ int main(int argc, char** argv) {
       analytics::PageRankOptions o;
       o.max_iterations = iters;
       o.common.trace = trace_ptr;
+      o.common.overlap = overlap;
       const auto res = analytics::pagerank(g, comm, o);
       if (!output.empty())
         write_tsv<double>(g, comm, res.scores, output, "pagerank");
@@ -201,12 +205,14 @@ int main(int argc, char** argv) {
       analytics::LabelPropOptions o;
       o.iterations = iters;
       o.common.trace = trace_ptr;
+      o.common.overlap = overlap;
       const auto res = analytics::label_propagation(g, comm, o);
       if (!output.empty())
         write_tsv<std::uint64_t>(g, comm, res.labels, output, "community");
     } else if (analytic == "wcc") {
       analytics::WccOptions o;
       o.common.trace = trace_ptr;
+      o.common.overlap = overlap;
       const auto res = analytics::wcc(g, comm, o);
       if (root_rank)
         std::cout << "largest WCC: " << res.largest_size << " (label "

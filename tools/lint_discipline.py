@@ -32,6 +32,12 @@ algorithm code (src/analytics, src/engine, src/dgraph):
       collectives — deadlock or silent corruption in real MPI, board
       corruption here.  This is the statically-visible form of the mismatch
       the PARCOMM_VERIFY runtime prong catches dynamically.
+  raw-nonblocking-mpi
+      Raw MPI nonblocking primitives (MPI_Ialltoallv, MPI_Isend, MPI_Wait*,
+      MPI_Test*, MPI_Request, ...) outside src/parcomm.  Split-phase
+      communication must go through Communicator::ialltoallv and
+      PendingExchange::wait so the request pool, the pending-depth
+      discipline check, and the PARCOMM_VERIFY fingerprints all see it.
 
 Suppression: append `lint:allow(<rule>: reason)` in a comment on the flagged
 line.  The reason is mandatory by convention — it is the review record.
@@ -63,12 +69,19 @@ RULES = (
     "ref-capture-entry",
     "missing-trivially-copyable-assert",
     "rank-divergent-collective",
+    "raw-nonblocking-mpi",
 )
 
 RAW_SYNC_RE = re.compile(
     r"std\s*::\s*(?:jthread|thread|mutex|shared_mutex|recursive_mutex|"
     r"timed_mutex|recursive_timed_mutex|condition_variable(?:_any)?|"
     r"atomic(?:_ref|_flag)?)\b"
+)
+
+RAW_NONBLOCKING_MPI_RE = re.compile(
+    r"\bMPI_(?:Ialltoallv?|Iallreduce|Iallgatherv?|Ibcast|Ibarrier|Igatherv?|"
+    r"Iscatterv?|Isend|Issend|Irecv|Wait(?:all|any|some)?|"
+    r"Test(?:all|any|some)?|Request(?:_free|_get_status)?|Start(?:all)?)\b"
 )
 
 REF_CAPTURE_COMM_RE = re.compile(
@@ -343,6 +356,16 @@ def check_raw_sync(code: str, findings, path):
             "util/bitmask64.hpp"))
 
 
+def check_raw_nonblocking_mpi(code: str, findings, path):
+    for m in RAW_NONBLOCKING_MPI_RE.finditer(code):
+        findings.append(Finding(
+            path, line_of(code, m.start()), "raw-nonblocking-mpi",
+            f"raw {m.group(0)} outside src/parcomm: split-phase "
+            "communication must go through Communicator::ialltoallv / "
+            "PendingExchange::wait so the request pool, the pending-depth "
+            "check, and the PARCOMM_VERIFY fingerprints all see it"))
+
+
 def check_ref_capture(code: str, findings, path):
     for m in REF_CAPTURE_COMM_RE.finditer(code):
         findings.append(Finding(
@@ -555,6 +578,7 @@ def lint_file(path: str) -> list[Finding]:
     findings: list[Finding] = []
     check_mutable_globals(code, spans, findings, path)
     check_raw_sync(code, findings, path)
+    check_raw_nonblocking_mpi(code, findings, path)
     check_ref_capture(code, findings, path)
     check_template_collectives(code, findings, path)
     check_rank_divergent(code, findings, path)
