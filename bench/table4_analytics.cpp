@@ -44,6 +44,11 @@ int main(int argc, char** argv) {
   const unsigned kcore_max_i = static_cast<unsigned>(cli.get_int("kcore-i", 16));
   const std::string trace_json = cli.get("trace-json", "");
   const bool overlap = cli.get_bool("overlap", false);
+  Schedule sched = Schedule::kStatic;
+  if (!parse_schedule(cli.get("schedule", "static"), &sched)) {
+    std::cerr << "unknown --schedule (static|dynamic|edge)\n";
+    return 2;
+  }
 
   // Per-superstep telemetry: the engine-driven analytics append to one
   // shared trace (rank 0 pushes; runs are sequential, so appends are too).
@@ -84,29 +89,32 @@ int main(int argc, char** argv) {
 
   const std::vector<AnalyticRow> rows = {
       {"PageRank (10 it)",
-       [trace_ptr, overlap](const dgraph::DistGraph& g,
-                            parcomm::Communicator& comm) {
+       [trace_ptr, overlap, sched](const dgraph::DistGraph& g,
+                                   parcomm::Communicator& comm) {
          analytics::PageRankOptions o;
          o.max_iterations = 10;
          o.common.trace = trace_ptr;
          o.common.overlap = overlap;
+         o.common.schedule = sched;
          (void)analytics::pagerank(g, comm, o);
        }},
       {"Label Prop (10 it)",
-       [trace_ptr, overlap](const dgraph::DistGraph& g,
-                            parcomm::Communicator& comm) {
+       [trace_ptr, overlap, sched](const dgraph::DistGraph& g,
+                                   parcomm::Communicator& comm) {
          analytics::LabelPropOptions o;
          o.iterations = 10;
          o.common.trace = trace_ptr;
          o.common.overlap = overlap;
+         o.common.schedule = sched;
          (void)analytics::label_propagation(g, comm, o);
        }},
       {"WCC (Multistep)",
-       [trace_ptr, overlap](const dgraph::DistGraph& g,
-                            parcomm::Communicator& comm) {
+       [trace_ptr, overlap, sched](const dgraph::DistGraph& g,
+                                   parcomm::Communicator& comm) {
          analytics::WccOptions o;
          o.common.trace = trace_ptr;
          o.common.overlap = overlap;
+         o.common.schedule = sched;
          (void)analytics::wcc(g, comm, o);
        }},
       {"Harmonic Cent. (1 vtx)",
@@ -115,11 +123,12 @@ int main(int argc, char** argv) {
          (void)analytics::harmonic_centrality(g, comm, hot);
        }},
       {"k-core (2^i sweep)",
-       [kcore_max_i, trace_ptr](const dgraph::DistGraph& g,
-                                parcomm::Communicator& comm) {
+       [kcore_max_i, trace_ptr, sched](const dgraph::DistGraph& g,
+                                       parcomm::Communicator& comm) {
          analytics::KCoreOptions o;
          o.max_i = kcore_max_i;
          o.common.trace = trace_ptr;
+         o.common.schedule = sched;
          (void)analytics::kcore_approx(g, comm, o);
        }},
       {"SCC (FW-BW)",

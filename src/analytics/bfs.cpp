@@ -79,12 +79,34 @@ class AtomicStatus {
   std::vector<std::atomic<std::int64_t>> s_;  // lint:allow(raw-sync: intra-rank frontier claims)
 };
 
+/// Traversal-direction degree of v (frontier edge weight for grids and the
+/// direction-optimizing mode decision).
+std::uint64_t dir_degree(const DistGraph& g, Dir dir, lvid_t v) {
+  switch (dir) {
+    case Dir::kOut: return g.out_degree(v);
+    case Dir::kIn: return g.in_degree(v);
+    case Dir::kBoth: return g.out_degree(v) + g.in_degree(v);
+  }
+  return 0;
+}
+
+/// Degree prefix (size q.size()+1) over the frontier, in traversal
+/// direction — the weight array for edge-balanced expansion grids.
+std::vector<std::uint64_t> frontier_degree_prefix(const DistGraph& g, Dir dir,
+                                                  std::span<const lvid_t> q) {
+  std::vector<std::uint64_t> p(q.size() + 1, 0);
+  for (std::size_t i = 0; i < q.size(); ++i)
+    p[i + 1] = p[i] + dir_degree(g, dir, q[i]);
+  return p;
+}
+
 template <typename Status>
 BfsResult bfs_impl(const DistGraph& g, Communicator& comm, gvid_t root,
                    const BfsOptions& opts, ThreadPool& tp) {
   const unsigned nt = tp.num_threads();
   const int p = comm.size();
   const int me = comm.rank();
+  const Schedule sched = opts.common.schedule;
 
   Status status(g.n_total());
   const auto alive = [&](lvid_t u) {
@@ -113,15 +135,19 @@ BfsResult bfs_impl(const DistGraph& g, Communicator& comm, gvid_t root,
   std::vector<ThreadScratch> scratch(nt);
   for (auto& s : scratch) s.send_counts.assign(p, 0);
 
-  engine::RoundTrace ltrace(opts.common.trace, comm, "bfs");
+  engine::RoundTrace ltrace(opts.common.trace, comm, "bfs", &tp, sched);
   while (global_size != 0) {
     ++num_levels;
     const std::uint64_t processed = global_size;
     ltrace.begin();
 
-    // ---- Expansion: pop the frontier, stamp levels, claim neighbours. ----
-    tp.for_range(0, q.size(), [&](unsigned tid, std::uint64_t lo,
-                                  std::uint64_t hi) {
+    // ---- Expansion: pop the frontier, stamp levels, claim neighbours.
+    // Level stamps and frontier membership are claim-order independent, so
+    // any chunking of the frontier produces identical level[] outputs; the
+    // edge-balanced grid weighs chunks by frontier degree (rebuilt per
+    // level — the frontier changes every level).  ----
+    const auto expand_span = [&](unsigned tid, std::uint64_t lo,
+                                 std::uint64_t hi) {
       ThreadScratch& s = scratch[tid];
       for (std::uint64_t i = lo; i < hi; ++i) {
         const lvid_t v = q[i];
@@ -143,7 +169,17 @@ BfsResult bfs_impl(const DistGraph& g, Communicator& comm, gvid_t root,
         if (opts.dir == Dir::kIn || opts.dir == Dir::kBoth)
           for (const lvid_t u : g.in_neighbors(v)) explore(u);
       }
-    });
+    };
+    if (sched == Schedule::kStatic) {
+      tp.for_range(0, q.size(), expand_span);
+    } else {
+      std::vector<std::uint64_t> fprefix;
+      if (sched == Schedule::kEdgeBalanced)
+        fprefix = frontier_degree_prefix(g, opts.dir, q);
+      const ChunkGrid grid =
+          make_grid(sched, q.size(), fprefix, tp.num_threads());
+      tp.for_ranges(grid, sched, expand_span);
+    }
 
     // ---- Build the send queue (Algorithm 2 lines 26-31). ----
     std::vector<std::uint64_t> send_counts(p, 0);
@@ -206,6 +242,7 @@ BfsResult bfs_diropt_impl(const DistGraph& g, Communicator& comm, gvid_t root,
                           const BfsOptions& opts, ThreadPool& tp) {
   const int p = comm.size();
   const int me = comm.rank();
+  const Schedule sched = opts.common.schedule;
 
   // Frontier-flag propagation for bottom-up levels reuses the retained-
   // queue machinery; the adjacency mode mirrors the traversal direction
@@ -215,20 +252,11 @@ BfsResult bfs_diropt_impl(const DistGraph& g, Communicator& comm, gvid_t root,
       : opts.dir == Dir::kIn  ? dgraph::Adjacency::kIn
                               : dgraph::Adjacency::kBoth;
   dgraph::GhostExchange gx(g, comm, adj, opts.common.pool);
+  gx.set_schedule(sched);
 
   Status status(g.n_total());
   const auto alive = [&](lvid_t u) {
     return opts.alive.empty() || opts.alive[u] != 0;
-  };
-
-  // Traversal-direction degree (frontier edge estimates).
-  const auto deg_dir = [&](lvid_t v) -> std::uint64_t {
-    switch (opts.dir) {
-      case Dir::kOut: return g.out_degree(v);
-      case Dir::kIn: return g.in_degree(v);
-      case Dir::kBoth: return g.out_degree(v) + g.in_degree(v);
-    }
-    return 0;
   };
 
   std::vector<lvid_t> q, q_next;
@@ -246,21 +274,24 @@ BfsResult bfs_diropt_impl(const DistGraph& g, Communicator& comm, gvid_t root,
   int num_levels = 0;
   bool bottom_up = false;
   std::vector<std::uint64_t> tedges(tp.num_threads());
+  ChunkGrid bu_grid;  // bottom-up parent-scan grid (built on first use)
 
-  engine::RoundTrace ltrace(opts.common.trace, comm, "bfs");
+  engine::RoundTrace ltrace(opts.common.trace, comm, "bfs", &tp, sched);
   while (global_size != 0) {
     ++num_levels;
     const std::uint64_t processed = global_size;
     ltrace.begin();
 
     // ---- Mode decision (Beamer heuristics, collective). ----
+    // Accumulate (not assign): a thread may run several chunks under the
+    // non-static schedules.
     std::fill(tedges.begin(), tedges.end(), 0);
-    tp.for_range(0, q.size(),
+    tp.for_range(0, q.size(), sched,
                  [&](unsigned tid, std::uint64_t lo, std::uint64_t hi) {
                    std::uint64_t sum = 0;
                    for (std::uint64_t i = lo; i < hi; ++i)
-                     sum += deg_dir(q[i]);
-                   tedges[tid] = sum;
+                     sum += dir_degree(g, opts.dir, q[i]);
+                   tedges[tid] += sum;
                  });
     std::uint64_t frontier_edges_local = 0;
     for (const std::uint64_t e : tedges) frontier_edges_local += e;
@@ -278,42 +309,67 @@ BfsResult bfs_diropt_impl(const DistGraph& g, Communicator& comm, gvid_t root,
     if (bottom_up) {
       // ---- Bottom-up: publish frontier flags, unvisited vertices look
       // for a flagged parent. ----
-      tp.for_range(0, flags.size(),
+      tp.for_range(0, flags.size(), sched,
                    [&](unsigned, std::uint64_t lo, std::uint64_t hi) {
                      std::fill(flags.begin() + static_cast<std::ptrdiff_t>(lo),
                                flags.begin() + static_cast<std::ptrdiff_t>(hi),
                                std::uint8_t{0});
                    });
-      tp.for_range(0, q.size(),  // frontier vertices are distinct: no races
+      tp.for_range(0, q.size(), sched,  // frontier is distinct: no races
                    [&](unsigned, std::uint64_t lo, std::uint64_t hi) {
                      for (std::uint64_t i = lo; i < hi; ++i) flags[q[i]] = 1;
                    });
       gx.exchange<std::uint8_t>(flags, comm);
 
-      for (lvid_t v = 0; v < g.n_loc(); ++v) {
-        if (status.load(v) != kUnvisited || !alive(v)) continue;
-        bool found = false;
+      // Parent scan: each vertex touches only its own status slot and reads
+      // the (fixed) flags array, so the scan chunks freely.  Per-chunk
+      // accept lists concatenated in chunk order reproduce the serial
+      // ascending-vertex q_next exactly — the traversal is bit-identical
+      // across schedules and thread counts.
+      const auto scan_one = [&](lvid_t v) {
+        if (status.load(v) != kUnvisited || !alive(v)) return false;
         // Parents sit in the *reverse* adjacency of the traversal.
         if (opts.dir == Dir::kOut || opts.dir == Dir::kBoth) {
-          for (const lvid_t u : g.in_neighbors(v)) {
-            if (flags[u]) {
-              found = true;
-              break;
-            }
+          for (const lvid_t u : g.in_neighbors(v))
+            if (flags[u]) return true;
+        }
+        if (opts.dir == Dir::kIn || opts.dir == Dir::kBoth) {
+          for (const lvid_t u : g.out_neighbors(v))
+            if (flags[u]) return true;
+        }
+        return false;
+      };
+      if (sched == Schedule::kStatic) {
+        // Serial reference scan (the hybrid schedule's legacy path).
+        for (lvid_t v = 0; v < g.n_loc(); ++v) {
+          if (scan_one(v)) {
+            status.store(v, level + 1);
+            q_next.push_back(v);
           }
         }
-        if (!found && (opts.dir == Dir::kIn || opts.dir == Dir::kBoth)) {
-          for (const lvid_t u : g.out_neighbors(v)) {
-            if (flags[u]) {
-              found = true;
-              break;
-            }
-          }
+      } else {
+        if (bu_grid.empty() && g.n_loc() > 0) {
+          // Scan cost is bounded by reverse-adjacency degree.
+          const std::vector<std::uint64_t> rev =
+              opts.dir == Dir::kBoth ? both_degree_prefix(g)
+              : opts.dir == Dir::kOut
+                  ? std::vector<std::uint64_t>(g.in_index().begin(),
+                                               g.in_index().end())
+                  : std::vector<std::uint64_t>(g.out_index().begin(),
+                                               g.out_index().end());
+          bu_grid = make_grid(sched, g.n_loc(), rev, tp.num_threads());
         }
-        if (found) {
-          status.store(v, level + 1);
-          q_next.push_back(v);
-        }
+        std::vector<std::vector<lvid_t>> accepted(bu_grid.size());
+        tp.for_chunks(bu_grid, sched,
+                      [&](unsigned, std::uint64_t c, const Chunk& ck) {
+                        for (std::uint64_t v = ck.begin; v < ck.end; ++v) {
+                          if (!scan_one(static_cast<lvid_t>(v))) continue;
+                          status.store(v, level + 1);
+                          accepted[c].push_back(static_cast<lvid_t>(v));
+                        }
+                      });
+        for (const std::vector<lvid_t>& list : accepted)
+          q_next.insert(q_next.end(), list.begin(), list.end());
       }
     } else {
       // ---- Top-down: as Algorithm 2, stamping at insertion. ----
@@ -384,9 +440,10 @@ BfsResult bfs(const DistGraph& g, Communicator& comm, gvid_t root,
   ScopedPool pf(opts.common);
   ThreadPool& tp = pf.get();
   if (opts.direction_optimizing) {
-    // The hybrid schedule expands frontiers sequentially within a rank
-    // (only the flag fills and degree sums run on the pool, and those never
-    // touch the status array); the plain status policy suffices.
+    // The hybrid schedule expands top-down frontiers sequentially within a
+    // rank; the pooled loops (flag fills, degree sums, and the bottom-up
+    // parent scan under non-static schedules) each touch disjoint per-vertex
+    // slots, so the plain status policy suffices.
     return bfs_diropt_impl<PlainStatus>(g, comm, root, opts, tp);
   }
   if (tp.num_threads() == 1)

@@ -26,12 +26,13 @@ enum class Dir {
 
 /// Options common to every analytic.
 struct CommonOptions {
-  /// Intra-rank worker pool (null = 1 thread).  Honoured by the loops with
-  /// data-parallel structure: BFS, PageRank, Label Propagation, and the
-  /// ghost-exchange setup.  The sweep-to-fixpoint analytics (k-core
-  /// peeling, WCC/SCC coloring, SSSP relaxation) run their sweeps serially
-  /// per rank — their in-place updates are what make them converge fast,
-  /// and rank-level parallelism is the paper's primary axis.
+  /// Intra-rank worker pool (null = pool of HPCGRAPH_POOL_THREADS, default
+  /// 1 thread).  Honoured by the loops with data-parallel structure: BFS,
+  /// PageRank, Label Propagation, and the ghost-exchange setup.  Of the
+  /// sweep-to-fixpoint analytics, WCC coloring and k-core peeling switch to
+  /// deterministic chunk-parallel sweep variants under a non-static
+  /// `schedule`; their default in-place serial sweeps are what make them
+  /// converge fast, and rank-level parallelism is the paper's primary axis.
   ThreadPool* pool = nullptr;
   std::size_t qsize = kDefaultQSize;  ///< Algorithm-3 thread-queue capacity
   /// Ghost-exchange wire format for the convergent analytics (Label
@@ -51,6 +52,12 @@ struct CommonOptions {
   /// flight, then finish.  Results are identical to the blocking schedule;
   /// must be set the same on every rank.
   bool overlap = false;
+  /// Intra-rank loop schedule for schedule-aware sweeps (see Schedule and
+  /// DESIGN.md §10): kStatic keeps the legacy equal-count split, kDynamic
+  /// work-steals over a uniform chunk grid, kEdgeBalanced places chunk
+  /// boundaries along the CSR degree prefix.  Analytics outputs are
+  /// bit-identical across all three; must be set the same on every rank.
+  Schedule schedule = Schedule::kStatic;
 };
 
 /// Engine knobs shared by the ported analytics: pool + trace from the
@@ -64,7 +71,31 @@ inline engine::EngineConfig engine_config(
   cfg.trace = o.trace;
   cfg.name = name;
   cfg.overlap = o.overlap;
+  cfg.schedule = o.schedule;
   return cfg;
+}
+
+/// Elementwise sum of the out- and in-CSR prefix arrays: a weight prefix
+/// over combined degree for edge-balanced grids on kBoth sweeps (the sum of
+/// two prefix arrays is the prefix array of the summed degrees).
+inline std::vector<std::uint64_t> both_degree_prefix(
+    const dgraph::DistGraph& g) {
+  const auto out = g.out_index();
+  const auto in = g.in_index();
+  std::vector<std::uint64_t> p(out.size());
+  for (std::size_t i = 0; i < out.size(); ++i) p[i] = out[i] + in[i];
+  return p;
+}
+
+/// Degree prefix (size verts.size()+1) over an explicit vertex list: weight
+/// i is the combined out+in degree of verts[i].  Builds edge-balanced grids
+/// for boundary/interior list sweeps under the overlapped schedule.
+inline std::vector<std::uint64_t> list_both_degree_prefix(
+    const dgraph::DistGraph& g, std::span<const lvid_t> verts) {
+  std::vector<std::uint64_t> p(verts.size() + 1, 0);
+  for (std::size_t i = 0; i < verts.size(); ++i)
+    p[i + 1] = p[i] + g.out_degree(verts[i]) + g.in_degree(verts[i]);
+  return p;
 }
 
 /// The pool-or-inline fallback every analytic needs: resolves the options'

@@ -40,6 +40,7 @@ struct Peeler {
   std::vector<lvid_t> inc_verts;
   std::vector<lvid_t> flipped;          ///< ghosts newly dead this sweep
   std::uint64_t alive_local;
+  ChunkGrid scan_grid;                  ///< mark-scan grid (built lazily)
 
   Peeler(const DistGraph& g_, Communicator& comm, const CommonOptions& opts)
       : g(g_),
@@ -88,6 +89,46 @@ struct Peeler {
     return removed;
   }
 
+  /// Schedule-aware variant of remove_below: a parallel read-only mark scan
+  /// collects per-chunk candidate lists (alive vertices below the limit),
+  /// then a serial apply in chunk order performs the removals and degree
+  /// decrements.  Candidates are judged against the sweep-start degree
+  /// snapshot, so the in-sweep cascade of the serial path (a removal
+  /// dragging a later vertex below the limit within the same sweep) is
+  /// deferred to the next sweep — possibly more sweeps to the same
+  /// order-independent fixpoint, and bit-identical deg/alive/bound outputs.
+  template <typename F>
+  std::uint64_t remove_below_scheduled(std::uint64_t limit, F&& on_remove,
+                                       ThreadPool& tp, Schedule sched) {
+    // The scan is O(1) per vertex (no adjacency walk), so the grid is
+    // uniform-weight; chunk geometry is a pure function of n_loc.
+    if (scan_grid.empty() && g.n_loc() > 0)
+      scan_grid = make_grid(sched, g.n_loc(), {}, tp.num_threads());
+    std::vector<std::vector<lvid_t>> cand(scan_grid.size());
+    tp.for_chunks(scan_grid, sched,
+                  [&](unsigned, std::uint64_t c, const Chunk& ck) {
+                    for (std::uint64_t v = ck.begin; v < ck.end; ++v)
+                      if (alive[v] && deg[v] < limit)
+                        cand[c].push_back(static_cast<lvid_t>(v));
+                  });
+    std::uint64_t removed = 0;
+    for (const std::vector<lvid_t>& list : cand) {
+      for (const lvid_t v : list) {
+        alive[v] = 0;
+        gx.mark_changed(v);
+        on_remove(v);
+        ++removed;
+        --alive_local;
+        const auto drop = [&](lvid_t u) {
+          if (!g.is_ghost(u) && alive[u] && deg[u] > 0) --deg[u];
+        };
+        for (const lvid_t u : g.out_neighbors(v)) drop(u);
+        for (const lvid_t u : g.in_neighbors(v)) drop(u);
+      }
+    }
+    return removed;
+  }
+
   /// Apply each newly dead ghost's incident edge occurrences as local
   /// degree decrements (post-exchange half of a sweep).
   void apply_flipped() {
@@ -116,6 +157,11 @@ struct Peeler {
 template <typename F>
 struct PeelKernel {
   using Value = std::uint8_t;
+  // Schedule-aware: non-static schedules run the two-phase mark/apply sweep
+  // (parallel candidate scan, serial chunk-order apply).  The peeling
+  // fixpoint is order-independent, so bound[]/core[] are bit-identical;
+  // only the unpinned per-stage sweep count may differ.
+  static constexpr bool kScheduleAware = true;
 
   Peeler& p;
   std::uint64_t limit;
@@ -128,7 +174,11 @@ struct PeelKernel {
   std::vector<lvid_t>* changed_ghosts() { return &p.flipped; }
 
   void compute(engine::StepContext& ctx) {
-    ctx.active_local = p.remove_below(limit, on_remove);
+    if (ctx.schedule == Schedule::kStatic)
+      ctx.active_local = p.remove_below(limit, on_remove);
+    else
+      ctx.active_local = p.remove_below_scheduled(limit, on_remove, ctx.pool,
+                                                  ctx.schedule);
     ctx.touched_local = p.g.n_loc();
   }
 

@@ -21,6 +21,7 @@ struct LabelPropKernel {
   const LabelPropOptions& opts;
   std::vector<std::uint64_t> labels;  // locals + ghosts (exchanged)
   std::vector<std::uint64_t> prev;    // pre-round snapshot (Jacobi reads it)
+  ChunkGrid full_grid, bnd_grid, int_grid;  // degree-weighted (built lazily)
 
   using Value = std::uint64_t;
   // Overlap-safe in the default Jacobi mode: every vertex's new label is a
@@ -29,6 +30,12 @@ struct LabelPropKernel {
   // (later vertices read earlier updates), so it vetoes at runtime.
   static constexpr bool kOverlapSafe = true;
   bool overlap_ok() const { return !opts.in_place; }
+  // Schedule-aware in Jacobi mode for the same reason: the sweep is a pure
+  // per-vertex function of the snapshot, so labels are bit-identical under
+  // any chunk grid.  In-place Gauss-Seidel depends on sweep order and vetoes
+  // (it keeps the legacy static split).
+  static constexpr bool kScheduleAware = true;
+  bool schedule_ok() const { return !opts.in_place; }
 
   LabelPropKernel(const DistGraph& g_, const LabelPropOptions& o)
       : g(g_), opts(o), labels(g_.n_total()) {
@@ -68,26 +75,39 @@ struct LabelPropKernel {
       }
       labels[v] = picked;  // Gauss-Seidel when read aliases labels
     };
+    // Per-vertex sweep cost is out+in degree, so the grids are weighted by
+    // the combined-degree prefix; one grid per sweep slice, built lazily
+    // (the boundary/interior lists are fixed for the run).
     if (ctx.sweep == engine::SweepPhase::kFull) {
-      ctx.pool.for_range(0, g.n_loc(), [&](unsigned, std::uint64_t lo,
-                                           std::uint64_t hi) {
-        LabelCounter lmap;
-        std::uint64_t changed_chunk = 0;
-        for (std::uint64_t vi = lo; vi < hi; ++vi)
-          sweep_one(static_cast<lvid_t>(vi), lmap, changed_chunk);
-        if (changed_chunk) changed.add(changed_chunk);
-      });
+      if (full_grid.empty() && g.n_loc() > 0)
+        full_grid = make_grid(ctx.schedule, g.n_loc(), both_degree_prefix(g),
+                              ctx.pool.num_threads());
+      ctx.pool.for_ranges(full_grid, ctx.schedule,
+                          [&](unsigned, std::uint64_t lo, std::uint64_t hi) {
+                            LabelCounter lmap;
+                            std::uint64_t changed_chunk = 0;
+                            for (std::uint64_t vi = lo; vi < hi; ++vi)
+                              sweep_one(static_cast<lvid_t>(vi), lmap,
+                                        changed_chunk);
+                            if (changed_chunk) changed.add(changed_chunk);
+                          });
       ctx.touched_local += g.n_loc();
     } else {
       const std::span<const lvid_t> verts = ctx.sweep_vertices;
-      ctx.pool.for_range(0, verts.size(), [&](unsigned, std::uint64_t lo,
-                                              std::uint64_t hi) {
-        LabelCounter lmap;
-        std::uint64_t changed_chunk = 0;
-        for (std::uint64_t i = lo; i < hi; ++i)
-          sweep_one(verts[i], lmap, changed_chunk);
-        if (changed_chunk) changed.add(changed_chunk);
-      });
+      ChunkGrid& grid =
+          ctx.sweep == engine::SweepPhase::kBoundary ? bnd_grid : int_grid;
+      if (grid.empty() && !verts.empty())
+        grid = make_grid(ctx.schedule, verts.size(),
+                         list_both_degree_prefix(g, verts),
+                         ctx.pool.num_threads());
+      ctx.pool.for_ranges(grid, ctx.schedule,
+                          [&](unsigned, std::uint64_t lo, std::uint64_t hi) {
+                            LabelCounter lmap;
+                            std::uint64_t changed_chunk = 0;
+                            for (std::uint64_t i = lo; i < hi; ++i)
+                              sweep_one(verts[i], lmap, changed_chunk);
+                            if (changed_chunk) changed.add(changed_chunk);
+                          });
       ctx.touched_local += verts.size();
     }
 

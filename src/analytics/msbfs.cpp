@@ -26,6 +26,16 @@ int run_batch(const DistGraph& g, Communicator& comm, GhostExchange& gx,
   const std::size_t n_total = g.n_total();
   const unsigned nt = tp.num_threads();
   const std::uint64_t full = bits::low_mask(batch.size());
+  const Schedule sched = opts.common.schedule;
+
+  const auto deg_dir = [&](lvid_t v) -> std::uint64_t {
+    switch (opts.dir) {
+      case Dir::kOut: return g.out_degree(v);
+      case Dir::kIn: return g.in_degree(v);
+      case Dir::kBoth: return g.out_degree(v) + g.in_degree(v);
+    }
+    return 0;
+  };
 
   // Per-vertex visit masks over locals + ghosts; bit j belongs to batch[j].
   std::vector<std::uint64_t> seen(n_total, 0);
@@ -46,7 +56,12 @@ int run_batch(const DistGraph& g, Communicator& comm, GhostExchange& gx,
   }
   if (!act.empty()) visit(0, newly, batch, batch_begin);
 
-  std::vector<std::vector<lvid_t>> tact(nt);
+  // Finalize grid: chunk geometry over the locals; per-chunk active lists
+  // concatenated in chunk order keep act[] (and hence every downstream
+  // collective payload) bit-identical across schedules and thread counts.
+  const ChunkGrid fin_grid = make_grid(sched, n_loc, {}, nt);
+  std::vector<std::vector<lvid_t>> cact(fin_grid.size());
+  ChunkGrid pull_grid;  // reverse-degree weighted, built on first pull level
   std::uint64_t active_global = comm.allreduce_sum<std::uint64_t>(act.size());
   std::int64_t level = 0;
   int num_levels = 0;
@@ -63,8 +78,21 @@ int run_batch(const DistGraph& g, Communicator& comm, GhostExchange& gx,
       // adjacency of every unsaturated vertex.  Writes are per-destination:
       // no atomics. ----
       gx.exchange(std::span<std::uint64_t>(frontier), comm);
-      tp.for_range(0, n_loc, [&](unsigned, std::uint64_t lo,
-                                 std::uint64_t hi) {
+      if (pull_grid.empty() && n_loc > 0) {
+        // Gather cost is bounded by reverse-adjacency degree.
+        std::vector<std::uint64_t> rev(n_loc + 1, 0);
+        for (lvid_t v = 0; v < n_loc; ++v) {
+          std::uint64_t d = 0;
+          if (opts.dir == Dir::kOut || opts.dir == Dir::kBoth)
+            d += g.in_degree(v);
+          if (opts.dir == Dir::kIn || opts.dir == Dir::kBoth)
+            d += g.out_degree(v);
+          rev[v + 1] = rev[v] + d;
+        }
+        pull_grid = make_grid(sched, n_loc, rev, nt);
+      }
+      tp.for_ranges(pull_grid, sched, [&](unsigned, std::uint64_t lo,
+                                          std::uint64_t hi) {
         for (std::uint64_t i = lo; i < hi; ++i) {
           const lvid_t v = static_cast<lvid_t>(i);
           if ((~seen[v] & full) == 0) {  // already reached by every root
@@ -84,14 +112,24 @@ int run_batch(const DistGraph& g, Communicator& comm, GhostExchange& gx,
       // ---- Sparse (push): scatter active masks along the traversal
       // adjacency; bits for remote vertices accumulate on ghost replicas
       // and OR-merge into the owners through the reverse exchange. ----
-      tp.for_range(0, n_total,
+      tp.for_range(0, n_total, sched,
                    [&](unsigned, std::uint64_t lo, std::uint64_t hi) {
                      std::fill(next.begin() + static_cast<std::ptrdiff_t>(lo),
                                next.begin() + static_cast<std::ptrdiff_t>(hi),
                                std::uint64_t{0});
                    });
       const bool concurrent = nt > 1;
-      tp.for_range(0, act.size(), [&](unsigned, std::uint64_t lo,
+      // Scatter cost is the active vertex's traversal degree; the frontier
+      // changes every level, so the edge-balanced grid is rebuilt per level.
+      std::vector<std::uint64_t> aprefix;
+      if (sched == Schedule::kEdgeBalanced) {
+        aprefix.resize(act.size() + 1);
+        aprefix[0] = 0;
+        for (std::size_t i = 0; i < act.size(); ++i)
+          aprefix[i + 1] = aprefix[i] + deg_dir(act[i]);
+      }
+      const ChunkGrid sgrid = make_grid(sched, act.size(), aprefix, nt);
+      tp.for_ranges(sgrid, sched, [&](unsigned, std::uint64_t lo,
                                       std::uint64_t hi) {
         for (std::uint64_t i = lo; i < hi; ++i) {
           const lvid_t v = act[i];
@@ -114,23 +152,23 @@ int run_batch(const DistGraph& g, Communicator& comm, GhostExchange& gx,
     }
 
     // ---- Finalize the level: newly = next & ~seen, batch-wide at once. ----
-    for (auto& tv : tact) tv.clear();
-    tp.for_range(0, n_loc, [&](unsigned tid, std::uint64_t lo,
-                               std::uint64_t hi) {
-      auto& mine = tact[tid];
-      for (std::uint64_t i = lo; i < hi; ++i) {
-        const lvid_t v = static_cast<lvid_t>(i);
-        const std::uint64_t nw = next[v] & ~seen[v];
-        newly[v] = nw;
-        frontier[v] = nw;
-        if (nw != 0) {
-          seen[v] |= nw;
-          mine.push_back(v);
-        }
-      }
-    });
+    for (auto& cv : cact) cv.clear();
+    tp.for_chunks(fin_grid, sched,
+                  [&](unsigned, std::uint64_t c, const Chunk& ck) {
+                    auto& mine = cact[c];
+                    for (std::uint64_t i = ck.begin; i < ck.end; ++i) {
+                      const lvid_t v = static_cast<lvid_t>(i);
+                      const std::uint64_t nw = next[v] & ~seen[v];
+                      newly[v] = nw;
+                      frontier[v] = nw;
+                      if (nw != 0) {
+                        seen[v] |= nw;
+                        mine.push_back(v);
+                      }
+                    }
+                  });
     act.clear();
-    for (const auto& tv : tact) act.insert(act.end(), tv.begin(), tv.end());
+    for (const auto& cv : cact) act.insert(act.end(), cv.begin(), cv.end());
 
     ++level;
     if (!act.empty()) visit(level, newly, batch, batch_begin);
@@ -172,6 +210,7 @@ MsBfsResult msbfs_visit(const DistGraph& g, Communicator& comm,
     own.emplace(g, comm, dgraph::Adjacency::kBoth, opts.common.pool);
     gx = &*own;
   }
+  gx->set_schedule(opts.common.schedule);
 
   MsBfsResult res;
   res.n_roots = roots.size();

@@ -3,7 +3,6 @@
 #include <cmath>
 
 #include "engine/superstep.hpp"
-#include "util/atomics.hpp"
 
 namespace hpcgraph::analytics {
 
@@ -25,6 +24,10 @@ struct PageRankKernel {
   // sweeping boundary and interior in separate calls fills the same bits,
   // and apply() reads ghosts only after the engine's exchange completes.
   static constexpr bool kOverlapSafe = true;
+  // Schedule-aware: every sweep writes pure per-vertex values (bit-identical
+  // under any chunking) and the L1 residual reduces per-chunk partials in
+  // chunk order, so scores match across schedules and thread counts.
+  static constexpr bool kScheduleAware = true;
 
   const DistGraph& g;
   const PageRankOptions& opts;
@@ -33,6 +36,7 @@ struct PageRankKernel {
   std::vector<double> next;      // locals only
   std::vector<double> contrib;   // locals + ghosts (the exchanged array)
   double base = 0;               // this round's teleport + dangling share
+  ChunkGrid gather_grid;         // in-degree-weighted grid (built lazily)
 
   PageRankKernel(const DistGraph& g_, const PageRankOptions& o)
       : g(g_),
@@ -69,35 +73,43 @@ struct PageRankKernel {
       contrib[v] = d ? opts.damping * rank[v] / static_cast<double>(d) : 0.0;
     };
     if (ctx.sweep == engine::SweepPhase::kFull) {
-      ctx.pool.for_range(0, g.n_loc(), [&](unsigned, std::uint64_t lo,
-                                           std::uint64_t hi) {
-        for (std::uint64_t v = lo; v < hi; ++v)
-          fill(static_cast<lvid_t>(v));
-      });
+      ctx.pool.for_range(0, g.n_loc(), ctx.schedule,
+                         [&](unsigned, std::uint64_t lo, std::uint64_t hi) {
+                           for (std::uint64_t v = lo; v < hi; ++v)
+                             fill(static_cast<lvid_t>(v));
+                         });
     } else {
       const std::span<const lvid_t> verts = ctx.sweep_vertices;
-      ctx.pool.for_range(0, verts.size(), [&](unsigned, std::uint64_t lo,
-                                              std::uint64_t hi) {
-        for (std::uint64_t i = lo; i < hi; ++i) fill(verts[i]);
-      });
+      ctx.pool.for_range(0, verts.size(), ctx.schedule,
+                         [&](unsigned, std::uint64_t lo, std::uint64_t hi) {
+                           for (std::uint64_t i = lo; i < hi; ++i)
+                             fill(verts[i]);
+                         });
     }
   }
 
   void apply(StepContext& ctx) {
-    double delta_local = 0;
-    ctx.pool.for_range(0, g.n_loc(), [&](unsigned, std::uint64_t lo,
-                                         std::uint64_t hi) {
-      double delta_chunk = 0;
-      for (std::uint64_t v = lo; v < hi; ++v) {
-        double sum = base;
-        for (const lvid_t u : g.in_neighbors(static_cast<lvid_t>(v)))
-          sum += contrib[u];
-        next[v] = sum;
-        delta_chunk += std::fabs(sum - rank[v]);
-      }
-      // Threads write distinct ranges; fold the partial delta atomically.
-      atomic_add_relaxed(delta_local, delta_chunk);
-    });
+    // The in-neighbour gather is the skew-sensitive loop: its cost per
+    // vertex is in-degree, so the grid is built over the in-CSR prefix (one
+    // hub-heavy static chunk otherwise serializes the sweep).  next[v] is a
+    // pure per-vertex function — bit-identical under any chunking — and the
+    // L1 delta folds per-chunk partials in chunk order, making the residual
+    // a pure function of the grid.
+    if (gather_grid.empty() && g.n_loc() > 0)
+      gather_grid = make_grid(ctx.schedule, g.n_loc(), g.in_index(),
+                              ctx.pool.num_threads());
+    const double delta_local = ctx.pool.reduce_chunks(
+        gather_grid, ctx.schedule, [&](const Chunk& ck) {
+          double delta_chunk = 0;
+          for (std::uint64_t v = ck.begin; v < ck.end; ++v) {
+            double sum = base;
+            for (const lvid_t u : g.in_neighbors(static_cast<lvid_t>(v)))
+              sum += contrib[u];
+            next[v] = sum;
+            delta_chunk += std::fabs(sum - rank[v]);
+          }
+          return delta_chunk;
+        });
     rank.swap(next);
     ctx.active_local = g.n_loc();
     ctx.touched_local = g.n_loc();

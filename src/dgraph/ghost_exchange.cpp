@@ -11,11 +11,10 @@ using parcomm::Communicator;
 
 GhostExchange::GhostExchange(const DistGraph& g, Communicator& comm,
                              Adjacency adj, ThreadPool* pool)
-    : pool_(pool), adj_(adj) {
+    : pool_(pool), pf_(pool), adj_(adj) {
   const int p = comm.size();
   const int me = comm.rank();
-  PoolFallback pf(pool);
-  ThreadPool& tp = pf.get();
+  ThreadPool& tp = pf_.get();
   const unsigned nt = tp.num_threads();
 
   // Whether u (a local-or-ghost id adjacent to v) marks v as needed by u's
@@ -111,6 +110,12 @@ GhostExchange::GhostExchange(const DistGraph& g, Communicator& comm,
 
   dirty_.assign(g.n_loc(), 0);
   chg_counts_.assign(p, 0);
+  // Fixed chunk grid over the retained slots: the sparse count/pack passes
+  // key their cursors by chunk id, so the wire payload is independent of
+  // schedule and thread count (see pack_sparse).
+  slot_grid_ = ChunkGrid::items(send_local_.size());
+  chg_chunk_counts_.assign(slot_grid_.size() * static_cast<std::size_t>(p), 0);
+  chg_chunk_base_.assign(slot_grid_.size() * static_cast<std::size_t>(p), 0);
   entries_global_ =
       comm.allreduce_sum(static_cast<std::uint64_t>(send_local_.size()));
   n_total_ = g.n_total();
@@ -118,34 +123,39 @@ GhostExchange::GhostExchange(const DistGraph& g, Communicator& comm,
 
 std::uint64_t GhostExchange::count_changed(ThreadPool& tp) {
   const std::size_t p = send_counts_.size();
-  const unsigned nt = tp.num_threads();
-  if (chg_tcounts_.size() != nt)
-    chg_tcounts_.resize(nt, std::vector<std::uint64_t>(p, 0));
-  // Zero serially first: a thread whose chunk is empty never runs the lambda,
-  // and stale counts from a previous round would corrupt the cursors.
-  for (auto& counts : chg_tcounts_) counts.assign(p, 0);
-  tp.for_range(0, send_local_.size(),
-               [&](unsigned tid, std::uint64_t lo, std::uint64_t hi) {
-                 if (lo >= hi) return;
-                 auto& counts = chg_tcounts_[tid];
-                 std::size_t d = dest_of_slot(lo);
-                 for (std::uint64_t i = lo; i < hi; ++i) {
-                   while (i >= send_displs_[d + 1]) ++d;
-                   counts[d] += dirty_[send_local_[i]];
-                 }
-               });
+  const std::size_t nc = slot_grid_.size();
+  // Pass 1 of the count/fill scheme: per-chunk per-destination dirty counts
+  // over the fixed slot grid.  Each chunk writes only its own row, so any
+  // thread may run any chunk.
+  tp.for_chunks(slot_grid_, sched_,
+                [&](unsigned, std::uint64_t c, const Chunk& ck) {
+                  std::uint64_t* counts = &chg_chunk_counts_[c * p];
+                  std::fill(counts, counts + p, 0);
+                  std::size_t d = dest_of_slot(ck.begin);
+                  for (std::uint64_t i = ck.begin; i < ck.end; ++i) {
+                    while (i >= send_displs_[d + 1]) ++d;
+                    counts[d] += dirty_[send_local_[i]];
+                  }
+                });
+  // Serial fold in chunk order: per-destination totals, then each chunk's
+  // pack cursor base (sdispl[d] + all lower chunks' counts in d).
   std::uint64_t total = 0;
   std::fill(chg_counts_.begin(), chg_counts_.end(), 0);
-  for (unsigned t = 0; t < nt; ++t)
+  for (std::size_t c = 0; c < nc; ++c)
     for (std::size_t d = 0; d < p; ++d) {
-      chg_counts_[d] += chg_tcounts_[t][d];
-      total += chg_tcounts_[t][d];
+      chg_chunk_base_[c * p + d] = chg_counts_[d];
+      chg_counts_[d] += chg_chunk_counts_[c * p + d];
+      total += chg_chunk_counts_[c * p + d];
     }
+  const std::vector<std::uint64_t> sdispl =
+      csr_offsets(std::span<const std::uint64_t>(chg_counts_));
+  for (std::size_t c = 0; c < nc; ++c)
+    for (std::size_t d = 0; d < p; ++d) chg_chunk_base_[c * p + d] += sdispl[d];
   return total;
 }
 
 void GhostExchange::clear_dirty(ThreadPool& tp) {
-  tp.for_range(0, dirty_.size(),
+  tp.for_range(0, dirty_.size(), sched_,
                [&](unsigned, std::uint64_t lo, std::uint64_t hi) {
                  std::fill(dirty_.begin() + static_cast<std::ptrdiff_t>(lo),
                            dirty_.begin() + static_cast<std::ptrdiff_t>(hi),

@@ -164,6 +164,16 @@ class GhostExchange {
     return n;
   }
 
+  /// Loop schedule for the pack/scatter staging loops (see Schedule).  The
+  /// sparse count/pack passes run over a fixed slot chunk grid built at
+  /// setup, so the wire payload stays slot-ordered — bit-identical — under
+  /// every schedule and thread count.  kEdgeBalanced degrades to kDynamic
+  /// here (retained slots are uniform-weight; there is no CSR prefix to
+  /// balance against).  Set by the superstep engine alongside the kernel's
+  /// schedule; harmless to leave at the kStatic default.
+  void set_schedule(Schedule s) { sched_ = s; }
+  Schedule schedule() const { return sched_; }
+
   /// Crossover factor `c` of the adaptive byte-cost model: a round goes
   /// sparse iff changed_global * sizeof(SlotVal<T>) < c * dense_bytes.
   /// 1.0 (default) = exact byte model; lower biases toward dense (e.g. to
@@ -233,8 +243,7 @@ class GhostExchange {
                  "value array must cover locals + ghosts");
     HG_CHECK_MSG(!async_.valid(),
                  "exchange_start with a split-phase round already in flight");
-    PoolFallback pf(pool_);
-    ThreadPool& tp = pf.get();
+    ThreadPool& tp = pf_.get();
 
     bool sparse = false;
     std::uint64_t changed_local = 0;
@@ -257,28 +266,9 @@ class GhostExchange {
     if (sparse) {
       async_bytes_.resize(changed_local * sizeof(Pair));
       Pair* pairs = reinterpret_cast<Pair*>(async_bytes_.data());
-      const std::vector<std::uint64_t> sdispl =
-          csr_offsets(std::span<const std::uint64_t>(chg_counts_));
       {
         Timer t;
-        tp.for_range(0, send_local_.size(),
-                     [&](unsigned tid, std::uint64_t lo, std::uint64_t hi) {
-                       std::vector<std::uint64_t> cur(p);
-                       for (std::size_t d = 0; d < p; ++d) {
-                         cur[d] = sdispl[d];
-                         for (unsigned t2 = 0; t2 < tid; ++t2)
-                           cur[d] += chg_tcounts_[t2][d];
-                       }
-                       std::size_t d = dest_of_slot(lo);
-                       for (std::uint64_t i = lo; i < hi; ++i) {
-                         while (i >= send_displs_[d + 1]) ++d;
-                         const lvid_t v = send_local_[i];
-                         if (!dirty_[v]) continue;
-                         pairs[cur[d]++] = Pair{
-                             static_cast<std::uint32_t>(i - send_displs_[d]),
-                             vals[v]};
-                       }
-                     });
+        pack_sparse(vals.data(), pairs, tp);
         comm.phase_timer().add_pack(t.elapsed());
       }
       for (std::size_t d = 0; d < p; ++d)
@@ -288,7 +278,7 @@ class GhostExchange {
       T* send = reinterpret_cast<T*>(async_bytes_.data());
       {
         Timer t;
-        tp.for_range(0, send_local_.size(),
+        tp.for_range(0, send_local_.size(), sched_,
                      [&](unsigned, std::uint64_t lo, std::uint64_t hi) {
                        for (std::uint64_t i = lo; i < hi; ++i)
                          send[i] = vals[send_local_[i]];
@@ -333,8 +323,7 @@ class GhostExchange {
                  "exchange_finish without a round in flight");
     HG_CHECK_MSG(async_elem_ == sizeof(T),
                  "exchange_finish element type differs from exchange_start");
-    PoolFallback pf(pool_);
-    ThreadPool& tp = pf.get();
+    ThreadPool& tp = pf_.get();
     if (changed_ghosts) changed_ghosts->clear();
 
     std::vector<std::uint64_t> rbytes;
@@ -384,14 +373,13 @@ class GhostExchange {
     static_assert(std::is_trivially_copyable_v<T>);
     HG_CHECK_MSG(vals.size() >= n_total_,
                  "value array must cover locals + ghosts");
-    PoolFallback pf(pool_);
-    ThreadPool& tp = pf.get();
+    ThreadPool& tp = pf_.get();
 
     payload_bytes_.resize(recv_local_.size() * sizeof(T));
     T* send = reinterpret_cast<T*>(payload_bytes_.data());
     {
       Timer t;
-      tp.for_range(0, recv_local_.size(),
+      tp.for_range(0, recv_local_.size(), sched_,
                    [&](unsigned, std::uint64_t lo, std::uint64_t hi) {
                      for (std::uint64_t i = lo; i < hi; ++i)
                        send[i] = vals[recv_local_[i]];
@@ -447,8 +435,7 @@ class GhostExchange {
     static_assert(std::is_trivially_copyable_v<T>);
     HG_CHECK_MSG(vals.size() >= n_total_,
                  "value array must cover locals + ghosts");
-    PoolFallback pf(pool_);
-    ThreadPool& tp = pf.get();
+    ThreadPool& tp = pf_.get();
     if (changed_ghosts) changed_ghosts->clear();
 
     bool sparse = false;
@@ -484,7 +471,7 @@ class GhostExchange {
     T* send = reinterpret_cast<T*>(payload_bytes_.data());
     {
       Timer t;
-      tp.for_range(0, send_local_.size(),
+      tp.for_range(0, send_local_.size(), sched_,
                    [&](unsigned, std::uint64_t lo, std::uint64_t hi) {
                      for (std::uint64_t i = lo; i < hi; ++i)
                        send[i] = vals[send_local_[i]];
@@ -510,67 +497,75 @@ class GhostExchange {
                      ThreadPool& tp, std::vector<lvid_t>* changed_ghosts,
                      F&& combine) {
     if (!changed_ghosts) {
-      tp.for_range(0, n, [&](unsigned, std::uint64_t lo, std::uint64_t hi) {
-        for (std::uint64_t i = lo; i < hi; ++i) {
-          T& dst = vals[recv_local_[i]];
-          dst = combine(dst, recv[i]);
-        }
-      });
+      tp.for_range(0, n, sched_,
+                   [&](unsigned, std::uint64_t lo, std::uint64_t hi) {
+                     for (std::uint64_t i = lo; i < hi; ++i) {
+                       T& dst = vals[recv_local_[i]];
+                       dst = combine(dst, recv[i]);
+                     }
+                   });
     } else {
-      std::vector<std::vector<lvid_t>> tchg(tp.num_threads());
-      tp.for_range(0, n, [&](unsigned tid, std::uint64_t lo,
-                             std::uint64_t hi) {
-        auto& out = tchg[tid];
-        for (std::uint64_t i = lo; i < hi; ++i) {
-          const lvid_t l = recv_local_[i];
-          const T nv = combine(vals[l], recv[i]);
-          if (vals[l] != nv) out.push_back(l);
-          vals[l] = nv;
-        }
-      });
-      for (const auto& c : tchg)
+      // Per-chunk changed lists concatenated in chunk order: the reported
+      // list is deterministic under every schedule and thread count.
+      const ChunkGrid grid = make_grid(sched_, n, {}, tp.num_threads());
+      std::vector<std::vector<lvid_t>> cchg(grid.size());
+      tp.for_chunks(grid, sched_,
+                    [&](unsigned, std::uint64_t c, const Chunk& ck) {
+                      auto& out = cchg[c];
+                      for (std::uint64_t i = ck.begin; i < ck.end; ++i) {
+                        const lvid_t l = recv_local_[i];
+                        const T nv = combine(vals[l], recv[i]);
+                        if (vals[l] != nv) out.push_back(l);
+                        vals[l] = nv;
+                      }
+                    });
+      for (const auto& c : cchg)
         changed_ghosts->insert(changed_ghosts->end(), c.begin(), c.end());
     }
   }
 
+  // Sparse pack: pass 2 of the count/fill scheme over the fixed slot grid.
+  // Chunk c's write cursor in destination d starts at chg_chunk_base_[c*p+d]
+  // (sdispl[d] plus every lower chunk's count, precomputed serially by
+  // count_changed), so pairs land slot-ordered per destination regardless
+  // of which thread runs which chunk — the wire payload is bit-identical
+  // under every schedule and thread count.
+  template <typename T>
+  void pack_sparse(const T* vals, SlotVal<T>* pairs, ThreadPool& tp) {
+    const std::size_t p = send_counts_.size();
+    tp.for_chunks(slot_grid_, sched_,
+                  [&](unsigned, std::uint64_t c, const Chunk& ck) {
+                    std::vector<std::uint64_t> cur(
+                        chg_chunk_base_.begin() +
+                            static_cast<std::ptrdiff_t>(c * p),
+                        chg_chunk_base_.begin() +
+                            static_cast<std::ptrdiff_t>((c + 1) * p));
+                    std::size_t d = dest_of_slot(ck.begin);
+                    for (std::uint64_t i = ck.begin; i < ck.end; ++i) {
+                      while (i >= send_displs_[d + 1]) ++d;
+                      const lvid_t v = send_local_[i];
+                      if (!dirty_[v]) continue;
+                      pairs[cur[d]++] = SlotVal<T>{
+                          static_cast<std::uint32_t>(i - send_displs_[d]),
+                          vals[v]};
+                    }
+                  });
+  }
+
   // Sparse round: ship (slot, value) pairs for the `changed_local` marked
-  // slots counted by count_changed() (which also filled chg_tcounts_ /
-  // chg_counts_ for this exact pool chunking).
+  // slots counted by count_changed() (which also filled the per-chunk
+  // counts and cursor bases over the fixed slot grid).
   template <typename T, typename F>
   void exchange_sparse(std::span<T> vals, parcomm::Communicator& comm,
                        ThreadPool& tp, std::uint64_t changed_local,
                        std::vector<lvid_t>* changed_ghosts, F&& combine) {
     using Pair = SlotVal<T>;
     static_assert(std::is_trivially_copyable_v<Pair>);
-    const std::size_t p = send_counts_.size();
     payload_bytes_.resize(changed_local * sizeof(Pair));
     Pair* pairs = reinterpret_cast<Pair*>(payload_bytes_.data());
-
-    // Pack: pass 2 of the count/fill scheme.  Thread t's chunk of slots is
-    // the same contiguous range as in count_changed, so its write cursor in
-    // destination d starts after all lower threads' contributions.
-    const std::vector<std::uint64_t> sdispl =
-        csr_offsets(std::span<const std::uint64_t>(chg_counts_));
     {
       Timer t;
-      tp.for_range(0, send_local_.size(),
-                   [&](unsigned tid, std::uint64_t lo, std::uint64_t hi) {
-                     std::vector<std::uint64_t> cur(p);
-                     for (std::size_t d = 0; d < p; ++d) {
-                       cur[d] = sdispl[d];
-                       for (unsigned t2 = 0; t2 < tid; ++t2)
-                         cur[d] += chg_tcounts_[t2][d];
-                     }
-                     std::size_t d = dest_of_slot(lo);
-                     for (std::uint64_t i = lo; i < hi; ++i) {
-                       while (i >= send_displs_[d + 1]) ++d;
-                       const lvid_t v = send_local_[i];
-                       if (!dirty_[v]) continue;
-                       pairs[cur[d]++] = Pair{
-                           static_cast<std::uint32_t>(i - send_displs_[d]),
-                           vals[v]};
-                     }
-                   });
+      pack_sparse(vals.data(), pairs, tp);
       comm.phase_timer().add_pack(t.elapsed());
     }
 
@@ -601,27 +596,29 @@ class GhostExchange {
                       F&& combine) {
     using Pair = SlotVal<T>;
     const std::vector<std::uint64_t> rdispl = csr_offsets(rcounts);
-    std::vector<std::vector<lvid_t>> tchg(
-        changed_ghosts ? tp.num_threads() : 0);
-    tp.for_range(0, n, [&](unsigned tid, std::uint64_t lo, std::uint64_t hi) {
+    const ChunkGrid grid = make_grid(sched_, n, {}, tp.num_threads());
+    std::vector<std::vector<lvid_t>> cchg(changed_ghosts ? grid.size() : 0);
+    tp.for_chunks(grid, sched_,
+                  [&](unsigned, std::uint64_t c, const Chunk& ck) {
       std::size_t s =
           static_cast<std::size_t>(
-              std::upper_bound(rdispl.begin(), rdispl.end(), lo) -
+              std::upper_bound(rdispl.begin(), rdispl.end(), ck.begin) -
               rdispl.begin()) -
           1;
-      for (std::uint64_t j = lo; j < hi; ++j) {
+      for (std::uint64_t j = ck.begin; j < ck.end; ++j) {
         while (j >= rdispl[s + 1]) ++s;
         const Pair& pr = recv[j];
         const std::uint64_t pos = recv_displs_[s] + pr.slot;
         HG_DCHECK(pos < recv_displs_[s + 1]);
         const lvid_t l = recv_local_[pos];
         const T nv = combine(vals[l], pr.value);
-        if (changed_ghosts && vals[l] != nv) tchg[tid].push_back(l);
+        if (changed_ghosts && vals[l] != nv) cchg[c].push_back(l);
         vals[l] = nv;
       }
     });
+    // Chunk-order concatenation keeps the reported list deterministic.
     if (changed_ghosts)
-      for (const auto& c : tchg)
+      for (const auto& c : cchg)
         changed_ghosts->insert(changed_ghosts->end(), c.begin(), c.end());
   }
 
@@ -633,8 +630,10 @@ class GhostExchange {
            1;
   }
 
-  /// Count dirty slots per destination into chg_tcounts_ (per pool thread)
-  /// and chg_counts_; returns the total.  Non-template, lives in the .cpp.
+  /// Count dirty slots per destination, per chunk of the fixed slot grid
+  /// (chg_chunk_counts_), fold into chg_counts_ and precompute the pack
+  /// cursor bases (chg_chunk_base_); returns the total.  Non-template,
+  /// lives in the .cpp.
   std::uint64_t count_changed(ThreadPool& tp);
   void clear_dirty(ThreadPool& tp);
 
@@ -653,10 +652,14 @@ class GhostExchange {
   std::uint32_t async_elem_ = 0;            // sizeof(T) of the round
   std::uint64_t async_changed_ = 0;         // changed slots shipped (sparse)
   std::vector<std::uint8_t> dirty_;         // per local vertex changed flag
-  std::vector<std::vector<std::uint64_t>> chg_tcounts_;  // [thread][dest]
-  std::vector<std::uint64_t> chg_counts_;                // per-dest changed
+  ChunkGrid slot_grid_;                     // fixed grid over retained slots
+  std::vector<std::uint64_t> chg_chunk_counts_;  // [chunk*p + dest] changed
+  std::vector<std::uint64_t> chg_chunk_base_;    // [chunk*p + dest] cursors
+  std::vector<std::uint64_t> chg_counts_;        // per-dest changed
   ThreadPool* pool_ = nullptr;
+  PoolFallback pf_{nullptr};                // persistent pool-or-inline
   Adjacency adj_ = Adjacency::kBoth;        // rule the plan was built with
+  Schedule sched_ = Schedule::kStatic;      // pack/scatter loop schedule
   std::uint64_t entries_global_ = 0;        // allreduced send entries
   double sparse_crossover_ = 1.0;           // adaptive byte-cost factor
   std::size_t n_total_ = 0;                 // locals + ghosts, for checking

@@ -117,7 +117,12 @@ struct StepContext {
   /// overlapped schedule; then `sweep_vertices` lists the local ids to
   /// process (ascending; the two phases partition [0, n_loc)).
   SweepPhase sweep = SweepPhase::kFull;
-  std::span<const lvid_t> sweep_vertices;
+  std::span<const lvid_t> sweep_vertices = {};
+
+  /// Loop-scheduling strategy resolved by the engine for this run (the
+  /// config's schedule when the kernel declares `kScheduleAware`, else
+  /// kStatic).  Kernels pass it to the pool's scheduled loops.
+  Schedule schedule = Schedule::kStatic;
 
   // Kernel -> engine outputs, reset before each round and folded into the
   // fused allreduce after it.  Overlap-safe kernels must *accumulate* (+=)
@@ -148,6 +153,13 @@ struct EngineConfig {
   /// queues; everything else keeps the blocking schedule.  Must be set
   /// identically on every rank.
   bool overlap = false;
+  /// Loop schedule for the kernel's parallel sweeps and the exchange's
+  /// pack/scatter loops.  Takes effect only for kernels that declare
+  /// `static constexpr bool kScheduleAware = true`; everything else keeps
+  /// kStatic.  Must be set identically on every rank (like `overlap`): the
+  /// schedule can change which sweep variant a kernel runs, and mismatched
+  /// variants would diverge the collective sequence.
+  Schedule schedule = Schedule::kStatic;
 };
 
 template <class K>
@@ -233,7 +245,23 @@ class SuperstepEngine {
       }
     }
 
+    // Schedule opt-in mirrors kOverlapSafe: kernels whose sweeps are written
+    // against the deterministic chunk-grid contract declare kScheduleAware
+    // (with an optional runtime veto `schedule_ok()` — e.g. LP's in-place
+    // Gauss-Seidel sweep is order-dependent); everything else keeps the
+    // legacy static split.
+    Schedule sched = Schedule::kStatic;
+    if constexpr (requires { K::kScheduleAware; }) {
+      if constexpr (K::kScheduleAware) {
+        sched = cfg_.schedule;
+        if constexpr (requires { kernel.schedule_ok(); })
+          if (!kernel.schedule_ok()) sched = Schedule::kStatic;
+      }
+    }
+    gx->set_schedule(sched);
+
     StepContext ctx{g_, comm_, tp, gx};
+    ctx.schedule = sched;
     if constexpr (requires { kernel.init(ctx); }) {
       kernel.init(ctx);
       if constexpr (requires { K::kSeedExchange; }) {
@@ -244,6 +272,7 @@ class SuperstepEngine {
     EngineResult res;
     for (std::uint64_t step = 0; step < cfg_.max_supersteps; ++step) {
       const auto rec0 = begin_record();
+      const SweepStats sweep0 = tp.sweep_stats();
       ctx.superstep = step;
       ctx.active_local = 0;
       ctx.touched_local = 0;
@@ -293,10 +322,15 @@ class SuperstepEngine {
       res.last_residual = sig.residual;
       res.converged = kernel.converged(sig.active, sig.residual);
 
+      // Fold this round's intra-rank sweep imbalance into the phase timer
+      // *before* the recorder snapshots its delta, then attach the raw
+      // numbers to the record.
+      const SweepStats sweep_d = tp.sweep_stats() - sweep0;
+      comm_.phase_timer().add_sweep(sweep_d.busy_max, sweep_d.busy_total);
       end_record(rec0, step, sig, res.converged,
                  retain ? dgraph::ghost_mode_label(gx->last_round_mode())
                         : "dense",
-                 exchange_s, overlap_s);
+                 exchange_s, overlap_s, sweep_d, tp.num_threads(), sched);
       if (res.converged) break;
     }
     return res;
@@ -310,7 +344,14 @@ class SuperstepEngine {
     dgraph::GhostExchange* gx = nullptr;
     if constexpr (requires { kernel.ghosts(); }) gx = kernel.ghosts();
 
+    Schedule sched = Schedule::kStatic;
+    if constexpr (requires { K::kScheduleAware; }) {
+      if constexpr (K::kScheduleAware) sched = cfg_.schedule;
+    }
+    if (gx) gx->set_schedule(sched);
+
     StepContext ctx{g_, comm_, tp, gx};
+    ctx.schedule = sched;
     if constexpr (requires { kernel.init(ctx); }) kernel.init(ctx);
 
     EngineResult res;
@@ -319,6 +360,7 @@ class SuperstepEngine {
     res.converged = (global_active == 0);  // empty frontier: trivially done
     while (global_active != 0 && res.supersteps < cfg_.max_supersteps) {
       const auto rec0 = begin_record();
+      const SweepStats sweep0 = tp.sweep_stats();
       ctx.superstep = res.supersteps;
       ctx.touched_local = 0;
       ctx.residual_local = 0.0;
@@ -333,7 +375,10 @@ class SuperstepEngine {
       res.last_residual = sig.residual;
       res.converged = (global_active == 0);
 
-      end_record(rec0, res.supersteps - 1, sig, res.converged, "queue", 0, 0);
+      const SweepStats sweep_d = tp.sweep_stats() - sweep0;
+      comm_.phase_timer().add_sweep(sweep_d.busy_max, sweep_d.busy_total);
+      end_record(rec0, res.supersteps - 1, sig, res.converged, "queue", 0, 0,
+                 sweep_d, tp.num_threads(), sched);
     }
     return res;
   }
@@ -361,7 +406,9 @@ class SuperstepEngine {
   }
   void end_record(const std::optional<StepRecorder>& rec0, std::uint64_t step,
                   const Signal& sig, bool converged, const char* wire,
-                  double exchange_s, double overlap_s) {
+                  double exchange_s, double overlap_s,
+                  const SweepStats& sweep_d, unsigned nthreads,
+                  Schedule sched) {
     if (!rec0) return;
     SuperstepRecord rec;
     rec.analytic = cfg_.name;
@@ -373,6 +420,7 @@ class SuperstepEngine {
     rec.wire = wire;
     rec.exchange_us = static_cast<std::uint64_t>(exchange_s * 1e6);
     rec.overlap_us = static_cast<std::uint64_t>(overlap_s * 1e6);
+    rec.set_sweep(sweep_d, nthreads, sched);
     rec0->finish(rec);
     cfg_.trace->push(std::move(rec));
   }

@@ -27,6 +27,16 @@ std::string SuperstepTrace::to_json() const {
     w.kv("exchange_us", r.exchange_us);
     w.kv("overlap_us", r.overlap_us);
     w.kv("comm_hidden", r.comm_hidden());
+    w.key("sweep");
+    w.begin_object();
+    w.kv("schedule", r.schedule);
+    w.kv("threads", static_cast<std::uint64_t>(r.sweep_threads));
+    w.kv("busy_max_us", r.sweep_busy_max_us);
+    w.kv("busy_total_us", r.sweep_busy_total_us);
+    w.kv("edges_max", r.sweep_edges_max);
+    w.kv("edges_total", r.sweep_edges_total);
+    w.kv("imbalance", r.sweep_imbalance());
+    w.end_object();
     w.key("comm");
     w.begin_object();
     w.kv("bytes_sent", r.comm.bytes_sent);
@@ -49,6 +59,8 @@ std::string SuperstepTrace::to_json() const {
     w.kv("idle_s", r.phase.idle);
     w.kv("pack_s", r.phase.pack);
     w.kv("wait_s", r.phase.wait);
+    w.kv("sweep_busy_max_s", r.phase.sweep_busy_max);
+    w.kv("sweep_busy_total_s", r.phase.sweep_busy_total);
     w.kv("total_s", r.phase.total);
     w.end_object();
     w.end_object();

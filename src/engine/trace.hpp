@@ -24,6 +24,7 @@
 #include "parcomm/comm.hpp"
 #include "parcomm/comm_stats.hpp"
 #include "parcomm/phase_timer.hpp"
+#include "util/parallel_for.hpp"
 
 namespace hpcgraph::engine {
 
@@ -47,12 +48,43 @@ struct SuperstepRecord {
   parcomm::CommStats comm;      ///< rank-0 counter delta over the round
   parcomm::PhaseBreakdown phase;  ///< rank-0 comp/comm/idle/pack delta
 
+  // Intra-rank sweep-imbalance telemetry (rank-0 pool, delta over the
+  // round's scheduled loops).  Zero when the round ran no scheduled loops.
+  std::string schedule;               ///< loop schedule ("static"/...; ""
+                                      ///< when the round had none)
+  std::uint32_t sweep_threads = 0;    ///< pool width behind the sweeps
+  std::uint64_t sweep_busy_max_us = 0;    ///< Σ per-loop max thread busy µs
+  std::uint64_t sweep_busy_total_us = 0;  ///< Σ per-loop total busy µs
+  std::uint64_t sweep_edges_max = 0;      ///< Σ per-loop max thread weight
+  std::uint64_t sweep_edges_total = 0;    ///< Σ per-loop total weight
+
+  /// Max/mean work per thread across the round's scheduled sweeps
+  /// (1.0 == perfectly balanced; 0 when no weighted sweeps ran).
+  double sweep_imbalance() const {
+    if (sweep_edges_total == 0 || sweep_threads == 0) return 0.0;
+    const double mean = static_cast<double>(sweep_edges_total) /
+                        static_cast<double>(sweep_threads);
+    return static_cast<double>(sweep_edges_max) / mean;
+  }
+
   /// Fraction of the round's communication window hidden behind interior
   /// compute: overlap / (overlap + exchange).  0 for blocking rounds.
   double comm_hidden() const {
     const double denom =
         static_cast<double>(overlap_us) + static_cast<double>(exchange_us);
     return denom > 0 ? static_cast<double>(overlap_us) / denom : 0.0;
+  }
+
+  /// Folds a pool's SweepStats delta (plus the schedule it ran under) into
+  /// the sweep_* fields.  Shared by the engine and RoundTrace.
+  void set_sweep(const SweepStats& d, unsigned nthreads, Schedule sched) {
+    if (d.loops == 0) return;
+    schedule = schedule_label(sched);
+    sweep_threads = nthreads;
+    sweep_busy_max_us = static_cast<std::uint64_t>(d.busy_max * 1e6);
+    sweep_busy_total_us = static_cast<std::uint64_t>(d.busy_total * 1e6);
+    sweep_edges_max = d.work_max;
+    sweep_edges_total = d.work_total;
   }
 };
 
@@ -115,14 +147,21 @@ class StepRecorder {
 /// after the round's terminating allreduce.
 class RoundTrace {
  public:
+  /// \param pool   Optional: the rank's thread pool, for per-round sweep
+  ///               imbalance deltas.  \param sched labels those sweeps.
   RoundTrace(SuperstepTrace* trace, parcomm::Communicator& comm,
-             std::string analytic)
+             std::string analytic, ThreadPool* pool = nullptr,
+             Schedule sched = Schedule::kStatic)
       : trace_(trace && comm.rank() == 0 ? trace : nullptr),
         comm_(comm),
-        analytic_(std::move(analytic)) {}
+        analytic_(std::move(analytic)),
+        pool_(pool),
+        sched_(sched) {}
 
   void begin() {
-    if (trace_) rec0_.emplace(comm_);
+    if (!trace_) return;
+    rec0_.emplace(comm_);
+    if (pool_) sweep0_ = pool_->sweep_stats();
   }
 
   /// \param superstep     0-based round index within the run
@@ -141,6 +180,9 @@ class RoundTrace {
     rec.converged = next_active == 0;
     rec.wire = wire;
     rec0_->finish(rec);
+    if (pool_)
+      rec.set_sweep(pool_->sweep_stats() - sweep0_, pool_->num_threads(),
+                    sched_);
     trace_->push(std::move(rec));
     rec0_.reset();
   }
@@ -149,6 +191,9 @@ class RoundTrace {
   SuperstepTrace* trace_;
   parcomm::Communicator& comm_;
   std::string analytic_;
+  ThreadPool* pool_;
+  Schedule sched_;
+  SweepStats sweep0_;
   std::optional<StepRecorder> rec0_;
 };
 

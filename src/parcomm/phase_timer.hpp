@@ -22,6 +22,8 @@ struct PhaseBreakdown {
   double idle = 0;   ///< seconds waiting for other ranks
   double pack = 0;   ///< subset of comp: ghost-exchange pack/scatter staging
   double wait = 0;   ///< overlay: seconds completing split-phase exchanges
+  double sweep_busy_max = 0;    ///< overlay: Σ per-loop max thread busy time
+  double sweep_busy_total = 0;  ///< overlay: Σ per-loop total thread busy time
   double total = 0;  ///< wall seconds of the region
 
   double comp_ratio() const { return total > 0 ? comp / total : 0; }
@@ -39,6 +41,8 @@ struct PhaseBreakdown {
     d.idle = idle - o.idle;
     d.pack = pack - o.pack;
     d.wait = wait - o.wait;
+    d.sweep_busy_max = sweep_busy_max - o.sweep_busy_max;
+    d.sweep_busy_total = sweep_busy_total - o.sweep_busy_total;
     d.total = total - o.total;
     if (d.comp < 0) d.comp = 0;  // clock noise at microsecond scale
     return d;
@@ -54,6 +58,8 @@ class PhaseTimer {
     idle_.reset();
     pack_.reset();
     wait_.reset();
+    sweep_busy_max_.reset();
+    sweep_busy_total_.reset();
     region_ = Timer{};
   }
 
@@ -69,6 +75,15 @@ class PhaseTimer {
   /// distinct `comm_wait` bucket so overlapped schedules can show how much
   /// completion cost remains after hiding.
   void add_wait(double s) { wait_.add(s); }
+  /// Intra-rank sweep imbalance overlay from the thread pool's SweepStats:
+  /// busy_max is the sum over scheduled loops of the slowest thread's busy
+  /// time (the critical path), busy_total the aggregate across threads.
+  /// busy_max / (busy_total / nthreads) is the time-imbalance factor; the
+  /// time already lands in comp, this just attributes its skew.
+  void add_sweep(double busy_max, double busy_total) {
+    sweep_busy_max_.add(busy_max);
+    sweep_busy_total_.add(busy_total);
+  }
 
   /// Breakdown of the region so far.
   PhaseBreakdown snapshot() const {
@@ -78,6 +93,8 @@ class PhaseTimer {
     b.idle = idle_.total();
     b.pack = pack_.total();
     b.wait = wait_.total();
+    b.sweep_busy_max = sweep_busy_max_.total();
+    b.sweep_busy_total = sweep_busy_total_.total();
     b.comp = b.total - b.comm - b.idle;
     if (b.comp < 0) b.comp = 0;  // clock noise at microsecond scale
     return b;
@@ -88,6 +105,8 @@ class PhaseTimer {
   AccumTimer idle_;
   AccumTimer pack_;
   AccumTimer wait_;
+  AccumTimer sweep_busy_max_;
+  AccumTimer sweep_busy_total_;
   Timer region_;
 };
 

@@ -1,6 +1,6 @@
 #pragma once
 /// \file parallel_for.hpp
-/// Intra-rank (shared-memory) worker pool.
+/// Intra-rank (shared-memory) worker pool and degree-aware loop scheduler.
 ///
 /// Substitutes for the paper's OpenMP threading: each MPI-style rank can run
 /// its vertex loops over several threads.  The pool is persistent (threads
@@ -8,23 +8,295 @@
 /// enter a parallel region every iteration and thread spawn cost would
 /// dominate at small scale.
 ///
-/// With one thread the pool degenerates to inline execution with zero
-/// synchronization, which is the configuration used by default on this
-/// single-core reproduction machine; multi-thread paths are exercised by the
-/// test suite.
+/// On scale-free inputs an equal-count static split serializes every sweep
+/// behind the chunk that drew the hubs, so loops can instead run over a
+/// deterministic ChunkGrid under one of three Schedule strategies:
+///
+///   kStatic        equal-count contiguous spans, one per thread (legacy).
+///   kDynamic       fixed grain grid, chunks claimed via an atomic counter.
+///   kEdgeBalanced  chunk boundaries walked along a CSR prefix array so each
+///                  chunk carries ~equal edges; oversized hubs may be split
+///                  into edge-slice sub-chunks.
+///
+/// Determinism contract: a grid is a pure function of (range, grain, prefix)
+/// — never of which thread claims which chunk — and floating-point kernels
+/// reduce per-chunk partials in chunk order (reduce_chunks), so results are
+/// bit-identical across runs and across thread counts for the dynamic and
+/// edge-balanced grids (whose geometry is thread-count independent).  The
+/// static grid keeps the legacy one-chunk-per-thread geometry and is the
+/// documented exception: deterministic per thread count, not across them.
+/// See DESIGN.md §10.
+///
+/// With one thread the pool degenerates to inline execution in chunk order
+/// with zero synchronization, which is the configuration used by default on
+/// this single-core reproduction machine; multi-thread paths are exercised
+/// by the test suite (and by CI with HPCGRAPH_POOL_THREADS=4).
 
 #include <algorithm>
 #include <atomic>
+#include <chrono>
 #include <condition_variable>
 #include <cstdint>
+#include <cstdlib>
 #include <functional>
+#include <memory>
 #include <mutex>
+#include <span>
+#include <string_view>
 #include <thread>
 #include <vector>
 
 #include "util/error.hpp"
+#include "util/timer.hpp"
 
 namespace hpcgraph {
+
+/// Loop-scheduling strategy, selectable per parallel sweep.
+enum class Schedule : std::uint8_t {
+  kStatic = 0,        ///< equal-count spans, one contiguous block per thread
+  kDynamic = 1,       ///< fixed grain grid + atomic chunk counter
+  kEdgeBalanced = 2,  ///< CSR-prefix-balanced chunks + atomic chunk counter
+};
+
+inline const char* schedule_label(Schedule s) {
+  switch (s) {
+    case Schedule::kStatic: return "static";
+    case Schedule::kDynamic: return "dynamic";
+    case Schedule::kEdgeBalanced: return "edge";
+  }
+  return "?";
+}
+
+/// Parses "static" / "dynamic" / "edge" (alias "edge-balanced").
+/// Returns false on unknown input, leaving *out untouched.
+inline bool parse_schedule(std::string_view text, Schedule* out) {
+  if (text == "static") { *out = Schedule::kStatic; return true; }
+  if (text == "dynamic") { *out = Schedule::kDynamic; return true; }
+  if (text == "edge" || text == "edge-balanced") {
+    *out = Schedule::kEdgeBalanced;
+    return true;
+  }
+  return false;
+}
+
+/// One schedulable unit: items [begin, end) carrying `weight()` units of
+/// work.  For an edge-balanced grid built over a CSR prefix, w_begin/w_end
+/// are edge offsets; a `partial` chunk covers an edge sub-range
+/// [w_begin, w_end) of the single hub item `begin` (end == begin + 1).
+struct Chunk {
+  std::uint64_t begin = 0;
+  std::uint64_t end = 0;
+  std::uint64_t w_begin = 0;
+  std::uint64_t w_end = 0;
+  bool partial = false;
+
+  std::uint64_t items() const { return end - begin; }
+  std::uint64_t weight() const { return w_end - w_begin; }
+  friend bool operator==(const Chunk&, const Chunk&) = default;
+};
+
+/// Deterministic decomposition of an index range into chunks.  Pure function
+/// of its inputs: building the same grid twice — on any thread, with any
+/// pool width — yields element-wise identical chunks.
+class ChunkGrid {
+ public:
+  /// Auto-grain target: enough chunks for dynamic stealing to smooth load at
+  /// any plausible thread count, few enough that per-chunk overhead stays
+  /// negligible.  Grids are *not* sized from nthreads — that would leak the
+  /// thread count into the geometry and break cross-thread determinism.
+  static constexpr std::uint64_t kTargetChunks = 256;
+
+  ChunkGrid() = default;
+
+  /// Uniform item chunks over [0, n): each chunk holds `grain` items (auto:
+  /// ~n/kTargetChunks).  Weight == item count.
+  static ChunkGrid items(std::uint64_t n, std::uint64_t grain = 0) {
+    ChunkGrid g;
+    if (n == 0) return g;
+    const std::uint64_t step = grain ? grain : auto_grain(n);
+    for (std::uint64_t lo = 0; lo < n; lo += step) {
+      const std::uint64_t hi = std::min(n, lo + step);
+      g.chunks_.push_back({lo, hi, lo, hi, false});
+    }
+    g.finish();
+    return g;
+  }
+
+  /// Uniform item chunks (same boundaries as items()) but with weights taken
+  /// from a CSR prefix array of size n+1.  Used when the sweep cost tracks
+  /// edges yet the chunk geometry must stay count-based.
+  static ChunkGrid items_weighted(std::span<const std::uint64_t> prefix,
+                                  std::uint64_t grain = 0) {
+    HG_CHECK(!prefix.empty());
+    const std::uint64_t n = prefix.size() - 1;
+    ChunkGrid g;
+    if (n == 0) return g;
+    const std::uint64_t step = grain ? grain : auto_grain(n);
+    for (std::uint64_t lo = 0; lo < n; lo += step) {
+      const std::uint64_t hi = std::min(n, lo + step);
+      g.chunks_.push_back({lo, hi, prefix[lo], prefix[hi], false});
+    }
+    g.finish();
+    return g;
+  }
+
+  /// Edge-balanced chunks over the CSR prefix array (size n+1, prefix[0] may
+  /// be nonzero for sub-range prefixes): boundaries are placed so each chunk
+  /// carries <= grain edges (auto: ~total/kTargetChunks), with an item cap of
+  /// ~n/kTargetChunks so stretches of zero-degree vertices still split.  When
+  /// split_hubs is set, an item heavier than the grain becomes ceil(w/grain)
+  /// partial sub-chunks over its edge range — callers must then handle
+  /// Chunk::partial (plain item sweeps keep split_hubs=false).
+  static ChunkGrid edges(std::span<const std::uint64_t> prefix,
+                         std::uint64_t grain = 0, bool split_hubs = false) {
+    HG_CHECK(!prefix.empty());
+    const std::uint64_t n = prefix.size() - 1;
+    ChunkGrid g;
+    if (n == 0) return g;
+    const std::uint64_t total = prefix[n] - prefix[0];
+    const std::uint64_t gr = grain ? grain : auto_grain(total);
+    const std::uint64_t item_cap = auto_grain(n);
+    std::uint64_t v = 0;
+    while (v < n) {
+      std::uint64_t u = v + 1;  // at least one item per chunk
+      while (u < n && prefix[u + 1] - prefix[v] <= gr && (u - v) < item_cap)
+        ++u;
+      const std::uint64_t w = prefix[u] - prefix[v];
+      if (split_hubs && u == v + 1 && w > gr) {
+        // Hub heavier than the grain: emit edge-slice sub-chunks.
+        for (std::uint64_t e = prefix[v]; e < prefix[u]; e += gr)
+          g.chunks_.push_back(
+              {v, u, e, std::min(prefix[u], e + gr), true});
+      } else {
+        g.chunks_.push_back({v, u, prefix[v], prefix[u], false});
+      }
+      v = u;
+    }
+    g.finish();
+    return g;
+  }
+
+  std::size_t size() const { return chunks_.size(); }
+  bool empty() const { return chunks_.empty(); }
+  const Chunk& operator[](std::size_t i) const { return chunks_[i]; }
+  std::uint64_t items_total() const { return items_total_; }
+  std::uint64_t weight_total() const { return weight_total_; }
+  std::uint64_t max_chunk_weight() const { return max_weight_; }
+  bool has_partial() const { return has_partial_; }
+  friend bool operator==(const ChunkGrid&, const ChunkGrid&) = default;
+
+ private:
+  static std::uint64_t auto_grain(std::uint64_t total) {
+    return std::max<std::uint64_t>(
+        1, (total + kTargetChunks - 1) / kTargetChunks);
+  }
+
+  void finish() {
+    for (const Chunk& c : chunks_) {
+      if (!c.partial) items_total_ += c.items();
+      weight_total_ += c.weight();
+      max_weight_ = std::max(max_weight_, c.weight());
+      has_partial_ = has_partial_ || c.partial;
+    }
+  }
+
+  std::vector<Chunk> chunks_;
+  std::uint64_t items_total_ = 0;
+  std::uint64_t weight_total_ = 0;
+  std::uint64_t max_weight_ = 0;
+  bool has_partial_ = false;
+};
+
+/// Builds the grid for `sched` over [0, n) with optional CSR weights.
+///
+///   kStatic        nthreads equal-count spans (legacy geometry; weighted
+///                  when a prefix is supplied so telemetry reports edges).
+///   kDynamic       auto-grain uniform grid — nthreads-independent.
+///   kEdgeBalanced  edge-balanced grid over the prefix (falls back to the
+///                  dynamic grid when no prefix is available).
+inline ChunkGrid make_grid(Schedule sched, std::uint64_t n,
+                           std::span<const std::uint64_t> prefix,
+                           unsigned nthreads, std::uint64_t grain = 0) {
+  HG_DCHECK(prefix.empty() || prefix.size() == n + 1);
+  switch (sched) {
+    case Schedule::kStatic: {
+      const std::uint64_t g =
+          grain ? grain
+                : std::max<std::uint64_t>(1, (n + nthreads - 1) / nthreads);
+      return prefix.empty() ? ChunkGrid::items(n, g)
+                            : ChunkGrid::items_weighted(prefix, g);
+    }
+    case Schedule::kDynamic:
+      return prefix.empty() ? ChunkGrid::items(n, grain)
+                            : ChunkGrid::items_weighted(prefix, grain);
+    case Schedule::kEdgeBalanced:
+      return prefix.empty() ? ChunkGrid::items(n, grain)
+                            : ChunkGrid::edges(prefix, grain);
+  }
+  return ChunkGrid::items(n, grain);
+}
+
+/// Per-pool imbalance telemetry, accumulated over every scheduled loop run
+/// since construction / the last snapshot.  busy_* are wall-seconds spent
+/// inside loop bodies; work_* count chunk weight (edges when the grid was
+/// built over a CSR prefix, items otherwise).
+struct SweepStats {
+  double busy_max = 0.0;    ///< sum over loops of max per-thread busy time
+  double busy_total = 0.0;  ///< sum over loops of total busy time
+  std::uint64_t work_max = 0;    ///< sum over loops of max per-thread weight
+  std::uint64_t work_total = 0;  ///< sum over loops of total weight
+  std::uint64_t loops = 0;       ///< scheduled loops executed
+
+  /// max/mean work per thread: 1.0 == perfectly balanced.
+  double imbalance(unsigned nthreads) const {
+    if (work_total == 0 || nthreads == 0) return 1.0;
+    const double mean =
+        static_cast<double>(work_total) / static_cast<double>(nthreads);
+    return static_cast<double>(work_max) / mean;
+  }
+
+  SweepStats operator-(const SweepStats& o) const {
+    return {busy_max - o.busy_max, busy_total - o.busy_total,
+            work_max - o.work_max, work_total - o.work_total,
+            loops - o.loops};
+  }
+};
+
+/// Host-independent max/mean weight-per-thread for a grid executed under
+/// `sched` with `nthreads` workers.  A pure function of the grid geometry:
+///
+///   kStatic        chunk c runs on thread c (the one-span-per-thread
+///                  legacy assignment), so per-thread load IS the chunk
+///                  weight — this is the true edge imbalance of the span
+///                  split.
+///   kDynamic /     each chunk (in chunk order) goes to the currently
+///   kEdgeBalanced  least-loaded thread — the load the atomic chunk-counter
+///                  executor converges to when all workers make equal
+///                  progress.
+///
+/// The pool's SweepStats report the *realized* assignment, which on hosts
+/// with fewer cores than pool threads degenerates (one core drains the whole
+/// chunk queue before the others are ever scheduled); this model is what the
+/// ablation and tests pin because it does not depend on the machine the
+/// suite happens to run on.
+inline double grid_imbalance(const ChunkGrid& grid, Schedule sched,
+                             unsigned nthreads) {
+  if (nthreads == 0 || grid.empty() || grid.weight_total() == 0) return 1.0;
+  std::vector<std::uint64_t> load(nthreads, 0);
+  if (sched == Schedule::kStatic) {
+    // make_grid(kStatic) emits at most `nthreads` chunks, chunk c -> thread
+    // c; clamp anyway so hand-built grids cannot index out of range.
+    for (std::size_t c = 0; c < grid.size(); ++c)
+      load[std::min<std::size_t>(c, nthreads - 1)] += grid[c].weight();
+  } else {
+    for (std::size_t c = 0; c < grid.size(); ++c)
+      *std::min_element(load.begin(), load.end()) += grid[c].weight();
+  }
+  const std::uint64_t mx = *std::max_element(load.begin(), load.end());
+  const double mean = static_cast<double>(grid.weight_total()) /
+                      static_cast<double>(nthreads);
+  return static_cast<double>(mx) / mean;
+}
 
 /// Persistent worker pool executing SPMD regions.
 class ThreadPool {
@@ -34,6 +306,7 @@ class ThreadPool {
   ///                  nthreads-1 OS threads are spawned.
   explicit ThreadPool(unsigned nthreads = 1) : nthreads_(nthreads) {
     HG_CHECK(nthreads >= 1);
+    sweep_scratch_.resize(nthreads_);
     workers_.reserve(nthreads_ - 1);
     for (unsigned t = 1; t < nthreads_; ++t)
       workers_.emplace_back([this, t] { worker_loop(t); });
@@ -43,7 +316,7 @@ class ThreadPool {
     {
       std::lock_guard lk(mu_);
       stop_ = true;
-      ++generation_;
+      generation_.fetch_add(1, std::memory_order_release);
     }
     cv_.notify_all();
     for (auto& w : workers_) w.join();
@@ -65,11 +338,15 @@ class ThreadPool {
       job_ = &fn;
       pending_.store(static_cast<int>(nthreads_) - 1,
                      std::memory_order_relaxed);
-      ++generation_;
+      generation_.fetch_add(1, std::memory_order_release);
     }
     cv_.notify_all();
     fn(0);
-    // Wait for workers to finish this generation.
+    // Wait for workers to finish this generation: spin briefly (they almost
+    // always finish within the launcher's own chunk cadence), then block.
+    spin_until([this] {
+      return pending_.load(std::memory_order_acquire) == 0;
+    });
     std::unique_lock lk(mu_);
     done_cv_.wait(lk, [this] {
       return pending_.load(std::memory_order_acquire) == 0;
@@ -88,11 +365,14 @@ class ThreadPool {
   }
 
   /// Statically-chunked parallel loop; fn(thread_id, lo, hi) gets one
-  /// contiguous sub-range per thread.
+  /// contiguous sub-range per thread.  Empty ranges return without calling
+  /// fn, and threads whose span would be zero-width (n < nthreads) are
+  /// skipped rather than handed an empty [lo, hi).
   template <typename F>
   void for_range(std::uint64_t begin, std::uint64_t end, F&& fn) {
     const std::uint64_t n = end - begin;
-    if (nthreads_ == 1 || n == 0) {
+    if (n == 0) return;
+    if (nthreads_ == 1) {
       fn(0u, begin, end);
       return;
     }
@@ -101,19 +381,158 @@ class ThreadPool {
       const std::uint64_t lo = begin + std::min<std::uint64_t>(n, tid * chunk);
       const std::uint64_t hi =
           begin + std::min<std::uint64_t>(n, (tid + 1) * chunk);
+      if (lo >= hi) return;
       fn(tid, lo, hi);
     });
   }
 
+  /// Scheduled parallel loop over the chunks of a pre-built grid.
+  /// fn(thread_id, chunk_id, chunk) is invoked once per chunk.  Assignment
+  /// of chunks to threads follows `sched` (kStatic: contiguous chunk blocks;
+  /// otherwise: atomic chunk counter), but the grid itself — and therefore
+  /// any chunk-indexed result — is independent of the assignment.
+  /// Per-thread busy time and executed weight are folded into sweep_stats().
+  template <typename F>
+  void for_chunks(const ChunkGrid& grid, Schedule sched, F&& fn) {
+    const std::uint64_t nc = grid.size();
+    if (nc == 0) return;
+    if (nthreads_ == 1) {
+      Timer t;
+      std::uint64_t w = 0;
+      for (std::uint64_t c = 0; c < nc; ++c) {
+        fn(0u, c, grid[c]);
+        w += grid[c].weight();
+      }
+      sweep_scratch_[0] = {t.elapsed(), w};
+      fold_sweep_scratch();
+      return;
+    }
+    std::atomic<std::uint64_t> next{0};
+    run([&](unsigned tid) {
+      Timer t;
+      std::uint64_t w = 0;
+      if (sched == Schedule::kStatic) {
+        const std::uint64_t per = (nc + nthreads_ - 1) / nthreads_;
+        const std::uint64_t lo = std::min<std::uint64_t>(nc, tid * per);
+        const std::uint64_t hi = std::min<std::uint64_t>(nc, lo + per);
+        for (std::uint64_t c = lo; c < hi; ++c) {
+          fn(tid, c, grid[c]);
+          w += grid[c].weight();
+        }
+      } else {
+        for (;;) {
+          const std::uint64_t c = next.fetch_add(1, std::memory_order_relaxed);
+          if (c >= nc) break;
+          fn(tid, c, grid[c]);
+          w += grid[c].weight();
+        }
+      }
+      sweep_scratch_[tid] = {t.elapsed(), w};
+    });
+    fold_sweep_scratch();
+  }
+
+  /// Scheduled loop adapter presenting each (non-partial) chunk as a
+  /// contiguous [lo, hi) item span: fn(thread_id, lo, hi).
+  template <typename F>
+  void for_ranges(const ChunkGrid& grid, Schedule sched, F&& fn) {
+    HG_DCHECK(!grid.has_partial());
+    for_chunks(grid, sched, [&fn](unsigned tid, std::uint64_t /*chunk*/,
+                                  const Chunk& c) {
+      fn(tid, c.begin, c.end);
+    });
+  }
+
+  /// Scheduled parallel loop over [begin, end) with no weight information:
+  /// builds the matching grid internally (kStatic reproduces the legacy
+  /// equal-count spans; kDynamic/kEdgeBalanced degrade to the uniform
+  /// auto-grain grid).  fn(thread_id, lo, hi).
+  template <typename F>
+  void for_range(std::uint64_t begin, std::uint64_t end, Schedule sched,
+                 F&& fn) {
+    const std::uint64_t n = end - begin;
+    if (n == 0) return;
+    const ChunkGrid grid = make_grid(sched, n, {}, nthreads_);
+    for_ranges(grid, sched,
+               [&fn, begin](unsigned tid, std::uint64_t lo, std::uint64_t hi) {
+                 fn(tid, begin + lo, begin + hi);
+               });
+  }
+
+  /// Deterministic floating-point reduction: fn(chunk) returns the chunk's
+  /// partial; partials are folded serially in chunk order, so the result
+  /// depends only on the grid — not on thread count or chunk assignment.
+  /// With one thread and a single-chunk grid this is plain sequential
+  /// accumulation.
+  template <typename F>
+  double reduce_chunks(const ChunkGrid& grid, Schedule sched, F&& fn) {
+    if (grid.empty()) return 0.0;
+    std::vector<double> partial(grid.size(), 0.0);
+    for_chunks(grid, sched,
+               [&fn, &partial](unsigned /*tid*/, std::uint64_t c,
+                               const Chunk& ck) { partial[c] = fn(ck); });
+    double sum = 0.0;
+    for (const double p : partial) sum += p;
+    return sum;
+  }
+
+  /// Cumulative scheduled-loop telemetry (see SweepStats).  Read on the
+  /// calling thread after loops complete; callers snapshot-and-subtract to
+  /// attribute stats to a region.
+  const SweepStats& sweep_stats() const { return stats_; }
+
  private:
+  struct SweepScratch {
+    double busy = 0.0;
+    std::uint64_t weight = 0;
+  };
+
+  // Called by the for_chunks caller after run() returns; run()'s join gives
+  // acquire ordering on the workers' scratch writes, so no atomics needed.
+  void fold_sweep_scratch() {
+    double bmax = 0.0, btot = 0.0;
+    std::uint64_t wmax = 0, wtot = 0;
+    for (unsigned t = 0; t < nthreads_; ++t) {
+      bmax = std::max(bmax, sweep_scratch_[t].busy);
+      btot += sweep_scratch_[t].busy;
+      wmax = std::max(wmax, sweep_scratch_[t].weight);
+      wtot += sweep_scratch_[t].weight;
+      sweep_scratch_[t] = {};
+    }
+    stats_.busy_max += bmax;
+    stats_.busy_total += btot;
+    stats_.work_max += wmax;
+    stats_.work_total += wtot;
+    stats_.loops += 1;
+  }
+
+  // Bounded spin on a predicate before the caller falls back to a blocking
+  // condition-variable wait.  A cv wakeup can cost upwards of a millisecond
+  // on a loaded host — longer than an entire dynamic sweep — which would
+  // serialize every short loop onto whichever thread noticed the job first.
+  // Analytics issue loops back-to-back, so the next job almost always lands
+  // within the spin window and workers join at full speed.
+  template <typename Pred>
+  static void spin_until(Pred&& pred) {
+    const auto t0 = std::chrono::steady_clock::now();
+    while (!pred() && std::chrono::steady_clock::now() - t0 <
+                          std::chrono::microseconds(kSpinWaitUs)) {
+    }
+  }
+
   void worker_loop(unsigned tid) {
     std::uint64_t seen = 0;
     for (;;) {
+      spin_until([&] {
+        return generation_.load(std::memory_order_acquire) != seen;
+      });
       const std::function<void(unsigned)>* job = nullptr;
       {
         std::unique_lock lk(mu_);
-        cv_.wait(lk, [&] { return generation_ != seen; });
-        seen = generation_;
+        cv_.wait(lk, [&] {
+          return generation_.load(std::memory_order_relaxed) != seen;
+        });
+        seen = generation_.load(std::memory_order_relaxed);
         if (stop_) return;
         job = job_;
       }
@@ -130,25 +549,51 @@ class ThreadPool {
   std::mutex mu_;
   std::condition_variable cv_;
   std::condition_variable done_cv_;
+  /// Spin window before blocking waits fall back to the condition variable.
+  static constexpr long kSpinWaitUs = 50;
+
   const std::function<void(unsigned)>* job_ = nullptr;
-  std::uint64_t generation_ = 0;
+  // Job sequence number: bumped under mu_, but spin-polled lock-free by
+  // parked workers (see spin_until).  Reviewed: rank-private pool plumbing.
+  std::atomic<std::uint64_t> generation_{0};  // lint:allow(raw-sync: intra-rank pool wakeup)
   std::atomic<int> pending_{0};
   bool stop_ = false;
+  std::vector<SweepScratch> sweep_scratch_;
+  SweepStats stats_;
 };
 
+/// Pool width used when no explicit pool is supplied: the
+/// HPCGRAPH_POOL_THREADS environment variable (clamped to [1, 64]), default
+/// 1.  Lets CI run the whole test suite with fallback pools at 4 threads
+/// without touching every call site.
+inline unsigned default_pool_threads() {
+  static const unsigned cached = [] {
+    const char* env = std::getenv("HPCGRAPH_POOL_THREADS");
+    if (!env) return 1u;
+    const long v = std::strtol(env, nullptr, 10);
+    return static_cast<unsigned>(std::clamp<long>(v, 1, 64));
+  }();
+  return cached;
+}
+
 /// Resolves an optional pool pointer to a usable reference, falling back to
-/// a private inline (1-thread, zero-spawn) pool.  Replaces the
+/// a private inline pool sized by default_pool_threads().  Replaces the
 /// `ThreadPool inline_pool(1); ThreadPool& tp = opt ? *opt : inline_pool;`
-/// boilerplate that used to be pasted into every analytic.
+/// boilerplate that used to be pasted into every analytic.  The fallback
+/// pool is constructed lazily so passing an explicit pool costs nothing.
 class PoolFallback {
  public:
   explicit PoolFallback(ThreadPool* pool) : pool_(pool) {}
-  ThreadPool& get() { return pool_ ? *pool_ : inline_; }
+  ThreadPool& get() {
+    if (pool_) return *pool_;
+    if (!inline_) inline_ = std::make_unique<ThreadPool>(default_pool_threads());
+    return *inline_;
+  }
   operator ThreadPool&() { return get(); }
 
  private:
   ThreadPool* pool_;
-  ThreadPool inline_{1};  // nthreads==1: no OS threads, inline execution
+  std::unique_ptr<ThreadPool> inline_;
 };
 
 }  // namespace hpcgraph

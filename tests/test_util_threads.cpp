@@ -71,14 +71,50 @@ TEST_P(ThreadPoolParam, ReusableAcrossManyRegions) {
 INSTANTIATE_TEST_SUITE_P(Threads, ThreadPoolParam,
                          ::testing::Values(1u, 2u, 3u, 4u, 8u));
 
-TEST(ThreadPool, EmptyRangeStillCallsOnce) {
-  ThreadPool tp(4);
+// Satellite edge cases: empty ranges never call fn, and n < nthreads never
+// hands a thread a zero-width [lo, hi) span.
+
+TEST_P(ThreadPoolParam, EmptyRangeNeverCallsBody) {
+  ThreadPool tp(GetParam());
   std::atomic<int> calls{0};
-  tp.for_range(10, 10, [&](unsigned, std::uint64_t lo, std::uint64_t hi) {
+  tp.for_range(10, 10, [&](unsigned, std::uint64_t, std::uint64_t) {
     calls.fetch_add(1);
-    EXPECT_EQ(lo, hi);
   });
-  EXPECT_GE(calls.load(), 1);
+  EXPECT_EQ(calls.load(), 0);
+  tp.for_each(7, 7, [&](unsigned, std::uint64_t) { calls.fetch_add(1); });
+  EXPECT_EQ(calls.load(), 0);
+  for (const Schedule s :
+       {Schedule::kStatic, Schedule::kDynamic, Schedule::kEdgeBalanced}) {
+    tp.for_range(3, 3, s, [&](unsigned, std::uint64_t, std::uint64_t) {
+      calls.fetch_add(1);
+    });
+  }
+  EXPECT_EQ(calls.load(), 0);
+}
+
+TEST_P(ThreadPoolParam, SingleElementRangeRunsExactlyOnce) {
+  ThreadPool tp(GetParam());
+  std::atomic<int> calls{0};
+  tp.for_range(42, 43, [&](unsigned, std::uint64_t lo, std::uint64_t hi) {
+    calls.fetch_add(1);
+    EXPECT_EQ(lo, 42u);
+    EXPECT_EQ(hi, 43u);
+  });
+  EXPECT_EQ(calls.load(), 1);
+}
+
+TEST_P(ThreadPoolParam, RangeSmallerThanPoolSkipsEmptySpans) {
+  ThreadPool tp(GetParam());
+  // n = 3 items across up to 8 threads: every invocation must carry work.
+  std::atomic<int> calls{0};
+  std::atomic<std::uint64_t> covered{0};
+  tp.for_range(100, 103, [&](unsigned, std::uint64_t lo, std::uint64_t hi) {
+    EXPECT_LT(lo, hi);
+    calls.fetch_add(1);
+    covered.fetch_add(hi - lo);
+  });
+  EXPECT_EQ(covered.load(), 3u);
+  EXPECT_LE(calls.load(), 3);
 }
 
 // ---------- MultiQueue ----------

@@ -23,6 +23,7 @@
 #include "analytics/analytics.hpp"
 #include "analytics/degree_stats.hpp"
 #include "dgraph/builder.hpp"
+#include "dgraph/compressed_csr.hpp"
 #include "dgraph/pulp_partition.hpp"
 #include "gen/erdos_renyi.hpp"
 #include "gen/rmat.hpp"
@@ -50,6 +51,10 @@ int usage(const char* msg = nullptr) {
       "(engine analytics + bfs)\n"
       "                    [--overlap]           split-phase ghost exchange "
       "(pagerank/labelprop/wcc)\n"
+      "                    [--schedule static|dynamic|edge]  intra-rank sweep "
+      "schedule (schedule-aware analytics)\n"
+      "                    [--compressed-csr]    report varint-CSR memory "
+      "footprint vs plain CSR\n"
       "analytics: stats pagerank labelprop wcc scc scc-decompose bfs sssp\n"
       "           harmonic kcore kcore-exact triangles betweenness\n"
       "generators: webgraph rmat er twitter livejournal google\n";
@@ -126,6 +131,11 @@ int main(int argc, char** argv) {
       static_cast<std::size_t>(cli.get_int("sources", 16));
   const std::string trace_json = cli.get("trace-json", "");
   const bool overlap = cli.get_bool("overlap", false);
+  const std::string sched_name = cli.get("schedule", "static");
+  Schedule sched = Schedule::kStatic;
+  if (!parse_schedule(sched_name, &sched))
+    return usage(("unknown --schedule " + sched_name).c_str());
+  const bool compressed_csr = cli.get_bool("compressed-csr", false);
 
   bool from_file = false;
   std::string path;
@@ -175,6 +185,29 @@ int main(int argc, char** argv) {
       std::cout << "graph: " << g.n_global() << " vertices, " << g.m_global()
                 << " edges, " << nranks << " ranks (" << part_name << ")\n";
 
+    // ---- Optional memory-footprint report: encode both adjacencies with
+    // the varint/delta compressed CSR and compare resident bytes. ----
+    if (compressed_csr) {
+      const dgraph::CompressedAdjacency out_c =
+          dgraph::CompressedAdjacency::encode(g.out_index(),
+                                              g.out_edges_raw());
+      const dgraph::CompressedAdjacency in_c =
+          dgraph::CompressedAdjacency::encode(g.in_index(), g.in_edges_raw());
+      const std::uint64_t comp =
+          comm.allreduce_sum(out_c.total_bytes() + in_c.total_bytes());
+      const std::uint64_t plain =
+          comm.allreduce_sum(out_c.plain_bytes() + in_c.plain_bytes());
+      if (root_rank)
+        std::cout << "adjacency memory: plain CSR " << plain
+                  << " bytes, compressed " << comp << " bytes ("
+                  << TablePrinter::fmt(
+                         100.0 * static_cast<double>(comp) /
+                             static_cast<double>(std::max<std::uint64_t>(
+                                 plain, 1)),
+                         1)
+                  << "% of plain)\n";
+    }
+
     // ---- Dispatch. ----
     if (analytic == "stats") {
       const auto st = analytics::degree_stats(g, comm);
@@ -198,6 +231,7 @@ int main(int argc, char** argv) {
       o.max_iterations = iters;
       o.common.trace = trace_ptr;
       o.common.overlap = overlap;
+      o.common.schedule = sched;
       const auto res = analytics::pagerank(g, comm, o);
       if (!output.empty())
         write_tsv<double>(g, comm, res.scores, output, "pagerank");
@@ -206,6 +240,7 @@ int main(int argc, char** argv) {
       o.iterations = iters;
       o.common.trace = trace_ptr;
       o.common.overlap = overlap;
+      o.common.schedule = sched;
       const auto res = analytics::label_propagation(g, comm, o);
       if (!output.empty())
         write_tsv<std::uint64_t>(g, comm, res.labels, output, "community");
@@ -213,6 +248,7 @@ int main(int argc, char** argv) {
       analytics::WccOptions o;
       o.common.trace = trace_ptr;
       o.common.overlap = overlap;
+      o.common.schedule = sched;
       const auto res = analytics::wcc(g, comm, o);
       if (root_rank)
         std::cout << "largest WCC: " << res.largest_size << " (label "
@@ -238,6 +274,7 @@ int main(int argc, char** argv) {
     } else if (analytic == "bfs") {
       analytics::BfsOptions o;
       o.common.trace = trace_ptr;
+      o.common.schedule = sched;
       const auto res = analytics::bfs_tree(g, comm, root, o);
       if (root_rank)
         std::cout << "visited " << res.visited << " in " << res.num_levels
@@ -265,6 +302,7 @@ int main(int argc, char** argv) {
     } else if (analytic == "kcore") {
       analytics::KCoreOptions o;
       o.common.trace = trace_ptr;
+      o.common.schedule = sched;
       const auto res = analytics::kcore_approx(g, comm, o);
       if (root_rank)
         for (const auto& s : res.stages)
@@ -275,6 +313,7 @@ int main(int argc, char** argv) {
     } else if (analytic == "kcore-exact") {
       analytics::CommonOptions o;
       o.trace = trace_ptr;
+      o.schedule = sched;
       const auto res = analytics::kcore_exact(g, comm, o);
       if (root_rank) std::cout << "degeneracy " << res.max_core << "\n";
       if (!output.empty())

@@ -38,6 +38,13 @@ algorithm code (src/analytics, src/engine, src/dgraph):
       communication must go through Communicator::ialltoallv and
       PendingExchange::wait so the request pool, the pending-depth
       discipline check, and the PARCOMM_VERIFY fingerprints all see it.
+  raw-parallel-chunking
+      Hand-rolled thread-id arithmetic partitioning (`tid * chunk`,
+      `thread_id * span`, ...) in algorithm code.  Loop decomposition must
+      go through ThreadPool::for_chunks / for_ranges / reduce_chunks over a
+      ChunkGrid (util/parallel_for.hpp) so every sweep honors the selected
+      Schedule, feeds the imbalance telemetry, and keeps the deterministic
+      chunk-order reduction contract (DESIGN.md §10).
 
 Suppression: append `lint:allow(<rule>: reason)` in a comment on the flagged
 line.  The reason is mandatory by convention — it is the review record.
@@ -70,12 +77,23 @@ RULES = (
     "missing-trivially-copyable-assert",
     "rank-divergent-collective",
     "raw-nonblocking-mpi",
+    "raw-parallel-chunking",
 )
 
 RAW_SYNC_RE = re.compile(
     r"std\s*::\s*(?:jthread|thread|mutex|shared_mutex|recursive_mutex|"
     r"timed_mutex|recursive_timed_mutex|condition_variable(?:_any)?|"
     r"atomic(?:_ref|_flag)?)\b"
+)
+
+# A thread-id-ish identifier multiplied by a chunk-size-ish identifier (in
+# either order): the signature of a hand-rolled equal-split partition like
+# `begin + tid * per`.  The sanctioned chunking lives in util/parallel_for.hpp
+# (not a linted dir), so no path exemption is needed here.
+_TID = r"(?:tid|tidx|thread_id|thread_idx|worker_id)"
+_SIZE = r"(?:chunk|chunks|span|per|step|stride|block|grain|slice)\w*"
+RAW_CHUNKING_RE = re.compile(
+    rf"\b{_TID}\s*\*\s*{_SIZE}\b|\b{_SIZE}\s*\*\s*{_TID}\b"
 )
 
 RAW_NONBLOCKING_MPI_RE = re.compile(
@@ -366,6 +384,16 @@ def check_raw_nonblocking_mpi(code: str, findings, path):
             "check, and the PARCOMM_VERIFY fingerprints all see it"))
 
 
+def check_raw_parallel_chunking(code: str, findings, path):
+    for m in RAW_CHUNKING_RE.finditer(code):
+        findings.append(Finding(
+            path, line_of(code, m.start()), "raw-parallel-chunking",
+            f"hand-rolled thread partitioning `{m.group(0)}`: decompose "
+            "loops with ThreadPool::for_chunks / for_ranges over a "
+            "ChunkGrid (util/parallel_for.hpp) so the sweep honors the "
+            "selected Schedule and stays deterministic (DESIGN.md §10)"))
+
+
 def check_ref_capture(code: str, findings, path):
     for m in REF_CAPTURE_COMM_RE.finditer(code):
         findings.append(Finding(
@@ -579,6 +607,7 @@ def lint_file(path: str) -> list[Finding]:
     check_mutable_globals(code, spans, findings, path)
     check_raw_sync(code, findings, path)
     check_raw_nonblocking_mpi(code, findings, path)
+    check_raw_parallel_chunking(code, findings, path)
     check_ref_capture(code, findings, path)
     check_template_collectives(code, findings, path)
     check_rank_divergent(code, findings, path)
