@@ -28,9 +28,15 @@
 //      imbalance from the scheduler telemetry, a bit-pattern checksum
 //      proving all schedules produce identical scores, and a hub-split
 //      micro-demo of the ChunkGrid::edges splitter.
+//   J. frontier representation (DESIGN.md §11): forced queue vs bitmap vs
+//      hybrid DistFrontier modes on SSSP and direction-optimizing BFS over
+//      the web crawl and R-MAT, with per-mode round telemetry (bitmap/pull
+//      rounds, crossovers) and a checksum proving the representations
+//      compute identical results.
 //
 // `--sections LETTERS` restricts the run (e.g. --sections EH); `--json FILE`
-// writes section H and I measurements as machine-readable hpcgraph-bench-v1.
+// writes section H, I and J measurements as machine-readable
+// hpcgraph-bench-v1.
 
 #include <atomic>
 #include <bit>
@@ -57,7 +63,7 @@ int main(int argc, char** argv) {
   const Cli cli(argc, argv);
   const unsigned scale = static_cast<unsigned>(cli.get_int("scale", 16));
   const int nranks = static_cast<int>(cli.get_int("ranks", 8));
-  std::string sections = cli.get("sections", "ABCDEFGHI");
+  std::string sections = cli.get("sections", "ABCDEFGHIJ");
   for (char& c : sections) c = static_cast<char>(std::toupper(c));
   const auto want = [&](char s) {
     return sections.find(s) != std::string::npos;
@@ -672,6 +678,115 @@ int main(int argc, char** argv) {
     h.print(std::cout);
   }
 
+  // ---- J. Frontier representation: queue vs bitmap vs hybrid. ----
+  if (want('J')) {
+    gen::RmatParams rp;
+    rp.scale = scale >= 2 ? scale - 2 : scale;  // SSSP runs many rounds;
+    rp.avg_degree = 8;                          // keep J quick
+    const gen::EdgeList rmat = gen::rmat(rp);
+    const int reps = static_cast<int>(cli.get_int("reps", 3));
+
+    // R-MAT ids are scrambled, so pick the heaviest hub as the root —
+    // vertex 0 may be isolated.
+    std::vector<std::uint32_t> odeg(rmat.n, 0);
+    for (const gen::Edge& e : rmat.edges) ++odeg[e.src];
+    const gvid_t rmat_root = static_cast<gvid_t>(
+        std::max_element(odeg.begin(), odeg.end()) - odeg.begin());
+
+    struct JWorkload {
+      std::string label;
+      const gen::EdgeList* graph;
+      gvid_t root;
+    };
+    const std::vector<JWorkload> jwork = {
+        {"WC", &wc.graph, wc.core.begin},
+        {"RMAT", &rmat, rmat_root},
+    };
+
+    TablePrinter t({"Analytic", "Graph", "Mode", "Tpar med(s)", "stddev",
+                    "Rounds", "Bitmap/Pull/Xover", "Checksum"});
+    const auto run_one = [&](const JWorkload& w, bool is_sssp,
+                             engine::FrontierMode mode) {
+      std::vector<double> tpars;
+      std::uint64_t checksum = 0, rounds = 0;
+      std::uint64_t bitmap_rounds = 0, pull_rounds = 0, crossovers = 0;
+      for (int rep = 0; rep < reps; ++rep) {
+        engine::SuperstepTrace trace;
+        std::atomic<std::uint64_t> sum{0};
+        const hb::RegionReport r = hb::run_region(
+            *w.graph, nranks, dgraph::PartitionKind::kVertexBlock,
+            [&](const dgraph::DistGraph& g, parcomm::Communicator& comm) {
+              std::uint64_t local = 0;
+              if (is_sssp) {
+                analytics::SsspOptions o;
+                o.common.frontier = mode;
+                o.common.trace = &trace;
+                const auto res = analytics::sssp(g, comm, w.root, o);
+                // The distances are exact min-plus integers: every mode
+                // must produce the identical array.
+                for (const std::uint64_t d : res.dist)
+                  local += d == analytics::kInfDistance ? 1 : d;
+              } else {
+                analytics::BfsOptions o;
+                o.direction_optimizing = true;
+                o.common.frontier = mode;
+                o.common.trace = &trace;
+                const auto res = analytics::bfs(g, comm, w.root, o);
+                for (const std::int64_t lv : res.level)
+                  local += lv < 0 ? 1 : static_cast<std::uint64_t>(lv);
+              }
+              const std::uint64_t total = comm.allreduce_sum(local);
+              if (comm.rank() == 0) sum = total;
+            });
+        tpars.push_back(r.tpar);
+        checksum = sum.load();
+        rounds = bitmap_rounds = pull_rounds = crossovers = 0;
+        for (const engine::SuperstepRecord& sr : trace.records()) {
+          ++rounds;
+          if (sr.frontier_rep == "bitmap") ++bitmap_rounds;
+          if (sr.frontier_dir == "pull") ++pull_rounds;
+          if (sr.crossover) ++crossovers;
+        }
+      }
+      const double med = hb::median_of(tpars);
+      const double sd = hb::stddev_of(tpars);
+      const char* analytic = is_sssp ? "SSSP" : "BFS diropt";
+      t.add_row({analytic, w.label, engine::frontier_mode_label(mode),
+                 TablePrinter::fmt(med, 3), TablePrinter::fmt(sd, 3),
+                 TablePrinter::fmt_int(static_cast<long long>(rounds)),
+                 TablePrinter::fmt_int(static_cast<long long>(bitmap_rounds)) +
+                     "/" +
+                     TablePrinter::fmt_int(
+                         static_cast<long long>(pull_rounds)) +
+                     "/" +
+                     TablePrinter::fmt_int(static_cast<long long>(crossovers)),
+                 std::to_string(checksum)});
+      hb::BenchRecord br;
+      br.name = std::string("J.") + (is_sssp ? "sssp" : "bfs_diropt") + "." +
+                w.label + "." + engine::frontier_mode_label(mode);
+      br.ranks = nranks;
+      br.threads = 1;
+      br.median_s = med;
+      br.stddev_s = sd;
+      br.extra = {{"rounds", static_cast<double>(rounds)},
+                  {"bitmap_rounds", static_cast<double>(bitmap_rounds)},
+                  {"pull_rounds", static_cast<double>(pull_rounds)},
+                  {"crossovers", static_cast<double>(crossovers)},
+                  {"checksum", static_cast<double>(checksum)}};
+      bench_json.add(std::move(br));
+    };
+
+    for (const JWorkload& w : jwork)
+      for (const bool is_sssp : {true, false})
+        for (const engine::FrontierMode mode :
+             {engine::FrontierMode::kQueue, engine::FrontierMode::kBitmap,
+              engine::FrontierMode::kHybrid})
+          run_one(w, is_sssp, mode);
+    std::cout << "\nJ. Frontier representation (DistFrontier queue vs bitmap\n"
+                 "vs hybrid; DESIGN.md §11):\n";
+    t.print(std::cout);
+  }
+
   if (!json_path.empty()) {
     bench_json.write(json_path);
     std::cout << "\nwrote " << json_path << "\n";
@@ -706,6 +821,10 @@ int main(int argc, char** argv) {
          "edge-balanced grids stay near 1 (Edge imbal, the deterministic\n"
          "chunk->thread model); Meas imbal is the realized split and only\n"
          "tracks the model when the host has >= `threads` cores.  Hub\n"
-         "splitting caps the heaviest chunk near the grain.\n";
+         "splitting caps the heaviest chunk near the grain.  (J) checksums\n"
+         "must match across all three modes within each (analytic, graph)\n"
+         "row — the representations are interchangeable; forced queue pins\n"
+         "push (0 pull rounds) while bitmap/hybrid let the diropt BFS cross\n"
+         "over, and SSSP under hybrid stays on the queue (order-sensitive).\n";
   return 0;
 }

@@ -14,6 +14,7 @@
 
 #include "analytics/analytics.hpp"
 #include "bench_common.hpp"
+#include "engine/frontier.hpp"
 #include "gen/erdos_renyi.hpp"
 #include "gen/rmat.hpp"
 #include "gen/webgraph.hpp"
@@ -47,6 +48,11 @@ int main(int argc, char** argv) {
   Schedule sched = Schedule::kStatic;
   if (!parse_schedule(cli.get("schedule", "static"), &sched)) {
     std::cerr << "unknown --schedule (static|dynamic|edge)\n";
+    return 2;
+  }
+  engine::FrontierMode fmode = engine::FrontierMode::kHybrid;
+  if (!engine::parse_frontier_mode(cli.get("frontier", "hybrid"), &fmode)) {
+    std::cerr << "unknown --frontier (queue|bitmap|hybrid)\n";
     return 2;
   }
 
@@ -118,9 +124,14 @@ int main(int argc, char** argv) {
          (void)analytics::wcc(g, comm, o);
        }},
       {"Harmonic Cent. (1 vtx)",
-       [](const dgraph::DistGraph& g, parcomm::Communicator& comm) {
+       [trace_ptr, sched, fmode](const dgraph::DistGraph& g,
+                                 parcomm::Communicator& comm) {
          const gvid_t hot = analytics::max_degree_vertex(g, comm);
-         (void)analytics::harmonic_centrality(g, comm, hot);
+         analytics::HarmonicOptions o;
+         o.common.trace = trace_ptr;
+         o.common.schedule = sched;
+         o.common.frontier = fmode;
+         (void)analytics::harmonic_centrality(g, comm, hot, o);
        }},
       {"k-core (2^i sweep)",
        [kcore_max_i, trace_ptr, sched](const dgraph::DistGraph& g,
@@ -132,8 +143,13 @@ int main(int argc, char** argv) {
          (void)analytics::kcore_approx(g, comm, o);
        }},
       {"SCC (FW-BW)",
-       [](const dgraph::DistGraph& g, parcomm::Communicator& comm) {
-         (void)analytics::largest_scc(g, comm);
+       [trace_ptr, sched, fmode](const dgraph::DistGraph& g,
+                                 parcomm::Communicator& comm) {
+         analytics::SccOptions o;
+         o.common.trace = trace_ptr;
+         o.common.schedule = sched;
+         o.common.frontier = fmode;
+         (void)analytics::largest_scc(g, comm, o);
        }},
   };
 

@@ -3,8 +3,9 @@
 #include <algorithm>
 
 #include "dgraph/ghost_exchange.hpp"
+#include "engine/frontier.hpp"
+#include "engine/superstep.hpp"
 #include "util/rng.hpp"
-#include "util/thread_queue.hpp"
 
 namespace hpcgraph::analytics {
 
@@ -35,42 +36,53 @@ namespace {
 
 constexpr std::int64_t kUnset = -1;
 
-/// One Brandes source: forward sigma sweep + backward delta accumulation.
-/// Adds each non-source vertex's dependency into `score`.
-void accumulate_source(const DistGraph& g, Communicator& comm, gvid_t source,
-                       GhostExchange& gx, std::vector<double>& score,
-                       std::size_t qsize) {
-  const int p = comm.size();
-  const int me = comm.rank();
+/// FrontierKernel: one level of Brandes's forward sigma sweep.  Remote path
+/// counts route to the owners through engine::route_to_owners; the local
+/// frontier of each level is recorded for the backward pass.
+///
+/// Order-independent: sigma values are integer shortest-path counts stored
+/// in doubles, so contributions sum exactly in any order — the hybrid
+/// policy may freely switch representation without perturbing scores.
+struct BrandesForwardKernel {
+  const DistGraph& g;
+  std::vector<std::int64_t>& level;
+  std::vector<double>& sigma;
+  std::vector<double>& contrib;
+  std::vector<std::vector<lvid_t>>& frontiers;  // per-level local frontiers
+  std::size_t qsize;
+  engine::DistFrontier cur, next;
 
-  std::vector<std::int64_t> level(g.n_loc(), kUnset);
-  // sigma/delta cover ghosts: successors' values are read through out-edges.
-  std::vector<double> sigma(g.n_total(), 0.0);
-  std::vector<double> contrib(g.n_loc(), 0.0);
+  BrandesForwardKernel(const DistGraph& g_, std::vector<std::int64_t>& lv,
+                       std::vector<double>& sg, std::vector<double>& cb,
+                       std::vector<std::vector<lvid_t>>& fr, std::size_t qs)
+      : g(g_), level(lv), sigma(sg), contrib(cb), frontiers(fr), qsize(qs),
+        cur(g_.n_loc()), next(g_.n_loc()) {}
 
-  std::vector<std::vector<lvid_t>> frontiers;  // per-level local frontiers
-  std::vector<lvid_t> frontier;
-  if (g.owner_of_global(source) == me) {
-    const lvid_t l = g.local_id_checked(source);
-    level[l] = 0;
-    sigma[l] = 1.0;
-    frontier.push_back(l);
+  engine::DistFrontier* frontier() { return &cur; }
+
+  std::uint64_t active_local() const { return cur.size(); }
+
+  std::uint64_t degree_local() const {
+    return cur.weight_sum([&](lvid_t v) { return g.out_degree(v); });
   }
 
-  struct PathMsg {
-    gvid_t gid;
-    double paths;
-  };
+  void step(engine::FrontierStepContext& ctx) {
+    ctx.touched_local = cur.size();
+    const std::int64_t depth = static_cast<std::int64_t>(ctx.superstep);
 
-  // ---- Forward phase: level-synchronous shortest-path counting. ----
-  std::int64_t depth = 0;
-  std::uint64_t global_size = comm.allreduce_sum<std::uint64_t>(frontier.size());
-  while (global_size != 0) {
-    frontiers.push_back(frontier);
+    struct PathMsg {
+      gvid_t gid;
+      double paths;
+    };
+
+    frontiers.emplace_back();
+    std::vector<lvid_t>& saved = frontiers.back();
+    saved.reserve(cur.size());
 
     std::vector<PathMsg> remote;
     std::vector<lvid_t> touched;  // locals that received contributions
-    for (const lvid_t u : frontier) {
+    cur.for_each([&](lvid_t u) {
+      saved.push_back(u);
       for (const lvid_t v : g.out_neighbors(u)) {
         if (g.is_ghost(v)) {
           remote.push_back({g.global_id(v), sigma[u]});
@@ -79,18 +91,11 @@ void accumulate_source(const DistGraph& g, Communicator& comm, gvid_t source,
           contrib[v] += sigma[u];
         }
       }
-    }
+    });
 
-    std::vector<std::uint64_t> counts(p, 0);
-    for (const PathMsg& m : remote) ++counts[g.owner_of_global(m.gid)];
-    MultiQueue<PathMsg> q(counts);
-    {
-      MultiQueue<PathMsg>::Sink sink(q, qsize);
-      for (const PathMsg& m : remote)
-        sink.push(static_cast<std::uint32_t>(g.owner_of_global(m.gid)), m);
-    }
-    const std::vector<PathMsg> recv =
-        comm.alltoallv<PathMsg>(q.buffer(), counts);
+    const std::vector<PathMsg> recv = engine::route_to_owners<PathMsg>(
+        ctx.comm, remote,
+        [&](const PathMsg& m) { return g.owner_of_global(m.gid); }, qsize);
     for (const PathMsg& m : recv) {
       const lvid_t v = g.local_id_checked(m.gid);
       if (level[v] == kUnset) {
@@ -99,17 +104,44 @@ void accumulate_source(const DistGraph& g, Communicator& comm, gvid_t source,
       }
     }
 
-    frontier.clear();
+    next.clear();
     for (const lvid_t v : touched) {
       if (level[v] != kUnset || contrib[v] == 0.0) continue;
       level[v] = depth + 1;
       sigma[v] = contrib[v];
       contrib[v] = 0.0;
-      frontier.push_back(v);
+      next.push(v);
+      ctx.degree_local += g.out_degree(v);
     }
-    ++depth;
-    global_size = comm.allreduce_sum<std::uint64_t>(frontier.size());
+    cur.swap(next);
   }
+};
+
+/// One Brandes source: forward sigma sweep + backward delta accumulation.
+/// Adds each non-source vertex's dependency into `score`.
+void accumulate_source(const DistGraph& g, Communicator& comm, gvid_t source,
+                       GhostExchange& gx, std::vector<double>& score,
+                       const CommonOptions& common) {
+  const int me = comm.rank();
+
+  std::vector<std::int64_t> level(g.n_loc(), kUnset);
+  // sigma/delta cover ghosts: successors' values are read through out-edges.
+  std::vector<double> sigma(g.n_total(), 0.0);
+  std::vector<double> contrib(g.n_loc(), 0.0);
+
+  std::vector<std::vector<lvid_t>> frontiers;  // per-level local frontiers
+  BrandesForwardKernel kernel(g, level, sigma, contrib, frontiers,
+                              common.qsize);
+  if (g.owner_of_global(source) == me) {
+    const lvid_t l = g.local_id_checked(source);
+    level[l] = 0;
+    sigma[l] = 1.0;
+    kernel.cur.push(l);
+  }
+
+  // ---- Forward phase: level-synchronous shortest-path counting. ----
+  engine::SuperstepEngine eng(g, comm, engine_config(common, "betweenness"));
+  eng.run_frontier(kernel);
 
   // Successor sigma for the backward pass.
   gx.exchange<double>(sigma, comm);
@@ -157,7 +189,7 @@ BetweennessResult betweenness(const DistGraph& g, Communicator& comm,
   GhostExchange gx(g, comm, Adjacency::kIn, opts.common.pool);
 
   for (const gvid_t s : res.sources)
-    accumulate_source(g, comm, s, gx, res.score, opts.common.qsize);
+    accumulate_source(g, comm, s, gx, res.score, opts.common);
   return res;
 }
 

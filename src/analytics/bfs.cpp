@@ -1,11 +1,10 @@
 #include "analytics/bfs.hpp"
 
 #include <atomic>
-#include <optional>
 
 #include "dgraph/ghost_exchange.hpp"
-#include "engine/trace.hpp"
-#include "util/thread_queue.hpp"
+#include "engine/frontier.hpp"
+#include "engine/superstep.hpp"
 
 namespace hpcgraph::analytics {
 
@@ -13,11 +12,6 @@ using dgraph::DistGraph;
 using parcomm::Communicator;
 
 namespace {
-
-// BFS keeps its bespoke loop (the paper's Algorithm 2 is its own reference)
-// but adopts the engine's telemetry sink: each level emits one
-// SuperstepRecord through engine::RoundTrace, so --trace-json covers every
-// analytic.
 
 /// Status-array policy: plain stores for the single-thread fast path,
 /// compare-exchange when several threads expand the frontier concurrently.
@@ -100,55 +94,51 @@ std::vector<std::uint64_t> frontier_degree_prefix(const DistGraph& g, Dir dir,
   return p;
 }
 
+/// FrontierKernel: one level of the paper's Algorithm-2 traversal.  Threads
+/// expand disjoint frontier spans, claiming neighbours through the status
+/// array; ghost claims route to the owners through the frontier layer's
+/// sharded Algorithm-3 producer.  Level stamps and frontier membership are
+/// claim-order independent, so any chunking — and either frontier
+/// representation — produces identical level[] outputs.
 template <typename Status>
-BfsResult bfs_impl(const DistGraph& g, Communicator& comm, gvid_t root,
-                   const BfsOptions& opts, ThreadPool& tp) {
-  const unsigned nt = tp.num_threads();
-  const int p = comm.size();
-  const int me = comm.rank();
-  const Schedule sched = opts.common.schedule;
+struct BfsLevelKernel {
+  static constexpr bool kScheduleAware = true;
 
-  Status status(g.n_total());
-  const auto alive = [&](lvid_t u) {
+  const DistGraph& g;
+  const BfsOptions& opts;
+  Status status;
+  engine::DistFrontier cur, next;
+  // Per-thread scratch, reused across levels.
+  std::vector<std::vector<lvid_t>> nexts, sends;
+
+  BfsLevelKernel(const DistGraph& g_, const BfsOptions& o, ThreadPool& tp)
+      : g(g_), opts(o), status(g_.n_total()), cur(g_.n_loc()),
+        next(g_.n_loc()), nexts(tp.num_threads()), sends(tp.num_threads()) {}
+
+  bool alive(lvid_t u) const {
     return opts.alive.empty() || opts.alive[u] != 0;
-  };
-
-  std::vector<lvid_t> q, q_next;
-  if (g.owner_of_global(root) == me) {
-    const lvid_t l = g.local_id_checked(root);
-    if (alive(l)) {
-      status.store(l, kQueued);
-      q.push_back(l);
-    }
   }
 
-  std::int64_t level = 0;
-  std::uint64_t global_size = comm.allreduce_sum<std::uint64_t>(q.size());
-  int num_levels = 0;
+  engine::DistFrontier* frontier() { return &cur; }
 
-  // Per-thread scratch, reused across levels.
-  struct ThreadScratch {
-    std::vector<lvid_t> next;  // local vertices for the next frontier
-    std::vector<lvid_t> send;  // ghost local-ids to route to owners
-    std::vector<std::uint64_t> send_counts;
-  };
-  std::vector<ThreadScratch> scratch(nt);
-  for (auto& s : scratch) s.send_counts.assign(p, 0);
+  std::uint64_t active_local() const { return cur.size(); }
 
-  engine::RoundTrace ltrace(opts.common.trace, comm, "bfs", &tp, sched);
-  while (global_size != 0) {
-    ++num_levels;
-    const std::uint64_t processed = global_size;
-    ltrace.begin();
+  std::uint64_t degree_local() const {
+    return cur.weight_sum([&](lvid_t v) { return dir_degree(g, opts.dir, v); });
+  }
+
+  void step(engine::FrontierStepContext& ctx) {
+    ctx.touched_local = cur.size();
+    const std::int64_t level = static_cast<std::int64_t>(ctx.superstep);
+    const std::span<const lvid_t> q = cur.as_list();
 
     // ---- Expansion: pop the frontier, stamp levels, claim neighbours.
-    // Level stamps and frontier membership are claim-order independent, so
-    // any chunking of the frontier produces identical level[] outputs; the
-    // edge-balanced grid weighs chunks by frontier degree (rebuilt per
+    // The edge-balanced grid weighs chunks by frontier degree (rebuilt per
     // level — the frontier changes every level).  ----
     const auto expand_span = [&](unsigned tid, std::uint64_t lo,
                                  std::uint64_t hi) {
-      ThreadScratch& s = scratch[tid];
+      std::vector<lvid_t>& my_next = nexts[tid];
+      std::vector<lvid_t>& my_send = sends[tid];
       for (std::uint64_t i = lo; i < hi; ++i) {
         const lvid_t v = q[i];
         // Claim the pop (duplicates can reach the queue via receives).
@@ -156,12 +146,9 @@ BfsResult bfs_impl(const DistGraph& g, Communicator& comm, gvid_t root,
 
         const auto explore = [&](lvid_t u) {
           if (g.is_ghost(u)) {
-            if (status.claim(u)) {
-              s.send.push_back(u);
-              ++s.send_counts[g.owner_of(u)];
-            }
+            if (status.claim(u)) my_send.push_back(u);
           } else if (alive(u) && status.claim(u)) {
-            s.next.push_back(u);
+            my_next.push_back(u);
           }
         };
         if (opts.dir == Dir::kOut || opts.dir == Dir::kBoth)
@@ -170,143 +157,115 @@ BfsResult bfs_impl(const DistGraph& g, Communicator& comm, gvid_t root,
           for (const lvid_t u : g.in_neighbors(v)) explore(u);
       }
     };
-    if (sched == Schedule::kStatic) {
-      tp.for_range(0, q.size(), expand_span);
+    if (ctx.schedule == Schedule::kStatic) {
+      ctx.pool.for_range(0, q.size(), expand_span);
     } else {
       std::vector<std::uint64_t> fprefix;
-      if (sched == Schedule::kEdgeBalanced)
+      if (ctx.schedule == Schedule::kEdgeBalanced)
         fprefix = frontier_degree_prefix(g, opts.dir, q);
       const ChunkGrid grid =
-          make_grid(sched, q.size(), fprefix, tp.num_threads());
-      tp.for_ranges(grid, sched, expand_span);
+          make_grid(ctx.schedule, q.size(), fprefix, ctx.pool.num_threads());
+      ctx.pool.for_ranges(grid, ctx.schedule, expand_span);
     }
 
-    // ---- Build the send queue (Algorithm 2 lines 26-31). ----
-    std::vector<std::uint64_t> send_counts(p, 0);
-    for (unsigned t = 0; t < nt; ++t)
-      for (int r = 0; r < p; ++r) send_counts[r] += scratch[t].send_counts[r];
-
-    MultiQueue<gvid_t> sendq(send_counts);
-    tp.run([&](unsigned tid) {
-      ThreadScratch& s = scratch[tid];
-      MultiQueue<gvid_t>::Sink sink(sendq, opts.common.qsize);
-      for (const lvid_t u : s.send)
-        sink.push(static_cast<std::uint32_t>(g.owner_of(u)), g.global_id(u));
-      s.send.clear();
-      std::fill(s.send_counts.begin(), s.send_counts.end(), 0);
-    });
-    HG_DCHECK(sendq.complete());
-
+    // ---- Ship claimed ghosts to their owners (Algorithm 2 lines 26-31):
+    // concurrent per-thread Sinks; receivers are claim-based, so segment
+    // permutation is immaterial. ----
     const std::vector<gvid_t> recv =
-        comm.alltoallv<gvid_t>(sendq.buffer(), send_counts);
+        engine::route_to_owners_sharded<gvid_t, lvid_t>(
+            ctx.comm, ctx.pool, sends,
+            [&](lvid_t u) { return g.owner_of(u); },
+            [&](lvid_t u) { return g.global_id(u); }, opts.common.qsize);
+    for (std::vector<lvid_t>& s : sends) s.clear();
 
     // ---- Assemble next frontier: local claims + received vertices. ----
-    q_next.clear();
-    for (unsigned t = 0; t < nt; ++t) {
-      q_next.insert(q_next.end(), scratch[t].next.begin(),
-                    scratch[t].next.end());
-      scratch[t].next.clear();
+    next.clear();
+    for (std::vector<lvid_t>& t : nexts) {
+      for (const lvid_t v : t) {
+        next.push(v);
+        ctx.degree_local += dir_degree(g, opts.dir, v);
+      }
+      t.clear();
     }
     for (const gvid_t gid : recv) {
       const lvid_t l = g.local_id_checked(gid);
       HG_DCHECK(!g.is_ghost(l));
-      if (alive(l) && status.claim(l)) q_next.push_back(l);
+      if (alive(l) && status.claim(l)) {
+        next.push(l);
+        ctx.degree_local += dir_degree(g, opts.dir, l);
+      }
     }
-
-    std::swap(q, q_next);
-    global_size = comm.allreduce_sum<std::uint64_t>(q.size());
-    ltrace.end(static_cast<std::uint64_t>(level), processed, global_size,
-               "queue");
-    ++level;
+    cur.swap(next);
   }
+};
 
-  // ---- Collect results. ----
-  BfsResult res;
-  res.num_levels = num_levels;
-  res.level.resize(g.n_loc());
-  std::uint64_t visited_local = 0;
-  for (lvid_t v = 0; v < g.n_loc(); ++v) {
-    res.level[v] = status.load(v);
-    if (res.level[v] >= 0) ++visited_local;
-  }
-  res.visited = comm.allreduce_sum<std::uint64_t>(visited_local);
-  return res;
-}
-
-/// Direction-optimizing traversal: hybrid top-down / bottom-up schedule.
+/// FrontierKernel: direction-optimizing traversal (hybrid top-down /
+/// bottom-up).  The engine's frontier_decide replays the Beamer heuristics
+/// on the fused-allreduce degree sum; a pull round publishes the dense
+/// frontier over the ghost-exchange wire and scans for flagged parents.
 /// Statuses are stamped with the level at frontier *insertion* time (both
 /// modes), so the two schedules interleave freely and produce levels
 /// identical to the reference traversal.
-template <typename Status>
-BfsResult bfs_diropt_impl(const DistGraph& g, Communicator& comm, gvid_t root,
-                          const BfsOptions& opts, ThreadPool& tp) {
-  const int p = comm.size();
-  const int me = comm.rank();
-  const Schedule sched = opts.common.schedule;
+struct BfsDiroptKernel {
+  static constexpr bool kScheduleAware = true;
 
-  // Frontier-flag propagation for bottom-up levels reuses the retained-
-  // queue machinery; the adjacency mode mirrors the traversal direction
-  // (a vertex's flag must reach every rank scanning it as a parent).
-  const dgraph::Adjacency adj =
-      opts.dir == Dir::kOut   ? dgraph::Adjacency::kOut
-      : opts.dir == Dir::kIn  ? dgraph::Adjacency::kIn
-                              : dgraph::Adjacency::kBoth;
-  dgraph::GhostExchange gx(g, comm, adj, opts.common.pool);
-  gx.set_schedule(sched);
-
-  Status status(g.n_total());
-  const auto alive = [&](lvid_t u) {
-    return opts.alive.empty() || opts.alive[u] != 0;
-  };
-
-  std::vector<lvid_t> q, q_next;
-  if (g.owner_of_global(root) == me) {
-    const lvid_t l = g.local_id_checked(root);
-    if (alive(l)) {
-      status.store(l, 0);
-      q.push_back(l);
-    }
-  }
-
-  std::vector<std::uint8_t> flags(g.n_total(), 0);
-  std::int64_t level = 0;
-  std::uint64_t global_size = comm.allreduce_sum<std::uint64_t>(q.size());
-  int num_levels = 0;
-  bool bottom_up = false;
-  std::vector<std::uint64_t> tedges(tp.num_threads());
+  const DistGraph& g;
+  const BfsOptions& opts;
+  dgraph::GhostExchange gx;
+  PlainStatus status;
+  std::vector<std::uint8_t> flags;
+  engine::DistFrontier cur, next;
   ChunkGrid bu_grid;  // bottom-up parent-scan grid (built on first use)
 
-  engine::RoundTrace ltrace(opts.common.trace, comm, "bfs", &tp, sched);
-  while (global_size != 0) {
-    ++num_levels;
-    const std::uint64_t processed = global_size;
-    ltrace.begin();
+  BfsDiroptKernel(const DistGraph& g_, const BfsOptions& o,
+                  Communicator& comm)
+      // Frontier-flag propagation for bottom-up levels reuses the retained-
+      // queue machinery; the adjacency mode mirrors the traversal direction
+      // (a vertex's flag must reach every rank scanning it as a parent).
+      : g(g_), opts(o),
+        gx(g_, comm,
+           o.dir == Dir::kOut  ? dgraph::Adjacency::kOut
+           : o.dir == Dir::kIn ? dgraph::Adjacency::kIn
+                               : dgraph::Adjacency::kBoth,
+           o.common.pool),
+        status(g_.n_total()), flags(g_.n_total(), 0), cur(g_.n_loc()),
+        next(g_.n_loc()) {}
 
-    // ---- Mode decision (Beamer heuristics, collective). ----
-    // Accumulate (not assign): a thread may run several chunks under the
-    // non-static schedules.
-    std::fill(tedges.begin(), tedges.end(), 0);
-    tp.for_range(0, q.size(), sched,
-                 [&](unsigned tid, std::uint64_t lo, std::uint64_t hi) {
-                   std::uint64_t sum = 0;
-                   for (std::uint64_t i = lo; i < hi; ++i)
-                     sum += dir_degree(g, opts.dir, q[i]);
-                   tedges[tid] += sum;
-                 });
-    std::uint64_t frontier_edges_local = 0;
-    for (const std::uint64_t e : tedges) frontier_edges_local += e;
-    const std::uint64_t frontier_edges =
-        comm.allreduce_sum<std::uint64_t>(frontier_edges_local);
-    if (!bottom_up) {
-      bottom_up = static_cast<double>(frontier_edges) >
-                  static_cast<double>(g.m_global()) / opts.alpha;
-    } else {
-      bottom_up = static_cast<double>(global_size) >=
-                  static_cast<double>(g.n_global()) / opts.beta;
-    }
+  bool alive(lvid_t u) const {
+    return opts.alive.empty() || opts.alive[u] != 0;
+  }
 
-    q_next.clear();
-    if (bottom_up) {
+  engine::FrontierPolicy frontier_policy() const {
+    engine::FrontierPolicy p;
+    p.allow_pull = true;
+    p.alpha = opts.alpha;
+    p.beta = opts.beta;
+    return p;
+  }
+
+  dgraph::GhostExchange* ghosts() { return &gx; }
+
+  engine::DistFrontier* frontier() { return &cur; }
+
+  std::uint64_t active_local() const { return cur.size(); }
+
+  std::uint64_t degree_local() const {
+    return cur.weight_sum([&](lvid_t v) { return dir_degree(g, opts.dir, v); });
+  }
+
+  void step(engine::FrontierStepContext& ctx) {
+    ctx.touched_local = cur.size();
+    const std::int64_t level = static_cast<std::int64_t>(ctx.superstep);
+    const std::span<const lvid_t> q = cur.as_list();
+    ThreadPool& tp = ctx.pool;
+    const Schedule sched = ctx.schedule;
+
+    next.clear();
+    const auto accept = [&](lvid_t v) {
+      next.push(v);
+      ctx.degree_local += dir_degree(g, opts.dir, v);
+    };
+    if (ctx.dir == engine::FrontierDir::kPull) {
       // ---- Bottom-up: publish frontier flags, unvisited vertices look
       // for a flagged parent. ----
       tp.for_range(0, flags.size(), sched,
@@ -319,13 +278,13 @@ BfsResult bfs_diropt_impl(const DistGraph& g, Communicator& comm, gvid_t root,
                    [&](unsigned, std::uint64_t lo, std::uint64_t hi) {
                      for (std::uint64_t i = lo; i < hi; ++i) flags[q[i]] = 1;
                    });
-      gx.exchange<std::uint8_t>(flags, comm);
+      gx.exchange<std::uint8_t>(flags, ctx.comm);
 
       // Parent scan: each vertex touches only its own status slot and reads
       // the (fixed) flags array, so the scan chunks freely.  Per-chunk
       // accept lists concatenated in chunk order reproduce the serial
-      // ascending-vertex q_next exactly — the traversal is bit-identical
-      // across schedules and thread counts.
+      // ascending-vertex next frontier exactly — the traversal is
+      // bit-identical across schedules and thread counts.
       const auto scan_one = [&](lvid_t v) {
         if (status.load(v) != kUnvisited || !alive(v)) return false;
         // Parents sit in the *reverse* adjacency of the traversal.
@@ -344,7 +303,7 @@ BfsResult bfs_diropt_impl(const DistGraph& g, Communicator& comm, gvid_t root,
         for (lvid_t v = 0; v < g.n_loc(); ++v) {
           if (scan_one(v)) {
             status.store(v, level + 1);
-            q_next.push_back(v);
+            accept(v);
           }
         }
       } else {
@@ -369,22 +328,19 @@ BfsResult bfs_diropt_impl(const DistGraph& g, Communicator& comm, gvid_t root,
                         }
                       });
         for (const std::vector<lvid_t>& list : accepted)
-          q_next.insert(q_next.end(), list.begin(), list.end());
+          for (const lvid_t v : list) accept(v);
       }
     } else {
       // ---- Top-down: as Algorithm 2, stamping at insertion. ----
       std::vector<lvid_t> send;
-      std::vector<std::uint64_t> send_counts(p, 0);
       for (const lvid_t v : q) {
         const auto explore = [&](lvid_t u) {
           if (g.is_ghost(u)) {
-            if (status.claim(u)) {  // each ghost sent at most once per task
+            if (status.claim(u))  // each ghost sent at most once per task
               send.push_back(u);
-              ++send_counts[g.owner_of(u)];
-            }
           } else if (alive(u) && status.load(u) == kUnvisited) {
             status.store(u, level + 1);
-            q_next.push_back(u);
+            accept(u);
           }
         };
         if (opts.dir == Dir::kOut || opts.dir == Dir::kBoth)
@@ -393,41 +349,65 @@ BfsResult bfs_diropt_impl(const DistGraph& g, Communicator& comm, gvid_t root,
           for (const lvid_t u : g.in_neighbors(v)) explore(u);
       }
 
-      MultiQueue<gvid_t> sendq(send_counts);
-      {
-        typename MultiQueue<gvid_t>::Sink sink(sendq, opts.common.qsize);
-        for (const lvid_t u : send)
-          sink.push(static_cast<std::uint32_t>(g.owner_of(u)),
-                    g.global_id(u));
-      }
-      const std::vector<gvid_t> recv =
-          comm.alltoallv<gvid_t>(sendq.buffer(), send_counts);
+      const std::vector<gvid_t> recv = engine::route_to_owners<lvid_t>(
+          ctx.comm, std::span<const lvid_t>(send),
+          [&](lvid_t u) { return g.owner_of(u); },
+          [&](lvid_t u) { return g.global_id(u); }, opts.common.qsize);
       for (const gvid_t gid : recv) {
         const lvid_t l = g.local_id_checked(gid);
         if (alive(l) && status.load(l) == kUnvisited) {
           status.store(l, level + 1);
-          q_next.push_back(l);
+          accept(l);
         }
       }
     }
-
-    std::swap(q, q_next);
-    global_size = comm.allreduce_sum<std::uint64_t>(q.size());
-    ltrace.end(static_cast<std::uint64_t>(level), processed, global_size,
-               bottom_up ? "dense" : "queue");
-    ++level;
+    cur.swap(next);
   }
+};
+
+template <typename Kernel>
+BfsResult run_bfs_kernel(const DistGraph& g, Communicator& comm,
+                         Kernel& kernel, const BfsOptions& opts) {
+  engine::SuperstepEngine eng(g, comm, engine_config(opts.common, "bfs"));
+  const engine::EngineResult er = eng.run_frontier(kernel);
 
   BfsResult res;
-  res.num_levels = num_levels;
+  res.num_levels = static_cast<int>(er.supersteps);
   res.level.resize(g.n_loc());
   std::uint64_t visited_local = 0;
   for (lvid_t v = 0; v < g.n_loc(); ++v) {
-    res.level[v] = status.load(v);
+    res.level[v] = kernel.status.load(v);
     if (res.level[v] >= 0) ++visited_local;
   }
   res.visited = comm.allreduce_sum<std::uint64_t>(visited_local);
   return res;
+}
+
+template <typename Status>
+BfsResult bfs_impl(const DistGraph& g, Communicator& comm, gvid_t root,
+                   const BfsOptions& opts, ThreadPool& tp) {
+  BfsLevelKernel<Status> kernel(g, opts, tp);
+  if (g.owner_of_global(root) == comm.rank()) {
+    const lvid_t l = g.local_id_checked(root);
+    if (kernel.alive(l)) {
+      kernel.status.store(l, kQueued);
+      kernel.cur.push(l);
+    }
+  }
+  return run_bfs_kernel(g, comm, kernel, opts);
+}
+
+BfsResult bfs_diropt_impl(const DistGraph& g, Communicator& comm, gvid_t root,
+                          const BfsOptions& opts) {
+  BfsDiroptKernel kernel(g, opts, comm);
+  if (g.owner_of_global(root) == comm.rank()) {
+    const lvid_t l = g.local_id_checked(root);
+    if (kernel.alive(l)) {
+      kernel.status.store(l, 0);
+      kernel.cur.push(l);
+    }
+  }
+  return run_bfs_kernel(g, comm, kernel, opts);
 }
 
 }  // namespace
@@ -444,7 +424,7 @@ BfsResult bfs(const DistGraph& g, Communicator& comm, gvid_t root,
     // rank; the pooled loops (flag fills, degree sums, and the bottom-up
     // parent scan under non-static schedules) each touch disjoint per-vertex
     // slots, so the plain status policy suffices.
-    return bfs_diropt_impl<PlainStatus>(g, comm, root, opts, tp);
+    return bfs_diropt_impl(g, comm, root, opts);
   }
   if (tp.num_threads() == 1)
     return bfs_impl<PlainStatus>(g, comm, root, opts, tp);

@@ -1,56 +1,62 @@
 #include "analytics/bfs_tree.hpp"
 
-#include "engine/trace.hpp"
-#include "util/thread_queue.hpp"
+#include "engine/frontier.hpp"
+#include "engine/superstep.hpp"
 
 namespace hpcgraph::analytics {
 
 using dgraph::DistGraph;
 using parcomm::Communicator;
 
-BfsTreeResult bfs_tree(const DistGraph& g, Communicator& comm, gvid_t root,
-                       const BfsOptions& opts) {
-  HG_CHECK(root < g.n_global());
-  const int p = comm.size();
-  const int me = comm.rank();
+namespace {
 
-  BfsTreeResult res;
-  res.level.assign(g.n_loc(), kUnvisited);
-  res.parent.assign(g.n_loc(), kNullGvid);
+/// FrontierKernel: one parent-claiming BFS level.  Remote discoveries carry
+/// the (child, parent) pair and route to the child's owner through
+/// engine::route_to_owners; the first claimer wins in rank order.
+///
+/// Order-sensitive: the parent array is first-claimer-wins in frontier
+/// iteration order, so the hybrid policy pins the queue representation to
+/// keep default runs bit-identical with the pre-frontier-layer loop.
+/// Forcing kBitmap yields a valid BFS tree with possibly different
+/// order-derived parent ties.
+struct BfsTreeKernel {
+  const DistGraph& g;
+  const BfsOptions& opts;
+  BfsTreeResult& res;
   // Ghost dedup flags: each task claims/sends a ghost at most once.
-  std::vector<std::uint8_t> ghost_claimed(g.n_gst(), 0);
+  std::vector<std::uint8_t> ghost_claimed;
+  engine::DistFrontier cur, next;
 
-  const auto alive = [&](lvid_t u) {
+  BfsTreeKernel(const DistGraph& g_, const BfsOptions& o, BfsTreeResult& r)
+      : g(g_), opts(o), res(r), ghost_claimed(g_.n_gst(), 0),
+        cur(g_.n_loc()), next(g_.n_loc()) {}
+
+  bool alive(lvid_t u) const {
     return opts.alive.empty() || opts.alive[u] != 0;
-  };
-
-  std::vector<lvid_t> q, q_next;
-  if (g.owner_of_global(root) == me) {
-    const lvid_t l = g.local_id_checked(root);
-    if (alive(l)) {
-      res.level[l] = 0;
-      res.parent[l] = root;  // Graph500 convention: the root parents itself
-      q.push_back(l);
-    }
   }
 
-  struct Discovery {
-    gvid_t child;
-    gvid_t parent;
-  };
+  engine::FrontierPolicy frontier_policy() const {
+    engine::FrontierPolicy p;
+    p.order_sensitive = true;  // parent ties: first claimer wins
+    return p;
+  }
 
-  std::int64_t level = 0;
-  std::uint64_t global_size = comm.allreduce_sum<std::uint64_t>(q.size());
+  engine::DistFrontier* frontier() { return &cur; }
 
-  engine::RoundTrace ltrace(opts.common.trace, comm, "bfs");
-  while (global_size != 0) {
-    ++res.num_levels;
-    const std::uint64_t processed = global_size;
-    ltrace.begin();
-    q_next.clear();
+  std::uint64_t active_local() const { return cur.size(); }
+
+  void step(engine::FrontierStepContext& ctx) {
+    ctx.touched_local = cur.size();
+    const std::int64_t level = static_cast<std::int64_t>(ctx.superstep);
+
+    struct Discovery {
+      gvid_t child;
+      gvid_t parent;
+    };
+
+    next.clear();
     std::vector<Discovery> remote;
-
-    for (const lvid_t v : q) {
+    cur.for_each([&](lvid_t v) {
       const gvid_t vg = g.global_id(v);
       const auto explore = [&](lvid_t u) {
         if (g.is_ghost(u)) {
@@ -62,40 +68,55 @@ BfsTreeResult bfs_tree(const DistGraph& g, Communicator& comm, gvid_t root,
         } else if (alive(u) && res.level[u] == kUnvisited) {
           res.level[u] = level + 1;
           res.parent[u] = vg;
-          q_next.push_back(u);
+          next.push(u);
         }
       };
       if (opts.dir == Dir::kOut || opts.dir == Dir::kBoth)
         for (const lvid_t u : g.out_neighbors(v)) explore(u);
       if (opts.dir == Dir::kIn || opts.dir == Dir::kBoth)
         for (const lvid_t u : g.in_neighbors(v)) explore(u);
-    }
+    });
 
-    std::vector<std::uint64_t> counts(p, 0);
-    for (const Discovery& d : remote) ++counts[g.owner_of_global(d.child)];
-    MultiQueue<Discovery> sq(counts);
-    {
-      MultiQueue<Discovery>::Sink sink(sq, opts.common.qsize);
-      for (const Discovery& d : remote)
-        sink.push(static_cast<std::uint32_t>(g.owner_of_global(d.child)), d);
-    }
-    const std::vector<Discovery> recv =
-        comm.alltoallv<Discovery>(sq.buffer(), counts);
+    const std::vector<Discovery> recv = engine::route_to_owners<Discovery>(
+        ctx.comm, remote,
+        [&](const Discovery& d) { return g.owner_of_global(d.child); },
+        opts.common.qsize);
     for (const Discovery& d : recv) {
       const lvid_t l = g.local_id_checked(d.child);
       if (alive(l) && res.level[l] == kUnvisited) {
         res.level[l] = level + 1;
         res.parent[l] = d.parent;  // first claimer wins (rank order)
-        q_next.push_back(l);
+        next.push(l);
       }
     }
 
-    std::swap(q, q_next);
-    global_size = comm.allreduce_sum<std::uint64_t>(q.size());
-    ltrace.end(static_cast<std::uint64_t>(level), processed, global_size,
-               "queue");
-    ++level;
+    cur.swap(next);
   }
+};
+
+}  // namespace
+
+BfsTreeResult bfs_tree(const DistGraph& g, Communicator& comm, gvid_t root,
+                       const BfsOptions& opts) {
+  HG_CHECK(root < g.n_global());
+
+  BfsTreeResult res;
+  res.level.assign(g.n_loc(), kUnvisited);
+  res.parent.assign(g.n_loc(), kNullGvid);
+
+  BfsTreeKernel kernel(g, opts, res);
+  if (g.owner_of_global(root) == comm.rank()) {
+    const lvid_t l = g.local_id_checked(root);
+    if (kernel.alive(l)) {
+      res.level[l] = 0;
+      res.parent[l] = root;  // Graph500 convention: the root parents itself
+      kernel.cur.push(l);
+    }
+  }
+
+  engine::SuperstepEngine eng(g, comm, engine_config(opts.common, "bfs"));
+  const engine::EngineResult er = eng.run_frontier(kernel);
+  res.num_levels = static_cast<int>(er.supersteps);
 
   std::uint64_t visited_local = 0;
   for (const auto l : res.level)

@@ -9,6 +9,7 @@
 
 #include "dgraph/dist_graph.hpp"
 #include "dgraph/ghost_exchange.hpp"
+#include "engine/frontier.hpp"
 #include "engine/superstep.hpp"
 #include "engine/trace.hpp"
 #include "parcomm/comm.hpp"
@@ -58,6 +59,15 @@ struct CommonOptions {
   /// boundaries along the CSR degree prefix.  Analytics outputs are
   /// bit-identical across all three; must be set the same on every rank.
   Schedule schedule = Schedule::kStatic;
+  /// Frontier representation for the BFS-like analytics (see
+  /// engine/frontier.hpp and DESIGN.md §11): kQueue/kBitmap force the
+  /// sparse or dense representation, kHybrid (default) crosses over on the
+  /// global frontier-degree sum.  Order-sensitive analytics (BFS parent
+  /// trees, SSSP) pin the hybrid default to the queue so default runs
+  /// reproduce the pre-frontier-layer outputs bit-for-bit; forcing kBitmap
+  /// re-breaks their order-derived ties (documented per analytic).  Must be
+  /// set the same on every rank.
+  engine::FrontierMode frontier = engine::FrontierMode::kHybrid;
 };
 
 /// Engine knobs shared by the ported analytics: pool + trace from the
@@ -72,6 +82,7 @@ inline engine::EngineConfig engine_config(
   cfg.name = name;
   cfg.overlap = o.overlap;
   cfg.schedule = o.schedule;
+  cfg.frontier = o.frontier;
   return cfg;
 }
 

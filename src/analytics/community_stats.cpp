@@ -4,7 +4,7 @@
 #include <unordered_map>
 
 #include "dgraph/ghost_exchange.hpp"
-#include "util/thread_queue.hpp"
+#include "engine/frontier.hpp"
 
 namespace hpcgraph::analytics {
 
@@ -55,16 +55,13 @@ CommunityStatsResult community_stats(const DistGraph& g, Communicator& comm,
     // Labels are vertex ids, so the vertex partition also shards labels.
     return g.owner_of_global(static_cast<gvid_t>(label) % g.n_global());
   };
-  std::vector<std::uint64_t> counts(p, 0);
-  for (const auto& [label, pr] : partials) ++counts[owner_of_label(label)];
-  MultiQueue<Record> q(counts);
-  {
-    MultiQueue<Record>::Sink sink(q, opts.common.qsize);
-    for (const auto& [label, pr] : partials)
-      sink.push(static_cast<std::uint32_t>(owner_of_label(label)),
-                Record{label, pr.n, pr.m_in, pr.m_cut, pr.rep});
-  }
-  const std::vector<Record> recv = comm.alltoallv<Record>(q.buffer(), counts);
+  std::vector<Record> mine;
+  mine.reserve(partials.size());
+  for (const auto& [label, pr] : partials)
+    mine.push_back(Record{label, pr.n, pr.m_in, pr.m_cut, pr.rep});
+  const std::vector<Record> recv = engine::route_to_owners<Record>(
+      comm, mine, [&](const Record& r) { return owner_of_label(r.label); },
+      opts.common.qsize);
 
   std::unordered_map<std::uint64_t, Partial> owned;
   owned.reserve(recv.size());

@@ -5,6 +5,8 @@
 #include <optional>
 
 #include "dgraph/ghost_exchange.hpp"
+#include "engine/frontier.hpp"
+#include "engine/trace.hpp"
 #include "util/bitmask64.hpp"
 
 namespace hpcgraph::analytics {
@@ -66,12 +68,27 @@ int run_batch(const DistGraph& g, Communicator& comm, GhostExchange& gx,
   std::int64_t level = 0;
   int num_levels = 0;
 
+  // Push/pull crossover through the frontier layer's shared decision
+  // function: the MS-BFS density rule on allreduced state — a pure function
+  // evaluated identically on every rank, so the schedule stays lockstep.
+  // The masks are the dense representation already; a forced --frontier
+  // queue pins the push (scatter) path.
+  engine::FrontierPolicy policy;
+  policy.mode = opts.common.frontier;
+  policy.allow_pull = true;
+  policy.pull_density = opts.dense_threshold;
+  engine::FrontierDir dir = engine::FrontierDir::kPush;
+
+  engine::RoundTrace ltrace(opts.common.trace, comm, "msbfs", &tp, sched);
   while (active_global != 0) {
     ++num_levels;
-    // Schedule choice is a pure function of allreduced state: lockstep.
-    const bool pull =
-        static_cast<double>(active_global) >
-        opts.dense_threshold * static_cast<double>(g.n_global());
+    ltrace.begin();
+    const std::uint64_t processed = active_global;
+    const engine::FrontierDecision dec = engine::frontier_decide(
+        policy, dir, active_global, 0, g.n_global(), g.m_global());
+    const bool crossover = level > 0 && dec.dir != dir;
+    dir = dec.dir;
+    const bool pull = dir == engine::FrontierDir::kPull;
 
     if (pull) {
       // ---- Dense (pull): publish frontier masks, gather over the reverse
@@ -168,11 +185,21 @@ int run_batch(const DistGraph& g, Communicator& comm, GhostExchange& gx,
                     }
                   });
     act.clear();
-    for (const auto& cv : cact) act.insert(act.end(), cv.begin(), cv.end());
+    concat_chunk_lists(cact, act);
 
     ++level;
     if (!act.empty()) visit(level, newly, batch, batch_begin);
     active_global = comm.allreduce_sum<std::uint64_t>(act.size());
+
+    engine::FrontierRoundInfo finfo;
+    finfo.rep = "bitmap";  // batch masks are always the dense representation
+    finfo.dir = engine::frontier_dir_label(dir);
+    finfo.density = g.n_global() > 0 ? static_cast<double>(processed) /
+                                           static_cast<double>(g.n_global())
+                                     : 0.0;
+    finfo.crossover = crossover;
+    ltrace.end(static_cast<std::uint64_t>(level - 1), processed,
+               active_global, pull ? "dense" : "queue", finfo);
   }
 
   if (visited) {

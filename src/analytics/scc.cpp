@@ -1,7 +1,7 @@
 #include "analytics/scc.hpp"
 
 #include "analytics/bfs.hpp"
-#include "util/thread_queue.hpp"
+#include "engine/frontier.hpp"
 
 namespace hpcgraph::analytics {
 
@@ -27,7 +27,6 @@ namespace detail {
 std::uint64_t trim_trivial_sccs(const DistGraph& g, Communicator& comm,
                                 std::vector<std::uint8_t>& alive,
                                 std::size_t qsize, int* sweeps) {
-  const int p = comm.size();
   std::vector<std::uint64_t> in_deg(g.n_loc()), out_deg(g.n_loc());
   for (lvid_t v = 0; v < g.n_loc(); ++v) {
     in_deg[v] = g.in_degree(v);
@@ -63,15 +62,9 @@ std::uint64_t trim_trivial_sccs(const DistGraph& g, Communicator& comm,
       }
     }
 
-    std::vector<std::uint64_t> counts(p, 0);
-    for (const Dec& d : remote) ++counts[g.owner_of_global(d.gid)];
-    MultiQueue<Dec> q(counts);
-    {
-      MultiQueue<Dec>::Sink sink(q, qsize);
-      for (const Dec& d : remote)
-        sink.push(static_cast<std::uint32_t>(g.owner_of_global(d.gid)), d);
-    }
-    const std::vector<Dec> recv = comm.alltoallv<Dec>(q.buffer(), counts);
+    const std::vector<Dec> recv = engine::route_to_owners<Dec>(
+        comm, remote,
+        [&](const Dec& d) { return g.owner_of_global(d.gid); }, qsize);
     for (const Dec& d : recv) {
       const lvid_t l = g.local_id_checked(d.gid);
       if (!alive[l]) continue;

@@ -5,7 +5,8 @@
 #include "analytics/bfs.hpp"
 #include "analytics/scc.hpp"
 #include "dgraph/ghost_exchange.hpp"
-#include "util/thread_queue.hpp"
+#include "engine/frontier.hpp"
+#include "engine/superstep.hpp"
 
 namespace hpcgraph::analytics {
 
@@ -29,7 +30,6 @@ void canonicalize_and_count(const DistGraph& g, Communicator& comm,
     gvid_t min_member;
     std::uint64_t count;
   };
-  const int p = comm.size();
 
   // Local partials per label.
   std::unordered_map<gvid_t, Partial> partials;
@@ -42,18 +42,14 @@ void canonicalize_and_count(const DistGraph& g, Communicator& comm,
   }
 
   // Route to owner(label).
-  std::vector<std::uint64_t> counts(p, 0);
-  for (const auto& [label, pr] : partials)
-    ++counts[g.owner_of_global(label)];
-  MultiQueue<Partial> q(counts);
-  {
-    MultiQueue<Partial>::Sink sink(q, qsize);
-    for (const auto& [label, pr] : partials)
-      sink.push(static_cast<std::uint32_t>(g.owner_of_global(label)), pr);
-  }
+  std::vector<Partial> mine;
+  mine.reserve(partials.size());
+  for (const auto& [label, pr] : partials) mine.push_back(pr);
   std::vector<std::uint64_t> rcounts;
-  const std::vector<Partial> recv =
-      comm.alltoallv<Partial>(q.buffer(), counts, &rcounts);
+  const std::vector<Partial> recv = engine::route_to_owners<Partial>(
+      comm, mine,
+      [&](const Partial& pr) { return g.owner_of_global(pr.label); }, qsize,
+      &rcounts);
 
   // Owner-side reduction.
   std::unordered_map<gvid_t, Partial> owned;
@@ -97,11 +93,73 @@ void canonicalize_and_count(const DistGraph& g, Communicator& comm,
   for (lvid_t v = 0; v < g.n_loc(); ++v) comp[v] = canon.at(comp[v]);
 }
 
+/// FrontierKernel: one backward-collection sweep of Orzan coloring.  From
+/// each color root, in-edges are followed within the color class; every
+/// vertex reached joins the root's SCC.  Remote visits carry (gid, color)
+/// and route through engine::route_to_owners.  Assignments are
+/// order-independent (each alive vertex has exactly one color per round),
+/// so the hybrid policy may freely switch representation.
+struct CollectKernel {
+  const DistGraph& g;
+  std::span<const gvid_t> color;
+  std::vector<std::uint8_t>& alive;
+  std::vector<gvid_t>& comp;
+  std::uint64_t& assigned_local;
+  std::size_t qsize;
+  engine::DistFrontier cur, next;
+
+  CollectKernel(const DistGraph& g_, std::span<const gvid_t> c,
+                std::vector<std::uint8_t>& a, std::vector<gvid_t>& cp,
+                std::uint64_t& asg, std::size_t qs)
+      : g(g_), color(c), alive(a), comp(cp), assigned_local(asg), qsize(qs),
+        cur(g_.n_loc()), next(g_.n_loc()) {}
+
+  engine::DistFrontier* frontier() { return &cur; }
+
+  std::uint64_t active_local() const { return cur.size(); }
+
+  void step(engine::FrontierStepContext& ctx) {
+    ctx.touched_local = cur.size();
+
+    struct Visit {
+      gvid_t gid;
+      gvid_t color;
+    };
+    std::vector<Visit> remote;
+    next.clear();
+    const auto collect = [&](lvid_t u, gvid_t c) {
+      comp[u] = c - 1;
+      alive[u] = 0;
+      ++assigned_local;
+      next.push(u);
+      ctx.degree_local += g.in_degree(u);
+    };
+    cur.for_each([&](lvid_t v) {
+      const gvid_t my_color = color[v];
+      for (const lvid_t u : g.in_neighbors(v)) {
+        if (g.is_ghost(u)) {
+          if (color[u] == my_color)  // cheap filter; owner re-checks
+            remote.push_back({g.global_id(u), my_color});
+        } else if (alive[u] && color[u] == my_color) {
+          collect(u, my_color);
+        }
+      }
+    });
+    const std::vector<Visit> recv = engine::route_to_owners<Visit>(
+        ctx.comm, remote,
+        [&](const Visit& m) { return g.owner_of_global(m.gid); }, qsize);
+    for (const Visit& m : recv) {
+      const lvid_t l = g.local_id_checked(m.gid);
+      if (alive[l] && color[l] == m.color) collect(l, m.color);
+    }
+    cur.swap(next);
+  }
+};
+
 }  // namespace
 
 SccDecomposeResult scc_decompose(const DistGraph& g, Communicator& comm,
                                  const SccDecomposeOptions& opts) {
-  const int p = comm.size();
   SccDecomposeResult res;
   res.comp.assign(g.n_loc(), kNullGvid);
   std::vector<std::uint8_t> alive(g.n_loc(), 1);
@@ -190,61 +248,22 @@ SccDecomposeResult scc_decompose(const DistGraph& g, Communicator& comm,
     }
 
     // (b) Backward collection: from each color root, sweep in-edges within
-    // the color class; every vertex reached is in the root's SCC.
-    std::vector<lvid_t> frontier, frontier_next;
+    // the color class; every vertex reached is in the root's SCC.  One
+    // engine run per coloring round — the frontier layer owns the
+    // queue -> Alltoallv -> scatter cycle.
     std::uint64_t assigned_local = 0;
+    CollectKernel kernel(g, color, alive, res.comp, assigned_local,
+                         opts.common.qsize);
     for (lvid_t v = 0; v < g.n_loc(); ++v) {
       if (alive[v] && color[v] == g.global_id(v) + 1) {
         res.comp[v] = g.global_id(v);  // root labels its class (max member)
         alive[v] = 0;
         ++assigned_local;
-        frontier.push_back(v);
+        kernel.cur.push(v);
       }
     }
-
-    struct Visit {
-      gvid_t gid;
-      gvid_t color;
-    };
-    for (;;) {
-      std::vector<Visit> remote;
-      frontier_next.clear();
-      for (const lvid_t v : frontier) {
-        const gvid_t my_color = color[v];
-        for (const lvid_t u : g.in_neighbors(v)) {
-          if (g.is_ghost(u)) {
-            if (color[u] == my_color)  // cheap filter; owner re-checks
-              remote.push_back({g.global_id(u), my_color});
-          } else if (alive[u] && color[u] == my_color) {
-            res.comp[u] = my_color - 1;
-            alive[u] = 0;
-            ++assigned_local;
-            frontier_next.push_back(u);
-          }
-        }
-      }
-      std::vector<std::uint64_t> counts(p, 0);
-      for (const Visit& m : remote) ++counts[g.owner_of_global(m.gid)];
-      MultiQueue<Visit> q(counts);
-      {
-        MultiQueue<Visit>::Sink sink(q, opts.common.qsize);
-        for (const Visit& m : remote)
-          sink.push(static_cast<std::uint32_t>(g.owner_of_global(m.gid)), m);
-      }
-      const std::vector<Visit> recv =
-          comm.alltoallv<Visit>(q.buffer(), counts);
-      for (const Visit& m : recv) {
-        const lvid_t l = g.local_id_checked(m.gid);
-        if (alive[l] && color[l] == m.color) {
-          res.comp[l] = m.color - 1;
-          alive[l] = 0;
-          ++assigned_local;
-          frontier_next.push_back(l);
-        }
-      }
-      std::swap(frontier, frontier_next);
-      if (comm.allreduce_sum<std::uint64_t>(frontier.size()) == 0) break;
-    }
+    engine::SuperstepEngine eng(g, comm, engine_config(opts.common, "scc"));
+    eng.run_frontier(kernel);
 
     alive_global -= comm.allreduce_sum(assigned_local);
   }

@@ -1,7 +1,7 @@
 #include "analytics/sssp.hpp"
 
+#include "engine/frontier.hpp"
 #include "engine/superstep.hpp"
-#include "util/thread_queue.hpp"
 
 namespace hpcgraph::analytics {
 
@@ -11,25 +11,39 @@ using parcomm::Communicator;
 namespace {
 
 /// FrontierKernel: one Bellman-Ford relaxation round.  The active set is a
-/// dense flag + list (vertices can re-activate, unlike BFS, so the kQueued
-/// claim trick does not apply); remote relaxations route to the owners
-/// through Algorithm-3 thread-local queues + one Alltoallv.
+/// DistFrontier plus a dense re-activation flag (vertices can re-activate,
+/// unlike BFS, so the kQueued claim trick does not apply); remote
+/// relaxations route to the owners through engine::route_to_owners.
+///
+/// Order-sensitive: the distance fixpoint is order-independent (exact
+/// integer minima), but the *round count* depends on the relax order within
+/// a round, so the hybrid policy pins the queue representation to keep
+/// default runs bit-identical.  Forcing kBitmap keeps dist/reached exact
+/// and may change `rounds`.
 struct SsspKernel {
   const DistGraph& g;
   const SsspOptions& opts;
   std::vector<std::uint64_t>& dist;   // result array, locals only
   std::vector<std::uint8_t> active;
-  std::vector<lvid_t> frontier, frontier_next;
+  engine::DistFrontier cur, next;
 
   SsspKernel(const DistGraph& g_, const SsspOptions& o,
              std::vector<std::uint64_t>& d)
-      : g(g_), opts(o), dist(d), active(g_.n_loc(), 0) {}
+      : g(g_), opts(o), dist(d), active(g_.n_loc(), 0),
+        cur(g_.n_loc()), next(g_.n_loc()) {}
 
-  std::uint64_t active_local() const { return frontier.size(); }
+  engine::FrontierPolicy frontier_policy() const {
+    engine::FrontierPolicy p;
+    p.order_sensitive = true;  // round count depends on relax order
+    return p;
+  }
 
-  void step(engine::StepContext& ctx) {
-    ctx.touched_local = frontier.size();
-    const int p = ctx.comm.size();
+  engine::DistFrontier* frontier() { return &cur; }
+
+  std::uint64_t active_local() const { return cur.size(); }
+
+  void step(engine::FrontierStepContext& ctx) {
+    ctx.touched_local = cur.size();
 
     struct Relax {
       gvid_t gid;
@@ -38,17 +52,17 @@ struct SsspKernel {
 
     // ---- Relax out-edges of the frontier. ----
     std::vector<Relax> remote;
-    frontier_next.clear();
+    next.clear();
     const auto relax_local = [&](lvid_t u, std::uint64_t cand) {
       if (cand < dist[u]) {
         dist[u] = cand;
         if (!active[u]) {
           active[u] = 1;
-          frontier_next.push_back(u);
+          next.push(u);
         }
       }
     };
-    for (const lvid_t v : frontier) {
+    cur.for_each([&](lvid_t v) {
       active[v] = 0;
       const gvid_t vg = g.global_id(v);
       const std::uint64_t base = dist[v];
@@ -61,25 +75,19 @@ struct SsspKernel {
           relax_local(u, cand);
         }
       }
-    }
-    // Vertices in `frontier` may also appear in frontier_next (re-improved
-    // by a same-round local relaxation) — handled by the active flag.
+    });
+    // Frontier vertices may also appear in `next` (re-improved by a
+    // same-round local relaxation) — handled by the active flag.
 
     // ---- Ship remote relaxations to the owners. ----
-    std::vector<std::uint64_t> counts(p, 0);
-    for (const Relax& r : remote) ++counts[g.owner_of_global(r.gid)];
-    MultiQueue<Relax> q(counts);
-    {
-      MultiQueue<Relax>::Sink sink(q, opts.common.qsize);
-      for (const Relax& r : remote)
-        sink.push(static_cast<std::uint32_t>(g.owner_of_global(r.gid)), r);
-    }
-    const std::vector<Relax> recv =
-        ctx.comm.alltoallv<Relax>(q.buffer(), counts);
+    const std::vector<Relax> recv = engine::route_to_owners<Relax>(
+        ctx.comm, remote,
+        [&](const Relax& r) { return g.owner_of_global(r.gid); },
+        opts.common.qsize);
     for (const Relax& r : recv)
       relax_local(g.local_id_checked(r.gid), r.dist);
 
-    std::swap(frontier, frontier_next);
+    cur.swap(next);
   }
 };
 
@@ -97,7 +105,7 @@ SsspResult sssp(const DistGraph& g, Communicator& comm, gvid_t root,
     const lvid_t l = g.local_id_checked(root);
     res.dist[l] = 0;
     kernel.active[l] = 1;
-    kernel.frontier.push_back(l);
+    kernel.cur.push(l);
   }
 
   engine::SuperstepEngine eng(g, comm, engine_config(opts.common, "sssp"));

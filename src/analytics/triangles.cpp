@@ -3,7 +3,7 @@
 #include <algorithm>
 
 #include "dgraph/ghost_exchange.hpp"
-#include "util/thread_queue.hpp"
+#include "engine/frontier.hpp"
 
 namespace hpcgraph::analytics {
 
@@ -31,7 +31,6 @@ std::vector<gvid_t> dedup_neighbors(const DistGraph& g, lvid_t v) {
 
 TriangleResult triangle_count(const DistGraph& g, Communicator& comm,
                               const TriangleOptions& opts) {
-  const int p = comm.size();
   TriangleResult res;
 
   // ---- Deduplicated undirected degrees, ghosts filled by exchange. ----
@@ -99,15 +98,10 @@ TriangleResult triangle_count(const DistGraph& g, Communicator& comm,
     }
   }
 
-  std::vector<std::uint64_t> counts(p, 0);
-  for (const Wedge& w : remote) ++counts[g.owner_of_global(w.a)];
-  MultiQueue<Wedge> q(counts);
-  {
-    MultiQueue<Wedge>::Sink sink(q, opts.common.qsize);
-    for (const Wedge& w : remote)
-      sink.push(static_cast<std::uint32_t>(g.owner_of_global(w.a)), w);
-  }
-  const std::vector<Wedge> recv = comm.alltoallv<Wedge>(q.buffer(), counts);
+  const std::vector<Wedge> recv = engine::route_to_owners<Wedge>(
+      comm, remote,
+      [&](const Wedge& w) { return g.owner_of_global(w.a); },
+      opts.common.qsize);
   for (const Wedge& w : recv)
     if (closes_locally(w.a, w.b)) ++local_triangles;
 

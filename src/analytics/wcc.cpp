@@ -6,7 +6,7 @@
 #include "dgraph/ghost_exchange.hpp"
 #include "engine/superstep.hpp"
 #include "util/atomics.hpp"
-#include "util/thread_queue.hpp"
+#include "engine/frontier.hpp"
 
 namespace hpcgraph::analytics {
 
@@ -202,19 +202,14 @@ WccResult wcc(const DistGraph& g, Communicator& comm, const WccOptions& opts) {
     gvid_t label;
     std::uint64_t count;
   };
-  const int p = comm.size();
-  std::vector<std::uint64_t> counts(p, 0);
+  std::vector<LabelCount> mine;
+  mine.reserve(local_counts.size());
   for (const auto& [label, cnt] : local_counts)
-    ++counts[g.owner_of_global(label)];
-  MultiQueue<LabelCount> q(counts);
-  {
-    MultiQueue<LabelCount>::Sink sink(q, opts.common.qsize);
-    for (const auto& [label, cnt] : local_counts)
-      sink.push(static_cast<std::uint32_t>(g.owner_of_global(label)),
-                LabelCount{label, cnt});
-  }
-  const std::vector<LabelCount> recv =
-      comm.alltoallv<LabelCount>(q.buffer(), counts);
+    mine.push_back(LabelCount{label, cnt});
+  const std::vector<LabelCount> recv = engine::route_to_owners<LabelCount>(
+      comm, mine,
+      [&](const LabelCount& lc) { return g.owner_of_global(lc.label); },
+      opts.common.qsize);
 
   std::unordered_map<gvid_t, std::uint64_t> owned_totals;
   for (const LabelCount& lc : recv) owned_totals[lc.label] += lc.count;

@@ -63,20 +63,42 @@
 ///
 /// Required members:
 ///   * `std::uint64_t active_local()`        current frontier size
-///   * `void step(StepContext&)`             expand + route (alltoallv) +
-///                                           apply + swap; report
-///                                           ctx.touched/residual
+///   * `void step(FrontierStepContext&)`     expand + route (through the
+///                                           frontier layer's
+///                                           route_to_owners) + apply +
+///                                           swap; report ctx.touched/
+///                                           residual/degree_local
+/// Optional members:
+///   * `engine::FrontierPolicy frontier_policy()`  crossover rules (order
+///                                           sensitivity, pull support,
+///                                           alpha/beta/density thresholds);
+///                                           default: push-only hybrid
+///   * `engine::DistFrontier* frontier()`    expose the active set so the
+///                                           engine converts its
+///                                           representation to each round's
+///                                           decision before step()
+///   * `std::uint64_t degree_local()`        pre-loop local frontier-degree
+///                                           sum (round 0's crossover input)
+///   * `dgraph::GhostExchange* ghosts()`     caller-owned plan for kernels
+///                                           that publish dense frontiers
+///
 /// The engine sizes the frontier globally before round 0 (empty frontier =>
 /// zero supersteps) and after every step; it stops when the global frontier
-/// drains or the superstep cutoff hits.
+/// drains or the superstep cutoff hits.  Each round it resolves the
+/// frontier representation and push/pull direction through
+/// `frontier_decide` — a pure function of the globally-allreduced frontier
+/// size and degree sum, evaluated identically on every rank — and hands the
+/// decision to the kernel in the FrontierStepContext.
 ///
 /// ## Convergence
 ///
-/// One fused allreduce per round carries {active, touched, residual}: the
-/// convergence signal, and the telemetry, in a single collective.  The
-/// combiner adds element-wise in rank order — the same FP addition order as
-/// a scalar allreduce_sum — so PageRank's L1 residual is bitwise the value
-/// the old hand-rolled `allreduce_sum(delta_local)` produced.
+/// One fused allreduce per round carries {active, touched, degree,
+/// residual}: the convergence signal, the crossover input, and the
+/// telemetry in a single collective.  The combiner adds element-wise in
+/// rank order — the same FP addition order as a scalar allreduce_sum — so
+/// PageRank's L1 residual is bitwise the value the old hand-rolled
+/// `allreduce_sum(delta_local)` produced, and the frontier-degree sum that
+/// drives the crossover is bit-identical across runs and rank counts.
 
 #include <cstdint>
 #include <optional>
@@ -85,6 +107,7 @@
 
 #include "dgraph/dist_graph.hpp"
 #include "dgraph/ghost_exchange.hpp"
+#include "engine/frontier.hpp"
 #include "engine/trace.hpp"
 #include "parcomm/comm.hpp"
 #include "util/parallel_for.hpp"
@@ -132,6 +155,19 @@ struct StepContext {
   double residual_local = 0.0;      ///< kernel-defined residual contribution
 };
 
+/// StepContext plus the frontier layer's per-round view: the engine's
+/// representation/direction decision (in), the allreduced globals it was
+/// made from (in), and the next frontier's degree sum (out — fused into
+/// the convergence allreduce to drive the *next* round's decision).
+struct FrontierStepContext : StepContext {
+  FrontierRep rep = FrontierRep::kQueue;  ///< representation this round
+  FrontierDir dir = FrontierDir::kPush;   ///< expansion direction
+  bool crossover = false;  ///< rep or dir changed entering this round
+  std::uint64_t active_global = 0;  ///< global size of the frontier expanded
+  std::uint64_t degree_global = 0;  ///< its global frontier-degree sum
+  std::uint64_t degree_local = 0;   ///< OUT: next frontier's local degree sum
+};
+
 /// What a finished engine run reports back to the analytic.
 struct EngineResult {
   std::uint64_t supersteps = 0;   ///< rounds executed (== old loop counters)
@@ -160,6 +196,11 @@ struct EngineConfig {
   /// schedule can change which sweep variant a kernel runs, and mismatched
   /// variants would diverge the collective sequence.
   Schedule schedule = Schedule::kStatic;
+  /// Frontier representation override for run_frontier kernels
+  /// (`--frontier`): kQueue/kBitmap force one representation, kHybrid
+  /// (default) lets the engine cross over on the global frontier-degree
+  /// sum.  Must be set identically on every rank.
+  FrontierMode frontier = FrontierMode::kHybrid;
 };
 
 template <class K>
@@ -177,7 +218,7 @@ concept ValueKernel =
     });
 
 template <class K>
-concept FrontierKernel = requires(K k, StepContext& ctx) {
+concept FrontierKernel = requires(K k, FrontierStepContext& ctx) {
   { k.active_local() } -> std::convertible_to<std::uint64_t>;
   k.step(ctx);
 };
@@ -316,7 +357,7 @@ class SuperstepEngine {
       if constexpr (requires { kernel.apply(ctx); }) kernel.apply(ctx);
 
       const Signal sig = fused_allreduce(
-          {ctx.active_local, ctx.touched_local, ctx.residual_local});
+          {ctx.active_local, ctx.touched_local, 0, ctx.residual_local});
       ++res.supersteps;
       res.last_active = sig.active;
       res.last_residual = sig.residual;
@@ -336,7 +377,12 @@ class SuperstepEngine {
     return res;
   }
 
-  /// BFS-like run: expand the frontier until it drains globally.
+  /// BFS-like run: expand the frontier until it drains globally.  Each
+  /// round the engine resolves the frontier representation and push/pull
+  /// direction (frontier_decide on the fused allreduce's globals — the
+  /// same pure function of the same values on every rank), converts the
+  /// kernel's DistFrontier if it exposes one, and records per-superstep
+  /// density/representation/direction telemetry.
   template <FrontierKernel K>
   EngineResult run_frontier(K& kernel) {
     ThreadPool& tp = pf_.get();
@@ -350,35 +396,81 @@ class SuperstepEngine {
     }
     if (gx) gx->set_schedule(sched);
 
-    StepContext ctx{g_, comm_, tp, gx};
+    // Crossover policy: the kernel's pins + thresholds, the config's
+    // user-facing mode override.
+    FrontierPolicy policy;
+    if constexpr (requires { kernel.frontier_policy(); })
+      policy = kernel.frontier_policy();
+    policy.mode = cfg_.frontier;
+
+    FrontierStepContext ctx{{g_, comm_, tp, gx}};
     ctx.schedule = sched;
     if constexpr (requires { kernel.init(ctx); }) kernel.init(ctx);
 
     EngineResult res;
-    std::uint64_t global_active =
-        comm_.allreduce_sum<std::uint64_t>(kernel.active_local());
-    res.converged = (global_active == 0);  // empty frontier: trivially done
-    while (global_active != 0 && res.supersteps < cfg_.max_supersteps) {
+    // Pre-loop sizing: fuse the initial frontier size with its degree sum
+    // (round 0's crossover input) in one collective.
+    std::uint64_t degree_local0 = 0;
+    if constexpr (requires { kernel.degree_local(); })
+      degree_local0 = kernel.degree_local();
+    {
+      const Signal sz =
+          fused_allreduce({kernel.active_local(), 0, degree_local0, 0.0});
+      ctx.active_global = sz.active;
+      ctx.degree_global = sz.degree;
+    }
+    res.converged = (ctx.active_global == 0);  // empty frontier: done
+
+    FrontierDir dir = FrontierDir::kPush;
+    FrontierRep rep = FrontierRep::kQueue;
+    while (ctx.active_global != 0 && res.supersteps < cfg_.max_supersteps) {
       const auto rec0 = begin_record();
       const SweepStats sweep0 = tp.sweep_stats();
       ctx.superstep = res.supersteps;
       ctx.touched_local = 0;
       ctx.residual_local = 0.0;
+      ctx.degree_local = 0;
+
+      const FrontierDecision dec =
+          frontier_decide(policy, dir, ctx.active_global, ctx.degree_global,
+                          g_.n_global(), g_.m_global());
+      ctx.crossover =
+          res.supersteps > 0 && (dec.rep != rep || dec.dir != dir);
+      rep = dec.rep;
+      dir = dec.dir;
+      ctx.rep = rep;
+      ctx.dir = dir;
+      if constexpr (requires { kernel.frontier(); }) {
+        if (DistFrontier* f = kernel.frontier()) f->set_rep(rep);
+      }
 
       kernel.step(ctx);
 
-      const Signal sig = fused_allreduce(
-          {kernel.active_local(), ctx.touched_local, ctx.residual_local});
-      global_active = sig.active;
+      const Signal sig =
+          fused_allreduce({kernel.active_local(), ctx.touched_local,
+                           ctx.degree_local, ctx.residual_local});
       ++res.supersteps;
       res.last_active = sig.active;
       res.last_residual = sig.residual;
-      res.converged = (global_active == 0);
+      res.converged = (sig.active == 0);
 
       const SweepStats sweep_d = tp.sweep_stats() - sweep0;
       comm_.phase_timer().add_sweep(sweep_d.busy_max, sweep_d.busy_total);
-      end_record(rec0, res.supersteps - 1, sig, res.converged, "queue", 0, 0,
-                 sweep_d, tp.num_threads(), sched);
+      FrontierRoundInfo finfo;
+      finfo.rep = frontier_rep_label(rep);
+      finfo.dir = frontier_dir_label(dir);
+      finfo.density = g_.n_global() > 0
+                          ? static_cast<double>(ctx.active_global) /
+                                static_cast<double>(g_.n_global())
+                          : 0.0;
+      finfo.degree = ctx.degree_global;
+      finfo.crossover = ctx.crossover;
+      end_record(rec0, res.supersteps - 1, sig, res.converged,
+                 dir == FrontierDir::kPull ? "dense" : "queue", 0, 0,
+                 sweep_d, tp.num_threads(), sched, finfo);
+
+      ctx.active_global = sig.active;
+      ctx.degree_global = sig.degree;
     }
     return res;
   }
@@ -386,16 +478,19 @@ class SuperstepEngine {
  private:
   /// The fused per-round collective: convergence signal + telemetry in one
   /// allreduce.  Element-wise sums combined in rank order (bitwise-equal to
-  /// the scalar allreduce_sum each field replaced).
+  /// the scalar allreduce_sum each field replaced).  `degree` is the
+  /// frontier-degree sum run_frontier's crossover decision consumes (0 for
+  /// value kernels and kernels that report none).
   struct Signal {
     std::uint64_t active;
     std::uint64_t touched;
+    std::uint64_t degree;
     double residual;
   };
   Signal fused_allreduce(Signal s) {
     return comm_.allreduce(s, [](Signal a, Signal b) {
       return Signal{a.active + b.active, a.touched + b.touched,
-                    a.residual + b.residual};
+                    a.degree + b.degree, a.residual + b.residual};
     });
   }
 
@@ -408,7 +503,7 @@ class SuperstepEngine {
                   const Signal& sig, bool converged, const char* wire,
                   double exchange_s, double overlap_s,
                   const SweepStats& sweep_d, unsigned nthreads,
-                  Schedule sched) {
+                  Schedule sched, const FrontierRoundInfo& finfo = {}) {
     if (!rec0) return;
     SuperstepRecord rec;
     rec.analytic = cfg_.name;
@@ -421,6 +516,7 @@ class SuperstepEngine {
     rec.exchange_us = static_cast<std::uint64_t>(exchange_s * 1e6);
     rec.overlap_us = static_cast<std::uint64_t>(overlap_s * 1e6);
     rec.set_sweep(sweep_d, nthreads, sched);
+    rec.set_frontier(finfo);
     rec0->finish(rec);
     cfg_.trace->push(std::move(rec));
   }

@@ -27,6 +27,16 @@ std::string SuperstepTrace::to_json() const {
     w.kv("exchange_us", r.exchange_us);
     w.kv("overlap_us", r.overlap_us);
     w.kv("comm_hidden", r.comm_hidden());
+    if (!r.frontier_rep.empty()) {
+      w.key("frontier");
+      w.begin_object();
+      w.kv("rep", r.frontier_rep);
+      w.kv("dir", r.frontier_dir);
+      w.kv("density", r.density);
+      w.kv("degree", r.degree);
+      w.kv("crossover", r.crossover);
+      w.end_object();
+    }
     w.key("sweep");
     w.begin_object();
     w.kv("schedule", r.schedule);
@@ -58,6 +68,7 @@ std::string SuperstepTrace::to_json() const {
     w.kv("comm_s", r.phase.comm);
     w.kv("idle_s", r.phase.idle);
     w.kv("pack_s", r.phase.pack);
+    w.kv("route_s", r.phase.route);
     w.kv("wait_s", r.phase.wait);
     w.kv("sweep_busy_max_s", r.phase.sweep_busy_max);
     w.kv("sweep_busy_total_s", r.phase.sweep_busy_total);

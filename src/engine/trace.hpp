@@ -28,6 +28,17 @@
 
 namespace hpcgraph::engine {
 
+/// Per-round frontier-layer telemetry: what run_frontier (or a bespoke
+/// loop adopting RoundTrace) decided and why.  Empty rep = the round ran
+/// no frontier machinery (value kernels).
+struct FrontierRoundInfo {
+  const char* rep = "";   ///< representation ("queue"/"bitmap"; "" = n/a)
+  const char* dir = "";   ///< expansion direction ("push"/"pull")
+  double density = 0.0;   ///< active_global / n_global of the expanded set
+  std::uint64_t degree = 0;  ///< global frontier-degree sum (crossover input)
+  bool crossover = false;    ///< rep or dir changed entering this round
+};
+
 /// One bulk-synchronous round of one engine run.
 struct SuperstepRecord {
   std::uint64_t index = 0;      ///< trace-global, monotone (assigned by push)
@@ -47,6 +58,14 @@ struct SuperstepRecord {
                                   ///< the blocking schedule)
   parcomm::CommStats comm;      ///< rank-0 counter delta over the round
   parcomm::PhaseBreakdown phase;  ///< rank-0 comp/comm/idle/pack delta
+
+  // Frontier-layer telemetry (run_frontier rounds and bespoke loops that
+  // report it; empty frontier_rep marks a round without one).
+  std::string frontier_rep;       ///< "queue" / "bitmap"; "" when n/a
+  std::string frontier_dir;       ///< "push" / "pull"
+  double density = 0.0;           ///< global frontier density this round
+  std::uint64_t degree = 0;       ///< global frontier-degree sum
+  bool crossover = false;         ///< representation/direction flip
 
   // Intra-rank sweep-imbalance telemetry (rank-0 pool, delta over the
   // round's scheduled loops).  Zero when the round ran no scheduled loops.
@@ -73,6 +92,17 @@ struct SuperstepRecord {
     const double denom =
         static_cast<double>(overlap_us) + static_cast<double>(exchange_us);
     return denom > 0 ? static_cast<double>(overlap_us) / denom : 0.0;
+  }
+
+  /// Copies a round's frontier-layer decision into the frontier_* fields.
+  /// Shared by the engine and RoundTrace; a default-constructed info (empty
+  /// rep) leaves the record marked frontier-less.
+  void set_frontier(const FrontierRoundInfo& f) {
+    frontier_rep = f.rep;
+    frontier_dir = f.dir;
+    density = f.density;
+    degree = f.degree;
+    crossover = f.crossover;
   }
 
   /// Folds a pool's SweepStats delta (plus the schedule it ran under) into
@@ -169,8 +199,10 @@ class RoundTrace {
   /// \param next_active   global frontier/changed count after the round;
   ///                      zero marks the run converged
   /// \param wire          wire-format label for the round
+  /// \param finfo         optional frontier-layer decision for the round
   void end(std::uint64_t superstep, std::uint64_t processed,
-           std::uint64_t next_active, const char* wire) {
+           std::uint64_t next_active, const char* wire,
+           const FrontierRoundInfo& finfo = {}) {
     if (!trace_) return;
     SuperstepRecord rec;
     rec.analytic = analytic_;
@@ -179,6 +211,7 @@ class RoundTrace {
     rec.touched = processed;
     rec.converged = next_active == 0;
     rec.wire = wire;
+    rec.set_frontier(finfo);
     rec0_->finish(rec);
     if (pool_)
       rec.set_sweep(pool_->sweep_stats() - sweep0_, pool_->num_threads(),

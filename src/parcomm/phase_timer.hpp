@@ -21,6 +21,8 @@ struct PhaseBreakdown {
   double comm = 0;   ///< seconds moving payload
   double idle = 0;   ///< seconds waiting for other ranks
   double pack = 0;   ///< subset of comp: ghost-exchange pack/scatter staging
+  double route = 0;  ///< subset of comp: frontier-layer send-queue builds
+                     ///< (owner counts + Algorithm-3 sink pushes)
   double wait = 0;   ///< overlay: seconds completing split-phase exchanges
   double sweep_busy_max = 0;    ///< overlay: Σ per-loop max thread busy time
   double sweep_busy_total = 0;  ///< overlay: Σ per-loop total thread busy time
@@ -40,6 +42,7 @@ struct PhaseBreakdown {
     d.comm = comm - o.comm;
     d.idle = idle - o.idle;
     d.pack = pack - o.pack;
+    d.route = route - o.route;
     d.wait = wait - o.wait;
     d.sweep_busy_max = sweep_busy_max - o.sweep_busy_max;
     d.sweep_busy_total = sweep_busy_total - o.sweep_busy_total;
@@ -57,6 +60,7 @@ class PhaseTimer {
     comm_.reset();
     idle_.reset();
     pack_.reset();
+    route_.reset();
     wait_.reset();
     sweep_busy_max_.reset();
     sweep_busy_total_.reset();
@@ -69,6 +73,10 @@ class PhaseTimer {
   /// still attributed to comp in the comp/comm/idle decomposition, since it
   /// is rank-local work that overlaps nothing.
   void add_pack(double s) { pack_.add(s); }
+  /// Frontier-layer routing (owner-count pass + send-queue build inside
+  /// engine::route_to_owners).  Like pack: rank-local work attributed to
+  /// comp, reported separately so traces show what the queue cycle costs.
+  void add_route(double s) { route_.add(s); }
   /// Time blocked completing a split-phase exchange (PendingExchange::wait).
   /// An overlay like pack: the barrier/copy inside the wait still lands in
   /// idle/comm as usual, this just attributes the same wall span to a
@@ -92,6 +100,7 @@ class PhaseTimer {
     b.comm = comm_.total();
     b.idle = idle_.total();
     b.pack = pack_.total();
+    b.route = route_.total();
     b.wait = wait_.total();
     b.sweep_busy_max = sweep_busy_max_.total();
     b.sweep_busy_total = sweep_busy_total_.total();
@@ -104,6 +113,7 @@ class PhaseTimer {
   AccumTimer comm_;
   AccumTimer idle_;
   AccumTimer pack_;
+  AccumTimer route_;
   AccumTimer wait_;
   AccumTimer sweep_busy_max_;
   AccumTimer sweep_busy_total_;

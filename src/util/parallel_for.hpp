@@ -298,6 +298,19 @@ inline double grid_imbalance(const ChunkGrid& grid, Schedule sched,
   return static_cast<double>(mx) / mean;
 }
 
+/// Chunk-order emission assembly: append per-chunk output lists to `out`
+/// in chunk order.  Because the grid is a pure function of (range, grain,
+/// prefix) — never of the thread count — the concatenation is bit-identical
+/// across thread counts and schedules; this is the deterministic frontier/
+/// accept-list idiom used by the frontier layer, MS-BFS and the bottom-up
+/// BFS scan.
+template <typename T>
+inline void concat_chunk_lists(const std::vector<std::vector<T>>& chunk_lists,
+                               std::vector<T>& out) {
+  for (const std::vector<T>& cl : chunk_lists)
+    out.insert(out.end(), cl.begin(), cl.end());
+}
+
 /// Persistent worker pool executing SPMD regions.
 class ThreadPool {
  public:

@@ -12,6 +12,12 @@
 ///
 /// MultiQueue<T> owns the shared buffer partitioned by destination task;
 /// MultiQueue<T>::Sink is the per-thread handle.
+///
+/// This header is the *mechanism*; the sanctioned entry point for the full
+/// count → queue → Alltoallv → scatter cycle is the frontier layer's
+/// engine::route_to_owners (src/engine/frontier.hpp).  Pairing MultiQueue
+/// with a raw Alltoallv outside that layer trips the
+/// `raw-frontier-exchange` lint rule.
 
 #include <algorithm>
 #include <atomic>

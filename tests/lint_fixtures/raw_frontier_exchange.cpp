@@ -1,0 +1,33 @@
+// Fixture: bespoke count-pack-exchange frontier loop in analytic code.  A
+// MultiQueue packed by hand and drained into .alltoallv() is exactly the
+// Algorithm-2/3 exchange the frontier layer owns; routing must go through
+// engine::route_to_owners (or route_to_owners_sharded) so the wire payload
+// stays deterministic, the route phase is timed, and frontier.* remains
+// the single exchange path.
+// EXPECT-LINT: raw-frontier-exchange
+
+#include <cstdint>
+#include <span>
+#include <vector>
+
+#include "parcomm/comm.hpp"
+#include "util/thread_queue.hpp"
+
+namespace hpcgraph::analytics {
+
+inline std::vector<std::uint64_t> scatter_frontier(
+    parcomm::Communicator& comm, std::span<const std::uint64_t> gids,
+    std::span<const int> owner) {
+  const int p = comm.size();
+  std::vector<std::uint64_t> counts(p, 0);
+  for (std::size_t i = 0; i < gids.size(); ++i) ++counts[owner[i]];
+  MultiQueue<std::uint64_t> q(counts);
+  {
+    MultiQueue<std::uint64_t>::Sink sink(q, 1024);
+    for (std::size_t i = 0; i < gids.size(); ++i)
+      sink.push(static_cast<std::uint32_t>(owner[i]), gids[i]);
+  }
+  return comm.alltoallv<std::uint64_t>(q.buffer(), counts);
+}
+
+}  // namespace hpcgraph::analytics

@@ -22,6 +22,7 @@
 
 #include "analytics/analytics.hpp"
 #include "analytics/degree_stats.hpp"
+#include "engine/frontier.hpp"
 #include "dgraph/builder.hpp"
 #include "dgraph/compressed_csr.hpp"
 #include "dgraph/pulp_partition.hpp"
@@ -53,6 +54,8 @@ int usage(const char* msg = nullptr) {
       "(pagerank/labelprop/wcc)\n"
       "                    [--schedule static|dynamic|edge]  intra-rank sweep "
       "schedule (schedule-aware analytics)\n"
+      "                    [--frontier queue|bitmap|hybrid]  frontier "
+      "representation (BFS-like analytics)\n"
       "                    [--compressed-csr]    report varint-CSR memory "
       "footprint vs plain CSR\n"
       "analytics: stats pagerank labelprop wcc scc scc-decompose bfs sssp\n"
@@ -135,6 +138,10 @@ int main(int argc, char** argv) {
   Schedule sched = Schedule::kStatic;
   if (!parse_schedule(sched_name, &sched))
     return usage(("unknown --schedule " + sched_name).c_str());
+  const std::string frontier_name = cli.get("frontier", "hybrid");
+  engine::FrontierMode fmode = engine::FrontierMode::kHybrid;
+  if (!engine::parse_frontier_mode(frontier_name, &fmode))
+    return usage(("unknown --frontier " + frontier_name).c_str());
   const bool compressed_csr = cli.get_bool("compressed-csr", false);
 
   bool from_file = false;
@@ -258,6 +265,9 @@ int main(int argc, char** argv) {
     } else if (analytic == "scc") {
       analytics::SccOptions o;
       o.trim = true;
+      o.common.trace = trace_ptr;
+      o.common.schedule = sched;
+      o.common.frontier = fmode;
       const auto res = analytics::largest_scc(g, comm, o);
       if (root_rank)
         std::cout << "largest SCC: " << res.size << " (pivot " << res.pivot
@@ -265,7 +275,11 @@ int main(int argc, char** argv) {
       if (!output.empty())
         write_tsv<std::uint8_t>(g, comm, res.member, output, "in_scc");
     } else if (analytic == "scc-decompose") {
-      const auto res = analytics::scc_decompose(g, comm);
+      analytics::SccDecomposeOptions o;
+      o.common.trace = trace_ptr;
+      o.common.schedule = sched;
+      o.common.frontier = fmode;
+      const auto res = analytics::scc_decompose(g, comm, o);
       if (root_rank)
         std::cout << res.num_sccs << " SCCs, largest " << res.largest_size
                   << "\n";
@@ -275,6 +289,7 @@ int main(int argc, char** argv) {
       analytics::BfsOptions o;
       o.common.trace = trace_ptr;
       o.common.schedule = sched;
+      o.common.frontier = fmode;
       const auto res = analytics::bfs_tree(g, comm, root, o);
       if (root_rank)
         std::cout << "visited " << res.visited << " in " << res.num_levels
@@ -284,6 +299,8 @@ int main(int argc, char** argv) {
     } else if (analytic == "sssp") {
       analytics::SsspOptions o;
       o.common.trace = trace_ptr;
+      o.common.schedule = sched;
+      o.common.frontier = fmode;
       const auto res = analytics::sssp(g, comm, root, o);
       if (root_rank)
         std::cout << "reached " << res.reached << " in " << res.rounds
@@ -291,7 +308,11 @@ int main(int argc, char** argv) {
       if (!output.empty())
         write_tsv<std::uint64_t>(g, comm, res.dist, output, "distance");
     } else if (analytic == "harmonic") {
-      const auto top = analytics::harmonic_top_k(g, comm, top_k);
+      analytics::HarmonicOptions o;
+      o.common.trace = trace_ptr;
+      o.common.schedule = sched;
+      o.common.frontier = fmode;
+      const auto top = analytics::harmonic_top_k(g, comm, top_k, o);
       if (root_rank) {
         TablePrinter t({"vertex", "harmonic centrality"});
         for (const auto& s : top)
@@ -324,6 +345,9 @@ int main(int argc, char** argv) {
     } else if (analytic == "betweenness") {
       analytics::BetweennessOptions o;
       o.num_sources = bc_sources;
+      o.common.trace = trace_ptr;
+      o.common.schedule = sched;
+      o.common.frontier = fmode;
       const auto res = analytics::betweenness(g, comm, o);
       if (!output.empty())
         write_tsv<double>(g, comm, res.score, output, "betweenness");

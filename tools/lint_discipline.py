@@ -45,6 +45,15 @@ algorithm code (src/analytics, src/engine, src/dgraph):
       ChunkGrid (util/parallel_for.hpp) so every sweep honors the selected
       Schedule, feeds the imbalance telemetry, and keeps the deterministic
       chunk-order reduction contract (DESIGN.md §10).
+  raw-frontier-exchange
+      A MultiQueue paired with an .alltoallv() in analytics or engine code
+      outside src/engine/frontier.* — the signature of a bespoke
+      count-pack-exchange frontier loop.  Owner routing must go through
+      engine::route_to_owners / route_to_owners_sharded so the wire payload
+      stays deterministic, the route phase is timed, and the frontier layer
+      remains the single exchange path (DESIGN.md §11).  src/dgraph is
+      exempt: builder and ghost-exchange plans legitimately pack their own
+      queues.
 
 Suppression: append `lint:allow(<rule>: reason)` in a comment on the flagged
 line.  The reason is mandatory by convention — it is the review record.
@@ -78,6 +87,7 @@ RULES = (
     "rank-divergent-collective",
     "raw-nonblocking-mpi",
     "raw-parallel-chunking",
+    "raw-frontier-exchange",
 )
 
 RAW_SYNC_RE = re.compile(
@@ -95,6 +105,14 @@ _SIZE = r"(?:chunk|chunks|span|per|step|stride|block|grain|slice)\w*"
 RAW_CHUNKING_RE = re.compile(
     rf"\b{_TID}\s*\*\s*{_SIZE}\b|\b{_SIZE}\s*\*\s*{_TID}\b"
 )
+
+# The sanctioned frontier-exchange home, plus src/dgraph where builder and
+# ghost-exchange plans legitimately pack MultiQueues next to the collective.
+FRONTIER_EXEMPT_RE = re.compile(
+    r"src/(?:dgraph/|engine/frontier\.(?:hpp|cpp)$)"
+)
+MULTIQUEUE_RE = re.compile(r"\bMultiQueue\s*<")
+ALLTOALLV_RE = re.compile(r"[.>]\s*(?:template\s+)?i?alltoallv?\b")
 
 RAW_NONBLOCKING_MPI_RE = re.compile(
     r"\bMPI_(?:Ialltoallv?|Iallreduce|Iallgatherv?|Ibcast|Ibarrier|Igatherv?|"
@@ -394,6 +412,21 @@ def check_raw_parallel_chunking(code: str, findings, path):
             "selected Schedule and stays deterministic (DESIGN.md §10)"))
 
 
+def check_raw_frontier_exchange(code: str, findings, path):
+    """MultiQueue + alltoallv pairing outside the frontier layer."""
+    if FRONTIER_EXEMPT_RE.search(path.replace(os.sep, "/")):
+        return
+    if not ALLTOALLV_RE.search(code):
+        return
+    for m in MULTIQUEUE_RE.finditer(code):
+        findings.append(Finding(
+            path, line_of(code, m.start()), "raw-frontier-exchange",
+            "MultiQueue paired with an .alltoallv() outside "
+            "src/engine/frontier.* — a bespoke count-pack-exchange frontier "
+            "loop; route records through engine::route_to_owners / "
+            "route_to_owners_sharded instead (DESIGN.md §11)"))
+
+
 def check_ref_capture(code: str, findings, path):
     for m in REF_CAPTURE_COMM_RE.finditer(code):
         findings.append(Finding(
@@ -608,6 +641,7 @@ def lint_file(path: str) -> list[Finding]:
     check_raw_sync(code, findings, path)
     check_raw_nonblocking_mpi(code, findings, path)
     check_raw_parallel_chunking(code, findings, path)
+    check_raw_frontier_exchange(code, findings, path)
     check_ref_capture(code, findings, path)
     check_template_collectives(code, findings, path)
     check_rank_divergent(code, findings, path)
