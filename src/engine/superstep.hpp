@@ -338,6 +338,10 @@ class SuperstepEngine {
         ctx.sweep_vertices = g_.interior_locals();
         {
           Timer t;
+          // Interior-phase compute never issues collectives; kernels that
+          // allreduce (PageRank dangling mass) gate it on sweep !=
+          // kInterior, a phase correlation the flow analysis cannot see.
+          // lint:allow(flow-collective-in-overlap-window: interior compute is collective-free by kernel contract)
           kernel.compute(ctx);
           overlap_s = t.elapsed();
         }

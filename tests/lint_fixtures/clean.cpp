@@ -2,7 +2,7 @@
 // false-positive guard for every rule.
 // EXPECT-CLEAN
 
-#include <atomic>  // lint:allow(raw-sync: include only; token below is allowed)
+#include <atomic>  // include alone is fine; the std::atomic use is below
 #include <cstdint>
 #include <span>
 #include <vector>

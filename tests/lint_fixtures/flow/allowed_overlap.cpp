@@ -1,0 +1,27 @@
+// Fixture: an overlap-window violation silenced by a reasoned lint:allow on
+// the comment line directly above the call.  The allow both suppresses the
+// finding and is counted as used (no stale-suppression).
+// EXPECT-CLEAN
+
+#include <cstdint>
+#include <span>
+
+namespace hpcgraph::analytics {
+
+struct Comm {
+  std::uint64_t allreduce_sum(std::uint64_t v);
+};
+
+struct Ghosts {
+  void exchange_start(std::span<double> vals, Comm& comm);
+  void exchange_finish(std::span<double> vals, Comm& comm);
+};
+
+void round(Comm& comm, Ghosts& gx, std::span<double> vals) {
+  gx.exchange_start(vals, comm);
+  // lint:allow(flow-collective-in-overlap-window: fixture exercising the suppression path)
+  comm.allreduce_sum(vals.size());
+  gx.exchange_finish(vals, comm);
+}
+
+}  // namespace hpcgraph::analytics

@@ -1,0 +1,78 @@
+// Fixture: the near-miss shapes that must NOT fire — uniform early return,
+// allreduce-laundered trip count, identical collective in both arms of a
+// rank branch, collective-free worker lambda, and the owner-skip `continue`
+// idiom from msbfs.  A flow analyzer that flags any of these is useless on
+// the real tree.
+// EXPECT-CLEAN
+
+#include <cstdint>
+#include <span>
+#include <vector>
+
+namespace hpcgraph::analytics {
+
+struct Comm {
+  int rank();
+  void barrier();
+  std::uint64_t allreduce_sum(std::uint64_t v);
+  std::uint64_t allreduce_max(std::uint64_t v);
+  void alltoallv(std::span<const std::uint64_t> v);
+};
+
+struct Chunk {
+  std::uint64_t begin, end;
+};
+
+struct Pool {
+  template <typename F>
+  void for_chunks(int grid, F&& f);
+};
+
+struct Graph {
+  std::uint64_t n_loc() const;
+  int owner_of(std::uint64_t v) const;
+};
+
+// Uniform early return: n_global is the same on every rank, so either all
+// ranks take the reduction or none do.
+std::uint64_t total(Comm& comm, std::uint64_t n_global, std::uint64_t local) {
+  if (n_global == 0) return 0;
+  return comm.allreduce_sum(local);
+}
+
+// Allreduce-laundered trip count: every rank runs the same number of
+// alltoallv rounds because the bound came out of a collective.
+void rounds(Comm& comm, std::uint64_t depth_local,
+            std::span<const std::uint64_t> payload) {
+  const std::uint64_t depth = comm.allreduce_max(depth_local);
+  for (std::uint64_t i = 0; i < depth; ++i) comm.alltoallv(payload);
+}
+
+// Rank branch with identical collective sequences in both arms: the paths
+// diverge but the wire traffic does not.
+void both_arms(Comm& comm) {
+  if (comm.rank() == 0) {
+    comm.barrier();
+  } else {
+    comm.barrier();
+  }
+}
+
+// Worker lambda doing purely local arithmetic.
+void local_sweep(Pool& pool, std::vector<std::uint64_t>& acc) {
+  pool.for_chunks(0, [&](const Chunk& ck) {
+    for (std::uint64_t v = ck.begin; v < ck.end; ++v) acc[v] += v;
+  });
+}
+
+// Owner-skip continue: non-owners skip purely local work, never a
+// collective, so the early iteration exit is harmless.
+void owner_skip(Comm& comm, const Graph& g,
+                std::vector<std::uint64_t>& dist) {
+  for (std::uint64_t v = 0; v < dist.size(); ++v) {
+    if (g.owner_of(v) != comm.rank()) continue;
+    dist[v] = 0;
+  }
+}
+
+}  // namespace hpcgraph::analytics

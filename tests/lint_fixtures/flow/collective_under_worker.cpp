@@ -1,0 +1,29 @@
+// Fixture: a collective issued from a ThreadPool worker functor.  The
+// lambda runs once per pool thread, so the allreduce would be issued
+// num_threads times per rank — the rendezvous counts can never line up.
+// EXPECT-LINT: flow-collective-under-worker
+
+#include <cstdint>
+
+namespace hpcgraph::analytics {
+
+struct Comm {
+  std::uint64_t allreduce_sum(std::uint64_t v);
+};
+
+struct Chunk {
+  std::uint64_t begin, end;
+};
+
+struct Pool {
+  template <typename F>
+  void for_chunks(int grid, F&& f);
+};
+
+void sweep(Comm& comm, Pool& pool) {
+  pool.for_chunks(0, [&](const Chunk& ck) {
+    comm.allreduce_sum(ck.end - ck.begin);  // on a pool thread
+  });
+}
+
+}  // namespace hpcgraph::analytics

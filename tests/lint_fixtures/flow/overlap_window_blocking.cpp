@@ -1,0 +1,27 @@
+// Fixture: a blocking collective between exchange_start and
+// exchange_finish.  The static form of the runtime pending_depth_ check:
+// the allreduce would rendezvous while the split-phase boards are mid
+// flight.
+// EXPECT-LINT: flow-collective-in-overlap-window
+
+#include <cstdint>
+#include <span>
+
+namespace hpcgraph::analytics {
+
+struct Comm {
+  std::uint64_t allreduce_sum(std::uint64_t v);
+};
+
+struct Ghosts {
+  void exchange_start(std::span<double> vals, Comm& comm);
+  void exchange_finish(std::span<double> vals, Comm& comm);
+};
+
+void round(Comm& comm, Ghosts& gx, std::span<double> vals) {
+  gx.exchange_start(vals, comm);
+  comm.allreduce_sum(vals.size());  // blocking inside the open window
+  gx.exchange_finish(vals, comm);
+}
+
+}  // namespace hpcgraph::analytics

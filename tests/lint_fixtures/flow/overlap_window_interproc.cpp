@@ -1,0 +1,30 @@
+// Fixture: the blocking collective inside the overlap window hides in a
+// callee.  The CFG replays tally()'s effect summary op by op, so the
+// allreduce is seen even though this function never names it.
+// EXPECT-LINT: flow-collective-in-overlap-window
+
+#include <cstdint>
+#include <span>
+
+namespace hpcgraph::analytics {
+
+struct Comm {
+  std::uint64_t allreduce_sum(std::uint64_t v);
+};
+
+struct Ghosts {
+  void exchange_start(std::span<double> vals, Comm& comm);
+  void exchange_finish(std::span<double> vals, Comm& comm);
+};
+
+std::uint64_t tally(Comm& comm, std::uint64_t v) {
+  return comm.allreduce_sum(v);
+}
+
+void round(Comm& comm, Ghosts& gx, std::span<double> vals) {
+  gx.exchange_start(vals, comm);
+  tally(comm, vals.size());  // allreduce one frame down
+  gx.exchange_finish(vals, comm);
+}
+
+}  // namespace hpcgraph::analytics

@@ -1,0 +1,21 @@
+// Fixture: rank-dependent early return skips a collective.  Rank 0 leaves
+// before the reduction every other rank enters — the regex lint cannot see
+// this (no collective inside the branch), the CFG path enumeration can.
+// EXPECT-LINT: flow-path-divergent-collectives
+// EXPECT-LINT: rank-divergent-collective
+
+#include <cstdint>
+
+namespace hpcgraph::analytics {
+
+struct Comm {
+  int rank();
+  std::uint64_t allreduce_sum(std::uint64_t v);
+};
+
+std::uint64_t tally(Comm& comm, std::uint64_t local) {
+  if (comm.rank() == 0) return local;  // head rank skips the reduction
+  return comm.allreduce_sum(local);
+}
+
+}  // namespace hpcgraph::analytics

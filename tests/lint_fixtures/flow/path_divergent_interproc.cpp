@@ -1,0 +1,24 @@
+// Fixture: the divergent collective sits two calls below the rank-dependent
+// branch.  Only the interprocedural effect summaries connect the `if` to
+// the allreduce inside level2().
+// EXPECT-LINT: flow-path-divergent-collectives
+// EXPECT-LINT: rank-divergent-collective
+
+#include <cstdint>
+
+namespace hpcgraph::analytics {
+
+struct Comm {
+  int rank();
+  std::uint64_t allreduce_sum(std::uint64_t v);
+};
+
+void level2(Comm& comm) { comm.allreduce_sum(1); }
+
+void level1(Comm& comm) { level2(comm); }
+
+void entry(Comm& comm) {
+  if (comm.rank() == 0) level1(comm);  // only rank 0 reaches the allreduce
+}
+
+}  // namespace hpcgraph::analytics

@@ -1,0 +1,31 @@
+// Fixture: switch on a rank-derived value with per-case collectives.  Ranks
+// landing in different cases issue different sequences; the if-only regex
+// lint never looks at switch statements.
+// EXPECT-LINT: flow-path-divergent-collectives
+// EXPECT-LINT: rank-divergent-collective
+
+#include <cstdint>
+#include <vector>
+
+namespace hpcgraph::analytics {
+
+struct Comm {
+  int rank();
+  void barrier();
+  std::vector<std::uint64_t> allgather(std::uint64_t v);
+};
+
+void stagger(Comm& comm, std::uint64_t v) {
+  switch (comm.rank() % 3) {
+    case 0:
+      comm.barrier();
+      break;
+    case 1:
+      comm.allgather(v);
+      break;
+    default:
+      break;
+  }
+}
+
+}  // namespace hpcgraph::analytics

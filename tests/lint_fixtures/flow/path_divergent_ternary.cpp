@@ -1,0 +1,22 @@
+// Fixture: a ternary on a rank-dependent condition picks between two
+// different collectives.  No if statement anywhere, so the branch-regex
+// lint is blind to it.
+// EXPECT-LINT: flow-path-divergent-collectives
+// EXPECT-LINT: rank-divergent-collective
+
+#include <cstdint>
+
+namespace hpcgraph::analytics {
+
+struct Comm {
+  int rank();
+  std::uint64_t allreduce_sum(std::uint64_t v);
+  std::uint64_t allreduce_max(std::uint64_t v);
+};
+
+std::uint64_t pick(Comm& comm, std::uint64_t v) {
+  const bool head = comm.rank() == 0;
+  return head ? comm.allreduce_sum(v) : comm.allreduce_max(v);
+}
+
+}  // namespace hpcgraph::analytics

@@ -1,0 +1,23 @@
+// Fixture: a collective inside a loop whose trip count is the local vertex
+// count.  Every rank owns a different slice, so each would run a different
+// number of allreduce rounds — the ranks desynchronize immediately.
+// EXPECT-LINT: flow-rank-dependent-loop-collective
+
+#include <cstdint>
+
+namespace hpcgraph::analytics {
+
+struct Comm {
+  std::uint64_t allreduce_max(std::uint64_t v);
+};
+
+struct Graph {
+  std::uint64_t n_loc() const;
+};
+
+void relax(Comm& comm, const Graph& g) {
+  for (std::uint64_t i = 0; i < g.n_loc(); ++i)
+    comm.allreduce_max(i);  // per-rank trip count
+}
+
+}  // namespace hpcgraph::analytics

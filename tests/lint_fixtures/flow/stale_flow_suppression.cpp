@@ -1,0 +1,19 @@
+// Fixture: a lint:allow for a flow rule that no longer fires anywhere near
+// its line.  The suppression must be reported as stale instead of rotting
+// silently.
+// EXPECT-LINT: stale-suppression
+
+#include <cstdint>
+
+namespace hpcgraph::analytics {
+
+struct Comm {
+  std::uint64_t allreduce_sum(std::uint64_t v);
+};
+
+std::uint64_t plain(Comm& comm, std::uint64_t v) {
+  // lint:allow(flow-collective-under-worker: leftover from a removed sweep)
+  return comm.allreduce_sum(v);
+}
+
+}  // namespace hpcgraph::analytics

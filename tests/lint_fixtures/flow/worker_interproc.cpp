@@ -1,0 +1,27 @@
+// Fixture: the worker functor reaches a collective through a helper call.
+// Only the interprocedural may-issue summary connects the for_ranges
+// lambda to the barrier inside flush().
+// EXPECT-LINT: flow-collective-under-worker
+
+#include <cstdint>
+
+namespace hpcgraph::analytics {
+
+struct Comm {
+  void barrier();
+};
+
+struct Pool {
+  template <typename F>
+  void for_ranges(std::uint64_t lo, std::uint64_t hi, F&& f);
+};
+
+void flush(Comm& comm) { comm.barrier(); }
+
+void sweep(Comm& comm, Pool& pool, std::uint64_t n) {
+  pool.for_ranges(0, n, [&](unsigned, std::uint64_t, std::uint64_t) {
+    flush(comm);  // barrier two frames down, on a pool thread
+  });
+}
+
+}  // namespace hpcgraph::analytics

@@ -5,6 +5,7 @@
 // caught by the PARCOMM_VERIFY fingerprint rendezvous; see
 // tests/test_verify.cpp.)
 // EXPECT-LINT: rank-divergent-collective
+// EXPECT-LINT: flow-path-divergent-collectives
 
 #include <cstdint>
 #include <vector>

@@ -1,0 +1,13 @@
+// Fixture: one lint:allow comment suppressing two rules that fire on the
+// same line — a namespace-scope std::atomic trips both mutable-global and
+// raw-sync, and the comma-separated allow must cover both.
+// EXPECT-CLEAN
+
+#include <atomic>
+
+namespace hpcgraph::analytics {
+
+// lint:allow(raw-sync, mutable-global: fixture exercising comma-separated allows)
+std::atomic<int> poll_epoch{0};
+
+}  // namespace hpcgraph::analytics

@@ -1,0 +1,13 @@
+// Fixture: a lint:allow whose rule no longer fires anywhere near its line.
+// The dead suppression must surface as stale-suppression instead of
+// lingering as a silent escape hatch.
+// EXPECT-LINT: stale-suppression
+
+#include <cstdint>
+
+namespace hpcgraph::analytics {
+
+// lint:allow(raw-sync: the atomic this excused was removed long ago)
+inline std::uint64_t bump(std::uint64_t v) { return v + 1; }
+
+}  // namespace hpcgraph::analytics

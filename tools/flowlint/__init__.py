@@ -1,0 +1,4 @@
+"""flowlint: control-flow-aware collective-sequence analyzer (DESIGN.md §12).
+
+Run as `python3 tools/flowlint [...]` or import `flowlint.driver`.
+"""

@@ -1,0 +1,11 @@
+import os
+import sys
+
+if not __package__:
+    # Invoked as `python3 tools/flowlint`: make `flowlint.*` importable.
+    sys.path.insert(0, os.path.dirname(os.path.dirname(
+        os.path.abspath(__file__))))
+
+from flowlint.driver import main
+
+sys.exit(main())

@@ -1,0 +1,133 @@
+"""Lightweight C++ lexer for flowlint.
+
+Produces a flat token stream with line numbers, plus a per-line comment map
+(needed for `lint:allow` suppressions and the fixture EXPECT markers).  This
+is *not* a conforming C++ lexer: it only needs to be faithful enough to
+recover statement structure, call sites and identifiers.  String, char and
+raw-string literals are blanked (their content can never issue a collective);
+preprocessor directives are dropped line-by-line (conditional compilation is
+out of scope for the analysis — DESIGN.md §12 records this as an accepted
+soundness hole).
+"""
+
+from __future__ import annotations
+
+import re
+from dataclasses import dataclass
+
+__all__ = ["Token", "lex", "strip_source"]
+
+
+@dataclass(frozen=True)
+class Token:
+    kind: str  # 'id' | 'num' | 'str' | 'punct'
+    text: str
+    line: int
+
+
+# Longest-match punctuators first.  `::` and `->` must be single tokens (the
+# parser keys on them for qualified names and member calls); `<<`/`>>` must be
+# single tokens so stream inserters don't look like template brackets.
+_TOKEN_RE = re.compile(
+    r"""
+      (?P<id>[A-Za-z_]\w*)
+    | (?P<num>(?:\.\d|\d)(?:[\w.]|[eEpP][+-])*)
+    | (?P<punct><<=|>>=|\.\.\.|->\*|::|->|\+\+|--|<<|>>|<=|>=|==|!=|&&|\|\||
+                \+=|-=|\*=|/=|%=|&=|\^=|\|=|[{}()\[\];,<>?:~!%^&*+=|./-])
+    """,
+    re.VERBOSE,
+)
+
+
+def strip_source(text: str) -> tuple[str, dict[int, str]]:
+    """Blank comments, string/char literals and preprocessor directives while
+    preserving the newline structure.  Returns (code, comments) where
+    comments maps line number -> concatenated comment text on that line."""
+    out: list[str] = []
+    comments: dict[int, str] = {}
+    i, n, line = 0, len(text), 1
+
+    def note(lineno: int, s: str) -> None:
+        comments[lineno] = comments.get(lineno, "") + s
+
+    def blank(seg: str) -> str:
+        return re.sub(r"[^\n]", " ", seg)
+
+    at_line_start = True
+    while i < n:
+        c = text[i]
+        if at_line_start and c == "#":
+            # Preprocessor directive (with continuation lines).
+            j = i
+            while j < n:
+                k = text.find("\n", j)
+                k = n if k == -1 else k
+                if text[k - 1] == "\\" if k > j else False:
+                    j = k + 1
+                    continue
+                j = k
+                break
+            seg = text[i:j]
+            out.append(blank(seg))
+            line += seg.count("\n")
+            i = j
+            continue
+        if c == "/" and text.startswith("//", i):
+            j = text.find("\n", i)
+            j = n if j == -1 else j
+            note(line, text[i:j])
+            out.append(" " * (j - i))
+            i = j
+        elif c == "/" and text.startswith("/*", i):
+            j = text.find("*/", i + 2)
+            j = n if j == -1 else j + 2
+            seg = text[i:j]
+            for k, part in enumerate(seg.split("\n")):
+                note(line + k, part)
+            out.append(blank(seg))
+            line += seg.count("\n")
+            i = j
+        elif c == '"' and i > 0 and text[i - 1] == "R":
+            m = re.match(r'"([^\s()\\]*)\(', text[i:])
+            if not m:
+                out.append(" ")
+                i += 1
+                continue
+            end = text.find(")" + m.group(1) + '"', i)
+            end = n if end == -1 else end + len(m.group(1)) + 2
+            seg = text[i:end]
+            out.append(blank(seg))
+            line += seg.count("\n")
+            i = end
+        elif c in "\"'":
+            q = c
+            j = i + 1
+            while j < n and text[j] != q and text[j] != "\n":
+                j += 2 if text[j] == "\\" else 1
+            j = min(j + 1, n)
+            out.append(" " * (j - i))
+            i = j
+        else:
+            out.append(c)
+            if c == "\n":
+                line += 1
+                at_line_start = True
+                i += 1
+                continue
+            if not c.isspace():
+                at_line_start = False
+            i += 1
+    return "".join(out), comments
+
+
+def lex(code: str) -> list[Token]:
+    """Tokenize pre-stripped code (see strip_source)."""
+    toks: list[Token] = []
+    line = 1
+    pos = 0
+    for m in _TOKEN_RE.finditer(code):
+        line += code.count("\n", pos, m.start())
+        pos = m.start()
+        kind = m.lastgroup or "punct"
+        toks.append(Token(kind, m.group(0), line))
+    return toks

@@ -1,0 +1,78 @@
+"""`lint:allow` suppression parsing shared by flowlint and lint_discipline.
+
+Grammar (one or more per comment):
+
+    lint:allow(rule: reason)
+    lint:allow(rule-a, rule-b: reason)     # one comment suppresses several
+                                           # rules on the same line
+
+The reason is mandatory by convention — it is the review record.  An allow
+covers findings on its own line or the line directly below it (so it can sit
+on a comment line above the offending statement).  A suppression that
+suppresses nothing is itself a finding (`stale-suppression`), so escapes
+cannot rot silently; each tool polices only the rules it owns
+(`owned_rules`), because the other tool's findings are invisible to it.
+"""
+
+from __future__ import annotations
+
+import re
+
+__all__ = ["parse_allows", "apply_suppressions"]
+
+ALLOW_RE = re.compile(
+    r"lint:allow\(\s*([\w-]+(?:\s*,\s*[\w-]+)*)\s*(?::([^)]*))?\)")
+
+
+def parse_allows(comment: str) -> list[tuple[list[str], str]]:
+    """Returns [(rules, reason), ...] for every lint:allow in the comment."""
+    out = []
+    for m in ALLOW_RE.finditer(comment):
+        rules = [r.strip() for r in m.group(1).split(",")]
+        out.append((rules, (m.group(2) or "").strip()))
+    return out
+
+
+def apply_suppressions(findings, comments: dict[int, str], owned_rules,
+                       finding_ctor, path: str):
+    """Filter `findings` (objects with .line/.rule) through per-line
+    lint:allow comments, and append a stale-suppression finding for every
+    owned-rule allow that suppressed nothing.  `finding_ctor(path, line,
+    rule, message)` builds findings of the caller's type."""
+    owned = set(owned_rules)
+    allows: set[tuple[int, str]] = set()  # (line, rule) for owned rules
+    for line, text in comments.items():
+        for rules, _reason in parse_allows(text):
+            for rule in rules:
+                if rule in owned:
+                    allows.add((line, rule))
+
+    def covering(fline: int, rule: str):
+        # An allow covers its own line and the line directly below.
+        for aline in (fline, fline - 1):
+            if (aline, rule) in allows:
+                return (aline, rule)
+        return None
+
+    kept = []
+    used: set[tuple[int, str]] = set()
+    for f in findings:
+        a = covering(f.line, f.rule)
+        if a is not None:
+            used.add(a)
+        else:
+            kept.append(f)
+
+    for line, rule in sorted(allows):
+        if rule == "stale-suppression":
+            continue  # meta-rule: only meaningful as a suppression target
+        if (line, rule) in used:
+            continue
+        if covering(line, "stale-suppression") is not None:
+            continue
+        kept.append(finding_ctor(
+            path, line, "stale-suppression",
+            f"lint:allow({rule}: ...) no longer suppresses anything — the "
+            "rule does not fire on or below this line; delete the "
+            "suppression (or re-establish why it is needed)"))
+    return kept

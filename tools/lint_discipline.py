@@ -27,11 +27,20 @@ algorithm code (src/analytics, src/engine, src/dgraph):
       assert internally, but the failure then points at comm.hpp instead of
       the offending call layer.
   rank-divergent-collective
-      A collective call inside an `if`/`else` branch whose condition reads
-      the rank id.  Ranks taking different branches then issue *different*
-      collectives — deadlock or silent corruption in real MPI, board
-      corruption here.  This is the statically-visible form of the mismatch
-      the PARCOMM_VERIFY runtime prong catches dynamically.
+      A collective issued on some rank-dependent paths but not others.
+      Ranks taking different paths then issue *different* collectives —
+      deadlock or silent corruption in real MPI, board corruption here.
+      This is the statically-visible form of the mismatch the PARCOMM_VERIFY
+      runtime prong catches dynamically.  When the flowlint package
+      (tools/flowlint) is importable this check runs on its per-function CFG
+      path enumeration — covering ternaries, switches, and rank-dependent
+      early returns as well as if/else bodies; otherwise it falls back to
+      the original if/else branch regex.
+  stale-suppression
+      A lint:allow(...) comment naming one of this tool's rules that no
+      longer suppresses anything — the rule does not fire on (or directly
+      below) the comment's line.  Suppressions must not outlive the code
+      they excused.
   raw-nonblocking-mpi
       Raw MPI nonblocking primitives (MPI_Ialltoallv, MPI_Isend, MPI_Wait*,
       MPI_Test*, MPI_Request, ...) outside src/parcomm.  Split-phase
@@ -55,8 +64,10 @@ algorithm code (src/analytics, src/engine, src/dgraph):
       exempt: builder and ghost-exchange plans legitimately pack their own
       queues.
 
-Suppression: append `lint:allow(<rule>: reason)` in a comment on the flagged
-line.  The reason is mandatory by convention — it is the review record.
+Suppression: append `lint:allow(<rule>: reason)` — or
+`lint:allow(<rule-a>, <rule-b>: reason)` to cover several rules at once — in
+a comment on the flagged line or on the line directly above it.  The reason
+is mandatory by convention — it is the review record.
 
 Usage:
   lint_discipline.py [--root DIR] [--compile-commands JSON]
@@ -88,6 +99,31 @@ RULES = (
     "raw-nonblocking-mpi",
     "raw-parallel-chunking",
     "raw-frontier-exchange",
+    "stale-suppression",
+)
+
+# The CFG/summary machinery lives in the sibling flowlint package.  When it
+# imports, rank-divergent-collective runs on real path enumeration and the
+# suppression logic (comma-separated allows + stale detection) is shared;
+# without it the original regex check and a minimal allow parser keep the
+# tool standalone.
+sys.path.insert(0, os.path.dirname(os.path.abspath(__file__)))
+try:
+    from flowlint import checks as _flow_checks
+    from flowlint import cxxparse as _flow_parse
+    from flowlint import summaries as _flow_sm
+    from flowlint import suppress as _suppress
+    _HAVE_FLOWLINT = True
+except Exception:  # missing package / syntax error: degrade, don't die
+    _HAVE_FLOWLINT = False
+    _suppress = None
+
+# Rules owned by flowlint: accepted in shared fixtures, never judged here.
+FLOWLINT_RULES = (
+    "flow-path-divergent-collectives",
+    "flow-collective-in-overlap-window",
+    "flow-collective-under-worker",
+    "flow-rank-dependent-loop-collective",
 )
 
 RAW_SYNC_RE = re.compile(
@@ -135,7 +171,10 @@ TRIV_ASSERT_RE = re.compile(
     r"static_assert\s*\(\s*std\s*::\s*is_trivially_copyable(?:_v)?\s*<"
 )
 
-ALLOW_RE = re.compile(r"lint:allow\(\s*([\w-]+)\s*(?::[^)]*)?\)")
+# Fallback allow parser (flowlint.suppress is preferred): comma-separated
+# rule lists share one comment — lint:allow(raw-sync, mutable-global: why).
+ALLOW_RE = re.compile(
+    r"lint:allow\(\s*([\w-]+(?:\s*,\s*[\w-]+)*)\s*(?::[^)]*)?\)")
 
 DECL_SKIP_RE = re.compile(
     r"^\s*(?:using\b|typedef\b|template\b|extern\b|friend\b|static_assert\b|"
@@ -504,8 +543,28 @@ RANK_COND_RE = re.compile(r"\brank\s*\(\s*\)|\brank_?\b")
 IF_RE = re.compile(r"\bif\s*\(")
 
 
+def check_rank_divergent_cfg(path: str, findings) -> bool:
+    """Path-divergence form of the rank-divergent check, on flowlint's CFG
+    evaluation: covers ternaries, switches, and rank-dependent early
+    returns, not just collectives lexically inside an if body.  Returns
+    False when the file cannot be analyzed (caller falls back to regex)."""
+    try:
+        funcs, _comments = _flow_parse.parse_file(path)
+        units = _flow_sm.build_units(funcs)
+        summ = _flow_sm.compute_summaries(units)
+        flow = _flow_checks.check_units(path, units, summ)
+    except Exception:
+        return False
+    for f in flow:
+        if f.rule == "flow-path-divergent-collectives":
+            findings.append(Finding(
+                path, f.line, "rank-divergent-collective", f.message))
+    return True
+
+
 def check_rank_divergent(code: str, findings, path):
-    """Collective calls inside if/else branches conditioned on the rank id."""
+    """Collective calls inside if/else branches conditioned on the rank id
+    (regex fallback when the flowlint package is unavailable)."""
     for im in IF_RE.finditer(code):
         cond_open = code.index("(", im.start())
         cond_close = match_paren(code, cond_open)
@@ -644,13 +703,21 @@ def lint_file(path: str) -> list[Finding]:
     check_raw_frontier_exchange(code, findings, path)
     check_ref_capture(code, findings, path)
     check_template_collectives(code, findings, path)
-    check_rank_divergent(code, findings, path)
+    if not (_HAVE_FLOWLINT and check_rank_divergent_cfg(path, findings)):
+        check_rank_divergent(code, findings, path)
 
-    # Apply per-line lint:allow suppressions (rule must match).
+    if _suppress is not None:
+        # Shared semantics: comma-separated allows, same-line-or-next-line
+        # scope, stale-suppression findings for dead allows of our rules.
+        return _suppress.apply_suppressions(
+            findings, comments, RULES, Finding, path)
+
+    # Fallback: per-line allows only, no stale detection.
     kept = []
     for f in findings:
         allow = ALLOW_RE.search(comments.get(f.line, ""))
-        if allow and allow.group(1) == f.rule:
+        if allow and f.rule in [r.strip()
+                                for r in allow.group(1).split(",")]:
             continue
         kept.append(f)
     return kept
@@ -700,34 +767,46 @@ EXPECT_RE = re.compile(r"EXPECT-LINT:\s*([\w-]+)")
 
 
 def run_fixtures(fixture_dir: str) -> int:
-    paths = sorted(glob.glob(os.path.join(fixture_dir, "*.cpp")) +
-                   glob.glob(os.path.join(fixture_dir, "*.hpp")))
+    """Recursive over the whole corpus (tests/lint_fixtures/flow included);
+    each file is judged only against this tool's rules — markers for
+    flowlint's flow-* rules are that tool's job."""
+    paths = sorted(
+        glob.glob(os.path.join(fixture_dir, "**", "*.cpp"), recursive=True) +
+        glob.glob(os.path.join(fixture_dir, "**", "*.hpp"), recursive=True))
     if not paths:
         print(f"lint_discipline: no fixtures in {fixture_dir}",
               file=sys.stderr)
         return 2
+    own = set(RULES)
     failed = False
     for path in paths:
         with open(path, encoding="utf-8") as f:
             raw = f.read()
-        expected = set(EXPECT_RE.findall(raw))
+        marked = set(EXPECT_RE.findall(raw))
+        for rule in marked - own - set(FLOWLINT_RULES):
+            print(f"FAIL {path}: unknown rule in EXPECT-LINT: {rule}")
+            failed = True
+        expected = marked & own
+        # `stale-suppression` is shared vocabulary: it is ours to produce
+        # only when the file's dead allow names a rule *we* own.
+        if "stale-suppression" in expected:
+            allow_rules = {r.strip() for m in ALLOW_RE.finditer(raw)
+                           for r in m.group(1).split(",")}
+            if not (allow_rules & (own - {"stale-suppression"})):
+                expected.discard("stale-suppression")
         expect_clean = "EXPECT-CLEAN" in raw
-        for rule in expected:
-            if rule not in RULES:
-                print(f"FAIL {path}: unknown rule in EXPECT-LINT: {rule}")
-                failed = True
         findings = lint_file(path)
         got = {f.rule for f in findings}
         missing = expected - got
         unexpected = got - expected
         ok = not missing and not unexpected and not (expect_clean and got)
+        name = os.path.relpath(path, fixture_dir)
         if ok:
-            label = "clean" if expect_clean or not expected else \
-                ", ".join(sorted(expected))
-            print(f"PASS {os.path.basename(path)}: {label}")
+            label = ", ".join(sorted(expected)) if expected else "clean"
+            print(f"PASS {name}: {label}")
         else:
             failed = True
-            print(f"FAIL {os.path.basename(path)}:")
+            print(f"FAIL {name}:")
             for rule in sorted(missing):
                 print(f"  expected diagnostic not produced: [{rule}]")
             for f in findings:
