@@ -52,6 +52,7 @@
 #include "dgraph/pulp_partition.hpp"
 #include "gen/erdos_renyi.hpp"
 #include "gen/rmat.hpp"
+#include "obs/tracer.hpp"
 #include "gen/webgraph.hpp"
 #include "util/parallel_for.hpp"
 #include "util/timer.hpp"
@@ -63,7 +64,7 @@ int main(int argc, char** argv) {
   const Cli cli(argc, argv);
   const unsigned scale = static_cast<unsigned>(cli.get_int("scale", 16));
   const int nranks = static_cast<int>(cli.get_int("ranks", 8));
-  std::string sections = cli.get("sections", "ABCDEFGHIJ");
+  std::string sections = cli.get("sections", "ABCDEFGHIJK");
   for (char& c : sections) c = static_cast<char>(std::toupper(c));
   const auto want = [&](char s) {
     return sections.find(s) != std::string::npos;
@@ -787,6 +788,64 @@ int main(int argc, char** argv) {
     t.print(std::cout);
   }
 
+  // ---- K. Tracing overhead (EXPERIMENTS.md §K). ----
+  // The obs layer is always compiled and runtime-gated: with no tracer
+  // installed every Span is a thread-local load, a branch, and two clock
+  // reads.  Measure the same PageRank region with tracing off (no tracer
+  // installed) and on (tracer installed, every rank + pool thread recording
+  // into its lane) — the off/on gap should be within run-to-run noise.
+  if (want('K')) {
+    const int reps = static_cast<int>(cli.get_int("reps", 3));
+    const auto pr_body = [](const dgraph::DistGraph& g,
+                            parcomm::Communicator& comm) {
+      analytics::PageRankOptions o;
+      o.max_iterations = 10;
+      o.common.overlap = true;
+      (void)analytics::pagerank(g, comm, o);
+    };
+    const auto measure = [&](bool traced) {
+      std::vector<double> tpars;
+      for (int rep = 0; rep < reps; ++rep) {
+        std::unique_ptr<obs::Tracer> tracer;
+        if (traced) {
+          tracer = std::make_unique<obs::Tracer>();
+          tracer->install();  // before run_region spawns rank threads
+        }
+        tpars.push_back(hb::run_region(wc.graph, nranks,
+                                       dgraph::PartitionKind::kRandom, pr_body)
+                            .tpar);
+      }
+      return tpars;
+    };
+    const std::vector<double> off = measure(false);
+    const std::vector<double> on = measure(true);
+    const double off_med = hb::median_of(off), on_med = hb::median_of(on);
+    const double overhead =
+        off_med > 0 ? 100.0 * (on_med - off_med) / off_med : 0.0;
+
+    TablePrinter t({"Tracing", "Tpar med(s)", "stddev", "Overhead"});
+    t.add_row({"off", TablePrinter::fmt(off_med, 3),
+               TablePrinter::fmt(hb::stddev_of(off), 3), "-"});
+    t.add_row({"on", TablePrinter::fmt(on_med, 3),
+               TablePrinter::fmt(hb::stddev_of(on), 3),
+               TablePrinter::fmt(overhead, 1) + "%"});
+    std::cout << "\nK. Runtime tracing overhead (PageRank, overlap, "
+              << nranks << " ranks; obs spans + counters, DESIGN.md §13):\n";
+    t.print(std::cout);
+
+    hb::BenchRecord br;
+    br.name = "K.pagerank.tracing_overhead";
+    br.ranks = nranks;
+    br.threads = 1;
+    br.median_s = on_med;
+    br.stddev_s = hb::stddev_of(on);
+    br.extra = {{"baseline_median_s", off_med},
+                {"baseline_stddev_s", hb::stddev_of(off)},
+                {"overhead_pct", overhead}};
+    bench_json.add(std::move(br));
+  }
+
+  bench_json.set_ranks(nranks);
   if (!json_path.empty()) {
     bench_json.write(json_path);
     std::cout << "\nwrote " << json_path << "\n";

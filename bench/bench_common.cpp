@@ -6,9 +6,21 @@
 #include <iostream>
 #include <sstream>
 
+#include <thread>
+
+#include "obs/tracer.hpp"
 #include "util/error.hpp"
 #include "util/json.hpp"
+#include "util/parallel_for.hpp"
 #include "util/timer.hpp"
+
+// Stamped by bench/CMakeLists.txt; fall back for non-CMake builds.
+#ifndef HPCGRAPH_BUILD_TYPE
+#define HPCGRAPH_BUILD_TYPE "unknown"
+#endif
+#ifndef HPCGRAPH_GIT_SHA
+#define HPCGRAPH_GIT_SHA "unknown"
+#endif
 
 namespace hpcgraph::bench {
 
@@ -23,6 +35,7 @@ RegionReport run_region(
   double region_wall = 0;
 
   world.run([&](parcomm::Communicator& comm) {
+    obs::RankGuard obs_guard(comm.rank());
     const dgraph::DistGraph g =
         dgraph::Builder::from_edge_list(comm, el, kind, nullptr, part_seed);
     comm.barrier();
@@ -30,7 +43,10 @@ RegionReport run_region(
     const double cpu0 = thread_cpu_seconds();
     if (comm.rank() == 0) wall.restart();
 
-    body(g, comm);
+    {
+      obs::Span region_span(obs::span_name::kBenchRegion);
+      body(g, comm);
+    }
 
     comm.barrier();
     RankMetrics& m = metrics[comm.rank()];
@@ -63,6 +79,15 @@ std::string BenchJson::to_json() const {
   util::JsonWriter w;
   w.begin_object();
   w.kv("schema", "hpcgraph-bench-v1");
+  w.key("environment");
+  w.begin_object();
+  w.kv("host_threads",
+       static_cast<std::uint64_t>(std::thread::hardware_concurrency()));
+  w.kv("pool_threads", static_cast<std::uint64_t>(default_pool_threads()));
+  w.kv("ranks", env_ranks_);
+  w.kv("build_type", HPCGRAPH_BUILD_TYPE);
+  w.kv("git_sha", HPCGRAPH_GIT_SHA);
+  w.end_object();
   w.kv("results_total", static_cast<std::uint64_t>(records_.size()));
   w.key("results");
   w.begin_array();

@@ -86,15 +86,22 @@ struct BenchRecord {
 /// Collects BenchRecords and writes them as one JSON document
 /// (schema "hpcgraph-bench-v1") — the machine-readable counterpart to the
 /// harnesses' printed tables, for CI smoke checks and committed baselines.
+/// The document carries an `environment` block (host/pool threads, rank
+/// count, build type, git sha) so a committed baseline records what machine
+/// and build produced it.
 class BenchJson {
  public:
   void add(BenchRecord r) { records_.push_back(std::move(r)); }
   bool empty() const { return records_.empty(); }
+  /// Simulated rank count recorded in the environment block (0 = unset;
+  /// harnesses sweeping several counts record the largest).
+  void set_ranks(int nranks) { env_ranks_ = std::max(env_ranks_, nranks); }
   std::string to_json() const;
   void write(const std::string& path) const;
 
  private:
   std::vector<BenchRecord> records_;
+  int env_ranks_ = 0;
 };
 
 /// Median of a sample set (0 if empty; argument by value, it is sorted).

@@ -84,10 +84,10 @@
 #include <vector>
 
 #include "dgraph/dist_graph.hpp"
+#include "obs/tracer.hpp"
 #include "parcomm/comm.hpp"
 #include "util/parallel_for.hpp"
 #include "util/prefix_sum.hpp"
-#include "util/timer.hpp"
 
 namespace hpcgraph::dgraph {
 
@@ -267,9 +267,9 @@ class GhostExchange {
       async_bytes_.resize(changed_local * sizeof(Pair));
       Pair* pairs = reinterpret_cast<Pair*>(async_bytes_.data());
       {
-        Timer t;
+        obs::Span sp(obs::span_name::kGhostPack);
         pack_sparse(vals.data(), pairs, tp);
-        comm.phase_timer().add_pack(t.elapsed());
+        comm.phase_timer().add_pack(sp.close());
       }
       for (std::size_t d = 0; d < p; ++d)
         bcounts[d] = chg_counts_[d] * sizeof(Pair);
@@ -277,18 +277,20 @@ class GhostExchange {
       async_bytes_.resize(send_local_.size() * sizeof(T));
       T* send = reinterpret_cast<T*>(async_bytes_.data());
       {
-        Timer t;
+        obs::Span sp(obs::span_name::kGhostPack);
         tp.for_range(0, send_local_.size(), sched_,
                      [&](unsigned, std::uint64_t lo, std::uint64_t hi) {
                        for (std::uint64_t i = lo; i < hi; ++i)
                          send[i] = vals[send_local_[i]];
                      });
-        comm.phase_timer().add_pack(t.elapsed());
+        comm.phase_timer().add_pack(sp.close());
       }
       for (std::size_t d = 0; d < p; ++d)
         bcounts[d] = send_counts_[d] * sizeof(T);
     }
 
+    obs::counter(obs::counter_name::kWireBytes,
+                 static_cast<double>(async_bytes_.size()));
     async_ = comm.ialltoallv<std::uint8_t>(
         {async_bytes_.data(), async_bytes_.size()}, bcounts, pool_);
     async_wire_ = sparse ? GhostMode::kSparse : GhostMode::kDense;
@@ -336,21 +338,21 @@ class GhostExchange {
         HG_DCHECK(rbytes[s] % sizeof(Pair) == 0);
         rcounts[s] = rbytes[s] / sizeof(Pair);
       }
-      Timer t;
+      obs::Span sp(obs::span_name::kGhostScatter);
       scatter_sparse(vals, reinterpret_cast<const Pair*>(recv.data()),
                      recv.size() / sizeof(Pair), rcounts, tp, changed_ghosts,
                      combine);
-      comm.phase_timer().add_pack(t.elapsed());
+      comm.phase_timer().add_pack(sp.close());
       ++st.ghost_rounds_sparse;
       st.ghost_bytes_saved +=
           static_cast<std::int64_t>(send_local_.size() * sizeof(T)) -
           static_cast<std::int64_t>(async_changed_ * sizeof(Pair));
     } else {
       HG_DCHECK(recv.size() == recv_local_.size() * sizeof(T));
-      Timer t;
+      obs::Span sp(obs::span_name::kGhostScatter);
       scatter_dense(vals, reinterpret_cast<const T*>(recv.data()),
                     recv.size() / sizeof(T), tp, changed_ghosts, combine);
-      comm.phase_timer().add_pack(t.elapsed());
+      comm.phase_timer().add_pack(sp.close());
       ++st.ghost_rounds_dense;
     }
     ++st.ghost_rounds_async;
@@ -378,21 +380,23 @@ class GhostExchange {
     payload_bytes_.resize(recv_local_.size() * sizeof(T));
     T* send = reinterpret_cast<T*>(payload_bytes_.data());
     {
-      Timer t;
+      obs::Span sp(obs::span_name::kGhostPack);
       tp.for_range(0, recv_local_.size(), sched_,
                    [&](unsigned, std::uint64_t lo, std::uint64_t hi) {
                      for (std::uint64_t i = lo; i < hi; ++i)
                        send[i] = vals[recv_local_[i]];
                    });
-      comm.phase_timer().add_pack(t.elapsed());
+      comm.phase_timer().add_pack(sp.close());
     }
+    obs::counter(obs::counter_name::kWireBytes,
+                 static_cast<double>(payload_bytes_.size()));
     const std::vector<T> back = comm.alltoallv<T>(
         {send, recv_local_.size()}, recv_counts_, nullptr, pool_);
     // Each source rank returns exactly the segment this rank sent it at
     // setup, so `back` aligns 1:1 with the retained send queue.
     HG_DCHECK(back.size() == send_local_.size());
     {
-      Timer t;
+      obs::Span sp(obs::span_name::kGhostReduce);
       // Serial fold: a boundary vertex retained for several destination
       // tasks occupies one slot per task, so parallel segment processing
       // would race on vals[v].
@@ -400,7 +404,7 @@ class GhostExchange {
         T& dst = vals[send_local_[i]];
         dst = combine(dst, back[i]);
       }
-      comm.phase_timer().add_pack(t.elapsed());
+      comm.phase_timer().add_pack(sp.close());
     }
     ++comm.stats().ghost_rounds_reduce;
   }
@@ -470,21 +474,23 @@ class GhostExchange {
     payload_bytes_.resize(send_local_.size() * sizeof(T));
     T* send = reinterpret_cast<T*>(payload_bytes_.data());
     {
-      Timer t;
+      obs::Span sp(obs::span_name::kGhostPack);
       tp.for_range(0, send_local_.size(), sched_,
                    [&](unsigned, std::uint64_t lo, std::uint64_t hi) {
                      for (std::uint64_t i = lo; i < hi; ++i)
                        send[i] = vals[send_local_[i]];
                    });
-      comm.phase_timer().add_pack(t.elapsed());
+      comm.phase_timer().add_pack(sp.close());
     }
+    obs::counter(obs::counter_name::kWireBytes,
+                 static_cast<double>(payload_bytes_.size()));
     const std::vector<T> recv = comm.alltoallv<T>(
         {send, send_local_.size()}, send_counts_, nullptr, pool_);
     {
-      Timer t;
+      obs::Span sp(obs::span_name::kGhostScatter);
       scatter_dense(vals, recv.data(), recv.size(), tp, changed_ghosts,
                     combine);
-      comm.phase_timer().add_pack(t.elapsed());
+      comm.phase_timer().add_pack(sp.close());
     }
     ++comm.stats().ghost_rounds_dense;
   }
@@ -564,20 +570,22 @@ class GhostExchange {
     payload_bytes_.resize(changed_local * sizeof(Pair));
     Pair* pairs = reinterpret_cast<Pair*>(payload_bytes_.data());
     {
-      Timer t;
+      obs::Span sp(obs::span_name::kGhostPack);
       pack_sparse(vals.data(), pairs, tp);
-      comm.phase_timer().add_pack(t.elapsed());
+      comm.phase_timer().add_pack(sp.close());
     }
 
+    obs::counter(obs::counter_name::kWireBytes,
+                 static_cast<double>(payload_bytes_.size()));
     std::vector<std::uint64_t> rcounts;
     const std::vector<Pair> recv = comm.alltoallv<Pair>(
         {pairs, changed_local}, chg_counts_, &rcounts, pool_);
 
     {
-      Timer t;
+      obs::Span sp(obs::span_name::kGhostScatter);
       scatter_sparse(vals, recv.data(), recv.size(), rcounts, tp,
                      changed_ghosts, combine);
-      comm.phase_timer().add_pack(t.elapsed());
+      comm.phase_timer().add_pack(sp.close());
     }
 
     auto& st = comm.stats();

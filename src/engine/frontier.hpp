@@ -39,12 +39,12 @@
 #include <vector>
 
 #include "dgraph/dist_graph.hpp"
+#include "obs/tracer.hpp"
 #include "parcomm/comm.hpp"
 #include "util/bitmask64.hpp"
 #include "util/error.hpp"
 #include "util/parallel_for.hpp"
 #include "util/thread_queue.hpp"
-#include "util/timer.hpp"
 
 namespace hpcgraph::engine {
 
@@ -270,7 +270,7 @@ std::vector<T> route_to_owners(parcomm::Communicator& comm,
   static_assert(std::is_trivially_copyable_v<T>,
                 "wire records must be trivially copyable");
   const int p = comm.size();
-  Timer t;
+  obs::Span sp(obs::span_name::kRoute);
   std::vector<std::uint64_t> counts(p, 0);
   for (const S& r : records) ++counts[dest(r)];
   MultiQueue<T> q(counts);
@@ -279,7 +279,9 @@ std::vector<T> route_to_owners(parcomm::Communicator& comm,
     for (const S& r : records)
       sink.push(static_cast<std::uint32_t>(dest(r)), wire(r));
   }
-  comm.phase_timer().add_route(t.elapsed());
+  comm.phase_timer().add_route(sp.close());
+  obs::counter(obs::counter_name::kWireBytes,
+               static_cast<double>(q.buffer().size() * sizeof(T)));
   return comm.alltoallv<T>(q.buffer(), counts, recv_counts);
 }
 
@@ -310,7 +312,7 @@ std::vector<T> route_to_owners_sharded(
   static_assert(std::is_trivially_copyable_v<T>,
                 "wire records must be trivially copyable");
   const int p = comm.size();
-  Timer t;
+  obs::Span sp(obs::span_name::kRoute);
   std::vector<std::uint64_t> counts(p, 0);
   for (const std::vector<S>& shard : shards)
     for (const S& s : shard) ++counts[dest(s)];
@@ -322,7 +324,9 @@ std::vector<T> route_to_owners_sharded(
       sink.push(static_cast<std::uint32_t>(dest(s)), wire(s));
   });
   HG_DCHECK(q.complete());
-  comm.phase_timer().add_route(t.elapsed());
+  comm.phase_timer().add_route(sp.close());
+  obs::counter(obs::counter_name::kWireBytes,
+               static_cast<double>(q.buffer().size() * sizeof(T)));
   return comm.alltoallv<T>(q.buffer(), counts, recv_counts);
 }
 

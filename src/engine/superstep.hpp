@@ -109,6 +109,7 @@
 #include "dgraph/ghost_exchange.hpp"
 #include "engine/frontier.hpp"
 #include "engine/trace.hpp"
+#include "obs/tracer.hpp"
 #include "parcomm/comm.hpp"
 #include "util/parallel_for.hpp"
 #include "util/timer.hpp"
@@ -319,6 +320,7 @@ class SuperstepEngine {
       ctx.touched_local = 0;
       ctx.residual_local = 0.0;
 
+      obs::Span round_span(obs::span_name::kSuperstep);
       double exchange_s = 0;  // wall inside this round's exchange calls
       double overlap_s = 0;   // interior-compute wall hidden behind the wire
       if (overlap) {
@@ -328,35 +330,41 @@ class SuperstepEngine {
         // wire, so the payload equals the blocking schedule's bit-for-bit.
         ctx.sweep = SweepPhase::kBoundary;
         ctx.sweep_vertices = g_.boundary_locals();
-        kernel.compute(ctx);
         {
-          Timer t;
+          obs::Span sp(obs::span_name::kComputeBoundary);
+          kernel.compute(ctx);
+        }
+        {
+          obs::Span sp(obs::span_name::kExchangeStart);
           gx->exchange_start<T>(kernel.values(), comm_, mode);
-          exchange_s += t.elapsed();
+          exchange_s += sp.close();
         }
         ctx.sweep = SweepPhase::kInterior;
         ctx.sweep_vertices = g_.interior_locals();
         {
-          Timer t;
+          obs::Span sp(obs::span_name::kComputeInterior);
           // Interior-phase compute never issues collectives; kernels that
           // allreduce (PageRank dangling mass) gate it on sweep !=
           // kInterior, a phase correlation the flow analysis cannot see.
           // lint:allow(flow-collective-in-overlap-window: interior compute is collective-free by kernel contract)
           kernel.compute(ctx);
-          overlap_s = t.elapsed();
+          overlap_s = sp.close();
         }
         {
-          Timer t;
+          obs::Span sp(obs::span_name::kExchangeFinish);
           gx->exchange_finish<T>(kernel.values(), comm_, changed_ghosts);
-          exchange_s += t.elapsed();
+          exchange_s += sp.close();
         }
         ctx.sweep = SweepPhase::kFull;
         ctx.sweep_vertices = {};
       } else {
-        kernel.compute(ctx);
-        Timer t;
+        {
+          obs::Span sp(obs::span_name::kCompute);
+          kernel.compute(ctx);
+        }
+        obs::Span sp(obs::span_name::kExchange);
         do_exchange();
-        exchange_s = t.elapsed();
+        exchange_s = sp.close();
       }
       if constexpr (requires { kernel.apply(ctx); }) kernel.apply(ctx);
 
@@ -366,12 +374,19 @@ class SuperstepEngine {
       res.last_active = sig.active;
       res.last_residual = sig.residual;
       res.converged = kernel.converged(sig.active, sig.residual);
+      obs::counter(obs::counter_name::kFrontierActive,
+                   static_cast<double>(sig.active));
 
       // Fold this round's intra-rank sweep imbalance into the phase timer
       // *before* the recorder snapshots its delta, then attach the raw
       // numbers to the record.
       const SweepStats sweep_d = tp.sweep_stats() - sweep0;
       comm_.phase_timer().add_sweep(sweep_d.busy_max, sweep_d.busy_total);
+      if (sweep_d.busy_max > 0)
+        obs::counter(obs::counter_name::kPoolOccupancy,
+                     sweep_d.busy_total /
+                         (sweep_d.busy_max *
+                          static_cast<double>(tp.num_threads())));
       end_record(rec0, step, sig, res.converged,
                  retain ? dgraph::ghost_mode_label(gx->last_round_mode())
                         : "dense",
@@ -429,6 +444,7 @@ class SuperstepEngine {
     FrontierRep rep = FrontierRep::kQueue;
     while (ctx.active_global != 0 && res.supersteps < cfg_.max_supersteps) {
       const auto rec0 = begin_record();
+      obs::Span round_span(obs::span_name::kSuperstep);
       const SweepStats sweep0 = tp.sweep_stats();
       ctx.superstep = res.supersteps;
       ctx.touched_local = 0;
@@ -448,7 +464,10 @@ class SuperstepEngine {
         if (DistFrontier* f = kernel.frontier()) f->set_rep(rep);
       }
 
-      kernel.step(ctx);
+      {
+        obs::Span sp(obs::span_name::kFrontierStep);
+        kernel.step(ctx);
+      }
 
       const Signal sig =
           fused_allreduce({kernel.active_local(), ctx.touched_local,
@@ -457,9 +476,16 @@ class SuperstepEngine {
       res.last_active = sig.active;
       res.last_residual = sig.residual;
       res.converged = (sig.active == 0);
+      obs::counter(obs::counter_name::kFrontierActive,
+                   static_cast<double>(sig.active));
 
       const SweepStats sweep_d = tp.sweep_stats() - sweep0;
       comm_.phase_timer().add_sweep(sweep_d.busy_max, sweep_d.busy_total);
+      if (sweep_d.busy_max > 0)
+        obs::counter(obs::counter_name::kPoolOccupancy,
+                     sweep_d.busy_total /
+                         (sweep_d.busy_max *
+                          static_cast<double>(tp.num_threads())));
       FrontierRoundInfo finfo;
       finfo.rep = frontier_rep_label(rep);
       finfo.dir = frontier_dir_label(dir);

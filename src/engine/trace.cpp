@@ -1,8 +1,6 @@
 #include "engine/trace.hpp"
 
-#include <cstdio>
-
-#include "util/error.hpp"
+#include "obs/emit.hpp"
 #include "util/json.hpp"
 
 namespace hpcgraph::engine {
@@ -47,32 +45,16 @@ std::string SuperstepTrace::to_json() const {
     w.kv("edges_total", r.sweep_edges_total);
     w.kv("imbalance", r.sweep_imbalance());
     w.end_object();
+    // CommStats / PhaseBreakdown field emission is shared with the obs
+    // metrics dump (obs/emit.hpp): one spelling per field, defined next to
+    // the structs.
     w.key("comm");
     w.begin_object();
-    w.kv("bytes_sent", r.comm.bytes_sent);
-    w.kv("bytes_remote", r.comm.bytes_remote);
-    w.kv("bytes_self", r.comm.bytes_self);
-    w.kv("bytes_received", r.comm.bytes_received);
-    w.kv("collective_calls", r.comm.collective_calls);
-    w.kv("barrier_calls", r.comm.barrier_calls);
-    w.kv("ghost_rounds_dense", r.comm.ghost_rounds_dense);
-    w.kv("ghost_rounds_sparse", r.comm.ghost_rounds_sparse);
-    w.kv("ghost_rounds_reduce", r.comm.ghost_rounds_reduce);
-    w.kv("ghost_rounds_async", r.comm.ghost_rounds_async);
-    w.kv("ghost_bytes_saved",
-         static_cast<std::int64_t>(r.comm.ghost_bytes_saved));
+    obs::write_comm_stats(w, r.comm);
     w.end_object();
     w.key("phase");
     w.begin_object();
-    w.kv("comp_s", r.phase.comp);
-    w.kv("comm_s", r.phase.comm);
-    w.kv("idle_s", r.phase.idle);
-    w.kv("pack_s", r.phase.pack);
-    w.kv("route_s", r.phase.route);
-    w.kv("wait_s", r.phase.wait);
-    w.kv("sweep_busy_max_s", r.phase.sweep_busy_max);
-    w.kv("sweep_busy_total_s", r.phase.sweep_busy_total);
-    w.kv("total_s", r.phase.total);
+    obs::write_phase(w, r.phase);
     w.end_object();
     w.end_object();
   }
@@ -82,12 +64,7 @@ std::string SuperstepTrace::to_json() const {
 }
 
 void SuperstepTrace::write_json(const std::string& path) const {
-  std::FILE* f = std::fopen(path.c_str(), "wb");
-  HG_CHECK_MSG(f != nullptr, "cannot open trace output file " << path);
-  const std::string body = to_json();
-  const std::size_t n = std::fwrite(body.data(), 1, body.size(), f);
-  const bool ok = (n == body.size()) && std::fclose(f) == 0;
-  HG_CHECK_MSG(ok, "short write to trace output file " << path);
+  obs::write_text_file(path, to_json());
 }
 
 }  // namespace hpcgraph::engine

@@ -1,0 +1,147 @@
+#pragma once
+/// \file export.hpp
+/// Collective finalize paths for the tracer and the metrics registry.
+///
+/// Both exports run *inside* the ranks (every rank must call them — they are
+/// ordinary lockstep collectives built on parcomm::Communicator, so the
+/// PARCOMM_VERIFY fingerprints and the no-pending-exchange checks apply).
+///
+/// Clock-sync handshake: in this simulation every rank shares one process
+/// clock, but the export rebases timestamps exactly the way a real MPI build
+/// must — all ranks exit a barrier together, sample their monotonic clock,
+/// and learn rank 0's sample via broadcast; the difference is that rank's
+/// offset, and rank 0 subtracts it from every gathered timestamp.  The
+/// residual error is the barrier exit skew (microseconds here), which is the
+/// standard MPI_Wtime-sync bound.
+
+#include <algorithm>
+#include <cstdint>
+#include <string>
+#include <utility>
+#include <vector>
+
+#include "obs/registry.hpp"
+#include "obs/tracer.hpp"
+#include "parcomm/comm.hpp"
+#include "util/json.hpp"
+
+namespace hpcgraph::obs {
+
+/// Collective.  Runs the clock-sync handshake, serializes the calling rank's
+/// lanes, and gathers every rank's blob onto rank 0, which merges them into
+/// `tracer`'s rebased timeline (read back with `chrome_json()` /
+/// `write_chrome_json()` after the ranks join).
+inline void finalize_trace(Tracer& tracer, parcomm::Communicator& comm) {
+  comm.barrier();
+  const std::int64_t local_ns = monotonic_ns();
+  const std::int64_t root_ns = comm.broadcast(local_ns, 0);
+  const std::int64_t offset_ns = local_ns - root_ns;
+
+  const std::vector<std::uint8_t> blob =
+      tracer.serialize_rank(comm.rank(), offset_ns);
+  std::vector<std::uint64_t> counts;
+  const std::vector<std::uint8_t> all =
+      comm.gatherv<std::uint8_t>(blob, 0, &counts);
+  if (comm.rank() == 0) {
+    std::size_t off = 0;
+    for (const std::uint64_t c : counts) {
+      tracer.merge_serialized(all.data() + off, static_cast<std::size_t>(c));
+      off += static_cast<std::size_t>(c);
+    }
+  }
+}
+
+/// Collective.  Gathers every rank's registry onto rank 0 and returns the
+/// metrics document (empty string on other ranks): per-rank dumps plus
+/// cross-rank aggregates (counters: sum/max; gauges: min/mean/max;
+/// histograms: bucket-wise merge).
+inline std::string export_metrics(const Registry& local,
+                                  parcomm::Communicator& comm) {
+  const std::vector<std::uint8_t> blob = local.serialize();
+  std::vector<std::uint64_t> counts;
+  const std::vector<std::uint8_t> all =
+      comm.gatherv<std::uint8_t>(blob, 0, &counts);
+  if (comm.rank() != 0) return {};
+
+  std::vector<Registry> regs;
+  std::size_t off = 0;
+  for (const std::uint64_t c : counts) {
+    regs.push_back(
+        Registry::deserialize(all.data() + off, static_cast<std::size_t>(c)));
+    off += static_cast<std::size_t>(c);
+  }
+
+  // Union of metric names across ranks, name-sorted for determinism.
+  std::vector<std::pair<std::string, MetricKind>> names;
+  for (const Registry& r : regs)
+    for (const Metric& m : r.metrics()) {
+      bool seen = false;
+      for (const auto& [n, k] : names) seen = seen || n == m.name;
+      if (!seen) names.emplace_back(m.name, m.kind);
+    }
+  std::sort(names.begin(), names.end());
+
+  util::JsonWriter w;
+  w.begin_object();
+  w.kv("schema", "hpcgraph-metrics-v1");
+  w.kv("ranks", static_cast<std::uint64_t>(regs.size()));
+  w.key("per_rank");
+  w.begin_array();
+  for (const Registry& r : regs) r.to_json(w);
+  w.end_array();
+  w.key("aggregate");
+  w.begin_object();
+  for (const auto& [name, kind] : names) {
+    w.key(name);
+    w.begin_object();
+    switch (kind) {
+      case MetricKind::kCounter: {
+        std::uint64_t sum = 0, mx = 0;
+        for (const Registry& r : regs)
+          if (const Metric* m = r.find(name)) {
+            sum += m->count;
+            mx = m->count > mx ? m->count : mx;
+          }
+        w.kv("sum", sum);
+        w.kv("max", mx);
+        break;
+      }
+      case MetricKind::kGauge: {
+        double mn = 0, mx = 0, sum = 0;
+        std::uint64_t n = 0;
+        for (const Registry& r : regs)
+          if (const Metric* m = r.find(name)) {
+            if (n == 0 || m->gauge < mn) mn = m->gauge;
+            if (n == 0 || m->gauge > mx) mx = m->gauge;
+            sum += m->gauge;
+            ++n;
+          }
+        w.kv("min", mn);
+        w.kv("mean", n > 0 ? sum / static_cast<double>(n) : 0.0);
+        w.kv("max", mx);
+        break;
+      }
+      case MetricKind::kHist: {
+        Log2Histogram merged;
+        for (const Registry& r : regs)
+          if (const Metric* m = r.find(name))
+            for (unsigned b = 0; b < m->hist.num_buckets(); ++b)
+              if (m->hist.count(b) != 0)
+                merged.add(Log2Histogram::bucket_lo(b), m->hist.count(b));
+        w.kv("total", merged.total());
+        w.key("buckets");
+        w.begin_array();
+        for (unsigned b = 0; b < merged.num_buckets(); ++b)
+          w.value(merged.count(b));
+        w.end_array();
+        break;
+      }
+    }
+    w.end_object();
+  }
+  w.end_object();
+  w.end_object();
+  return w.str();
+}
+
+}  // namespace hpcgraph::obs

@@ -1,0 +1,368 @@
+#include "obs/tracer.hpp"
+
+#include <algorithm>
+#include <cstring>
+#include <map>
+#include <unordered_map>
+
+#include "obs/emit.hpp"
+#include "util/error.hpp"
+#include "util/json.hpp"
+#include "util/parallel_for.hpp"
+
+namespace hpcgraph::obs {
+
+namespace detail {
+ThreadBinding& tls_binding() {
+  static thread_local ThreadBinding b;
+  return b;
+}
+}  // namespace detail
+
+namespace {
+
+// The installed tracer.  Written by the host thread before rank threads are
+// spawned and cleared after they join (CommWorld::run creates the
+// happens-before edges), so rank/worker threads only ever read it.
+Tracer* g_current = nullptr;
+
+// Pool-observer trampoline: runs on the thread constructing a ThreadPool and
+// hands its rank context to the pool, so worker threads can attribute their
+// sweep samples to the right (rank, tid) lane without any binding of their
+// own.
+const void* pool_capture_cb(unsigned nthreads) {
+  detail::ThreadBinding& b = detail::tls_binding();
+  if (b.tracer == nullptr || b.rank_ctx == nullptr) return nullptr;
+  b.tracer->ensure_pool_lanes(b.rank_ctx, nthreads);
+  return b.rank_ctx;
+}
+
+// Little-endian POD append/read helpers for the gather wire format.
+template <typename T>
+void put_pod(std::vector<std::uint8_t>& out, T v) {
+  static_assert(std::is_trivially_copyable_v<T>);
+  const std::size_t n = out.size();
+  out.resize(n + sizeof(T));
+  std::memcpy(out.data() + n, &v, sizeof(T));
+}
+
+template <typename T>
+T get_pod(const std::uint8_t* data, std::size_t len, std::size_t& off) {
+  static_assert(std::is_trivially_copyable_v<T>);
+  HG_CHECK_MSG(off + sizeof(T) <= len, "truncated obs trace blob");
+  T v;
+  std::memcpy(&v, data + off, sizeof(T));
+  off += sizeof(T);
+  return v;
+}
+
+}  // namespace
+
+struct Tracer::RankCtx {
+  Tracer* tracer = nullptr;
+  int rank = 0;
+  // index = pool tid; [0] aliases the rank's main lane.  Mutated only by the
+  // owning rank thread (pool construction); read by that rank's workers after
+  // the pool-run happens-before edge.
+  std::vector<Lane*> pool_lanes;
+};
+
+Tracer::Tracer(TracerOptions opts) : opts_(opts) {
+  HG_CHECK_MSG(opts_.ring_capacity > 0, "obs ring capacity must be positive");
+}
+
+Tracer::~Tracer() {
+  if (g_current == this) uninstall();
+}
+
+void Tracer::install() {
+  g_current = this;
+  PoolObserver& o = pool_observer();
+  o.capture = &pool_capture_cb;
+  o.sweep = &Tracer::pool_sweep_cb;
+}
+
+void Tracer::uninstall() {
+  g_current = nullptr;
+  pool_observer() = PoolObserver{};
+}
+
+Tracer* Tracer::current() { return g_current; }
+
+Lane* Tracer::lane(int rank_id, unsigned tid) {
+  std::lock_guard<std::mutex> lock(mu_);
+  for (auto& l : lanes_)
+    if (l->rank() == rank_id && l->tid() == tid) return l.get();
+  lanes_.push_back(std::make_unique<Lane>(rank_id, tid, opts_.ring_capacity));
+  return lanes_.back().get();
+}
+
+std::vector<const Lane*> Tracer::rank_lanes(int rank_id) const {
+  std::vector<const Lane*> out;
+  {
+    std::lock_guard<std::mutex> lock(mu_);
+    for (const auto& l : lanes_)
+      if (l->rank() == rank_id) out.push_back(l.get());
+  }
+  std::sort(out.begin(), out.end(), [](const Lane* a, const Lane* b) {
+    return a->tid() < b->tid();
+  });
+  return out;
+}
+
+std::vector<Event> Tracer::rank_events(int rank_id) const {
+  std::vector<Event> out;
+  for (const Lane* l : rank_lanes(rank_id)) {
+    std::vector<Event> evs = l->snapshot();
+    out.insert(out.end(), evs.begin(), evs.end());
+  }
+  return out;
+}
+
+void* Tracer::make_rank_ctx(int rank_id, Lane* lane0) {
+  std::lock_guard<std::mutex> lock(mu_);
+  ctxs_.push_back(std::make_unique<RankCtx>());
+  RankCtx* ctx = ctxs_.back().get();
+  ctx->tracer = this;
+  ctx->rank = rank_id;
+  ctx->pool_lanes.assign(1, lane0);
+  return ctx;
+}
+
+void Tracer::ensure_pool_lanes(void* rank_ctx, unsigned nthreads) {
+  auto* ctx = static_cast<RankCtx*>(rank_ctx);
+  // lane() locks internally; the pool_lanes vector itself is only mutated by
+  // the owning rank thread (pool constructors run there).
+  while (ctx->pool_lanes.size() < nthreads)
+    ctx->pool_lanes.push_back(
+        lane(ctx->rank, static_cast<unsigned>(ctx->pool_lanes.size())));
+}
+
+void Tracer::pool_sweep_cb(const void* ctx, unsigned tid, std::uint64_t chunks,
+                           std::uint64_t weight, double busy_s) {
+  const auto* rc = static_cast<const RankCtx*>(ctx);
+  if (rc == nullptr || tid >= rc->pool_lanes.size()) return;
+  Lane* lane = rc->pool_lanes[tid];
+  if (lane == nullptr || chunks == 0) return;
+  const std::int64_t now = monotonic_ns();
+  const auto dur = static_cast<std::int64_t>(busy_s * 1e9);
+  lane->push({span_name::kPoolSweep, now - dur, dur,
+              static_cast<double>(weight), EventKind::kSpan});
+}
+
+std::vector<std::uint8_t> Tracer::serialize_rank(
+    int rank_id, std::int64_t clock_offset_ns) const {
+  const std::vector<const Lane*> lanes = rank_lanes(rank_id);
+
+  // Intern names: the hot path stored literal pointers; resolve them to a
+  // per-blob string table here, off the traced path.
+  std::vector<const char*> table;
+  std::unordered_map<const char*, std::uint32_t> ids;
+  std::vector<std::vector<Event>> snaps;
+  std::uint64_t dropped_total = 0;
+  snaps.reserve(lanes.size());
+  for (const Lane* l : lanes) {
+    snaps.push_back(l->snapshot());
+    dropped_total += l->dropped();
+    for (const Event& e : snaps.back())
+      if (ids.emplace(e.name, static_cast<std::uint32_t>(table.size())).second)
+        table.push_back(e.name);
+  }
+
+  std::vector<std::uint8_t> out;
+  put_pod<std::uint32_t>(out, static_cast<std::uint32_t>(rank_id));
+  put_pod<std::int64_t>(out, clock_offset_ns);
+  put_pod<std::uint64_t>(out, dropped_total);
+  put_pod<std::uint32_t>(out, static_cast<std::uint32_t>(lanes.size()));
+  put_pod<std::uint32_t>(out, static_cast<std::uint32_t>(table.size()));
+  for (const char* name : table) {
+    const std::uint32_t len =
+        static_cast<std::uint32_t>(std::strlen(name));
+    put_pod<std::uint32_t>(out, len);
+    const std::size_t n = out.size();
+    out.resize(n + len);
+    std::memcpy(out.data() + n, name, len);
+  }
+  for (std::size_t li = 0; li < lanes.size(); ++li) {
+    put_pod<std::uint32_t>(out, lanes[li]->tid());
+    put_pod<std::uint64_t>(out, lanes[li]->dropped());
+    put_pod<std::uint32_t>(out, static_cast<std::uint32_t>(snaps[li].size()));
+    for (const Event& e : snaps[li]) {
+      put_pod<std::uint32_t>(out, ids[e.name]);
+      put_pod<std::uint8_t>(out, static_cast<std::uint8_t>(e.kind));
+      put_pod<std::int64_t>(out, e.ts_ns);
+      put_pod<std::int64_t>(out, e.dur_ns);
+      put_pod<double>(out, e.value);
+    }
+  }
+  return out;
+}
+
+void Tracer::merge_serialized(const std::uint8_t* data, std::size_t len) {
+  std::size_t off = 0;
+  const int rank_id = static_cast<int>(get_pod<std::uint32_t>(data, len, off));
+  const std::int64_t clock_off = get_pod<std::int64_t>(data, len, off);
+  const std::uint64_t dropped = get_pod<std::uint64_t>(data, len, off);
+  const std::uint32_t nlanes = get_pod<std::uint32_t>(data, len, off);
+  const std::uint32_t nnames = get_pod<std::uint32_t>(data, len, off);
+
+  offsets_.emplace_back(rank_id, clock_off);
+  drop_totals_.emplace_back(rank_id, dropped);
+
+  // Remap the blob's string table into the global one.
+  std::vector<std::uint32_t> remap(nnames);
+  for (std::uint32_t i = 0; i < nnames; ++i) {
+    const std::uint32_t slen = get_pod<std::uint32_t>(data, len, off);
+    HG_CHECK_MSG(off + slen <= len, "truncated obs trace blob");
+    std::string name(reinterpret_cast<const char*>(data + off), slen);
+    off += slen;
+    auto it = std::find(names_.begin(), names_.end(), name);
+    if (it == names_.end()) {
+      remap[i] = static_cast<std::uint32_t>(names_.size());
+      names_.push_back(std::move(name));
+    } else {
+      remap[i] = static_cast<std::uint32_t>(it - names_.begin());
+    }
+  }
+
+  for (std::uint32_t li = 0; li < nlanes; ++li) {
+    const std::uint32_t tid = get_pod<std::uint32_t>(data, len, off);
+    (void)get_pod<std::uint64_t>(data, len, off);  // per-lane drops (in total)
+    const std::uint32_t nevents = get_pod<std::uint32_t>(data, len, off);
+    for (std::uint32_t i = 0; i < nevents; ++i) {
+      MergedEvent m;
+      m.name_id = remap[get_pod<std::uint32_t>(data, len, off)];
+      m.kind = static_cast<EventKind>(get_pod<std::uint8_t>(data, len, off));
+      m.ts_ns = get_pod<std::int64_t>(data, len, off) - clock_off;
+      m.dur_ns = get_pod<std::int64_t>(data, len, off);
+      m.value = get_pod<double>(data, len, off);
+      m.rank = rank_id;
+      m.tid = tid;
+      merged_.push_back(m);
+    }
+  }
+  HG_CHECK_MSG(off == len, "trailing bytes in obs trace blob");
+}
+
+std::int64_t Tracer::merged_clock_offset(int rank_id) const {
+  for (const auto& [r, o] : offsets_)
+    if (r == rank_id) return o;
+  return 0;
+}
+
+std::string Tracer::chrome_json() const {
+  // Deterministic output: order events by (rank, tid, ts).
+  std::vector<const MergedEvent*> order;
+  order.reserve(merged_.size());
+  for (const MergedEvent& m : merged_) order.push_back(&m);
+  std::stable_sort(order.begin(), order.end(),
+                   [](const MergedEvent* a, const MergedEvent* b) {
+                     if (a->rank != b->rank) return a->rank < b->rank;
+                     if (a->tid != b->tid) return a->tid < b->tid;
+                     return a->ts_ns < b->ts_ns;
+                   });
+
+  std::int64_t origin = 0;
+  for (const MergedEvent& m : merged_)
+    if (origin == 0 || m.ts_ns < origin) origin = m.ts_ns;
+
+  // Lane inventory for the metadata records.
+  std::map<int, std::vector<unsigned>> lanes_by_rank;
+  for (const MergedEvent& m : merged_) {
+    auto& tids = lanes_by_rank[m.rank];
+    if (std::find(tids.begin(), tids.end(), m.tid) == tids.end())
+      tids.push_back(m.tid);
+  }
+  for (const auto& [r, o] : offsets_)
+    if (lanes_by_rank.find(r) == lanes_by_rank.end())
+      lanes_by_rank[r].push_back(0);
+  for (auto& [r, tids] : lanes_by_rank) std::sort(tids.begin(), tids.end());
+
+  std::uint64_t dropped_total = 0;
+  for (const auto& [r, d] : drop_totals_) dropped_total += d;
+
+  util::JsonWriter w;
+  w.begin_object();
+  w.kv("displayTimeUnit", "ms");
+  w.key("otherData");
+  w.begin_object();
+  w.kv("schema", "hpcgraph-trace-events-v1");
+  w.kv("ranks", static_cast<std::uint64_t>(offsets_.size()));
+  w.kv("dropped_events", dropped_total);
+  w.end_object();
+  w.key("traceEvents");
+  w.begin_array();
+  for (const auto& [r, tids] : lanes_by_rank) {
+    w.begin_object();
+    w.kv("name", "process_name");
+    w.kv("ph", "M");
+    w.kv("pid", r);
+    w.kv("tid", 0);
+    w.key("args");
+    w.begin_object();
+    w.kv("name", "rank " + std::to_string(r));
+    w.end_object();
+    w.end_object();
+    for (unsigned tid : tids) {
+      w.begin_object();
+      w.kv("name", "thread_name");
+      w.kv("ph", "M");
+      w.kv("pid", r);
+      w.kv("tid", static_cast<std::uint64_t>(tid));
+      w.key("args");
+      w.begin_object();
+      w.kv("name", tid == 0 ? std::string("main")
+                            : "pool-" + std::to_string(tid));
+      w.end_object();
+      w.end_object();
+    }
+  }
+  for (const MergedEvent* m : order) {
+    w.begin_object();
+    w.kv("name", names_[m->name_id]);
+    if (m->kind == EventKind::kSpan) {
+      w.kv("cat", "obs");
+      w.kv("ph", "X");
+      w.kv("pid", m->rank);
+      w.kv("tid", static_cast<std::uint64_t>(m->tid));
+      w.kv("ts", static_cast<double>(m->ts_ns - origin) / 1000.0);
+      w.kv("dur", static_cast<double>(m->dur_ns) / 1000.0);
+      if (m->value != 0.0) {
+        w.key("args");
+        w.begin_object();
+        w.kv("value", m->value);
+        w.end_object();
+      }
+    } else {
+      w.kv("ph", "C");
+      w.kv("pid", m->rank);
+      w.kv("tid", static_cast<std::uint64_t>(m->tid));
+      w.kv("ts", static_cast<double>(m->ts_ns - origin) / 1000.0);
+      w.key("args");
+      w.begin_object();
+      w.kv("value", m->value);
+      w.end_object();
+    }
+    w.end_object();
+  }
+  w.end_array();
+  w.end_object();
+  return w.str();
+}
+
+void Tracer::write_chrome_json(const std::string& path) const {
+  write_text_file(path, chrome_json());
+}
+
+RankGuard::RankGuard(int rank_id) : saved_(detail::tls_binding()) {
+  Tracer* t = Tracer::current();
+  if (t == nullptr) return;
+  detail::ThreadBinding& b = detail::tls_binding();
+  b.tracer = t;
+  b.lane = t->lane(rank_id, 0);
+  b.rank_ctx = t->make_rank_ctx(rank_id, b.lane);
+}
+
+RankGuard::~RankGuard() { detail::tls_binding() = saved_; }
+
+}  // namespace hpcgraph::obs

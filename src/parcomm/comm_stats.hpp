@@ -33,6 +33,22 @@
 
 namespace hpcgraph::parcomm {
 
+/// Canonical serialized field names for CommStats, shared by every emitter
+/// (SuperstepTrace JSON via obs::write_comm_stats, the obs metrics registry).
+namespace comm_field {
+inline constexpr const char* kBytesSent = "bytes_sent";
+inline constexpr const char* kBytesRemote = "bytes_remote";
+inline constexpr const char* kBytesSelf = "bytes_self";
+inline constexpr const char* kBytesReceived = "bytes_received";
+inline constexpr const char* kCollectiveCalls = "collective_calls";
+inline constexpr const char* kBarrierCalls = "barrier_calls";
+inline constexpr const char* kGhostRoundsDense = "ghost_rounds_dense";
+inline constexpr const char* kGhostRoundsSparse = "ghost_rounds_sparse";
+inline constexpr const char* kGhostRoundsReduce = "ghost_rounds_reduce";
+inline constexpr const char* kGhostRoundsAsync = "ghost_rounds_async";
+inline constexpr const char* kGhostBytesSaved = "ghost_bytes_saved";
+}  // namespace comm_field
+
 struct CommStats {
   std::uint64_t bytes_sent = 0;         ///< payload bytes posted (once)
   std::uint64_t bytes_remote = 0;       ///< payload bytes to *other* ranks

@@ -15,6 +15,23 @@
 
 namespace hpcgraph::parcomm {
 
+/// Canonical serialized field names for PhaseBreakdown, shared by every
+/// emitter (SuperstepTrace JSON, the obs metrics registry, trace_report.py).
+/// These used to be ad-hoc string literals at each call site, which let the
+/// split-phase wait bucket ship as "wait_s" in one place while the docs and
+/// PhaseTimer API called it comm_wait.  One spelling, defined once:
+namespace phase_field {
+inline constexpr const char* kComp = "comp_s";
+inline constexpr const char* kComm = "comm_s";
+inline constexpr const char* kIdle = "idle_s";
+inline constexpr const char* kPack = "pack_s";
+inline constexpr const char* kRoute = "route_s";
+inline constexpr const char* kCommWait = "comm_wait_s";
+inline constexpr const char* kSweepBusyMax = "sweep_busy_max_s";
+inline constexpr const char* kSweepBusyTotal = "sweep_busy_total_s";
+inline constexpr const char* kTotal = "total_s";
+}  // namespace phase_field
+
 /// One rank's measured breakdown over a region.
 struct PhaseBreakdown {
   double comp = 0;   ///< seconds in local computation

@@ -311,6 +311,29 @@ inline void concat_chunk_lists(const std::vector<std::vector<T>>& chunk_lists,
     out.insert(out.end(), cl.begin(), cl.end());
 }
 
+/// Observability hook for chunked sweeps (installed by obs::Tracer, see
+/// src/obs/ and DESIGN.md §13).  Kept as bare function pointers with an
+/// opaque context so this header stays dependency-free: util cannot include
+/// obs (obs builds on util).
+///
+/// `capture` runs on the thread constructing a ThreadPool and returns an
+/// opaque per-rank context (nullptr disables sampling for that pool);
+/// `sweep` runs on every participating thread at the end of each
+/// `for_chunks` loop with that thread's chunk count, executed weight, and
+/// busy seconds.  Both pointers are written once, by the host thread, before
+/// rank threads spawn (tracer install/uninstall bracket the traced region),
+/// so the traced threads only ever read them.
+struct PoolObserver {
+  const void* (*capture)(unsigned nthreads) = nullptr;
+  void (*sweep)(const void* ctx, unsigned tid, std::uint64_t chunks,
+                std::uint64_t weight, double busy_s) = nullptr;
+};
+
+inline PoolObserver& pool_observer() {
+  static PoolObserver o;  // lint:allow(mutable-global: obs hook, see above)
+  return o;
+}
+
 /// Persistent worker pool executing SPMD regions.
 class ThreadPool {
  public:
@@ -319,6 +342,8 @@ class ThreadPool {
   ///                  nthreads-1 OS threads are spawned.
   explicit ThreadPool(unsigned nthreads = 1) : nthreads_(nthreads) {
     HG_CHECK(nthreads >= 1);
+    if (pool_observer().capture != nullptr)
+      obs_ctx_ = pool_observer().capture(nthreads_);
     sweep_scratch_.resize(nthreads_);
     workers_.reserve(nthreads_ - 1);
     for (unsigned t = 1; t < nthreads_; ++t)
@@ -416,7 +441,9 @@ class ThreadPool {
         fn(0u, c, grid[c]);
         w += grid[c].weight();
       }
-      sweep_scratch_[0] = {t.elapsed(), w};
+      const double busy = t.elapsed();
+      sweep_scratch_[0] = {busy, w};
+      notify_sweep(0, nc, w, busy);
       fold_sweep_scratch();
       return;
     }
@@ -424,6 +451,7 @@ class ThreadPool {
     run([&](unsigned tid) {
       Timer t;
       std::uint64_t w = 0;
+      std::uint64_t done = 0;
       if (sched == Schedule::kStatic) {
         const std::uint64_t per = (nc + nthreads_ - 1) / nthreads_;
         const std::uint64_t lo = std::min<std::uint64_t>(nc, tid * per);
@@ -432,15 +460,19 @@ class ThreadPool {
           fn(tid, c, grid[c]);
           w += grid[c].weight();
         }
+        done = hi - lo;
       } else {
         for (;;) {
           const std::uint64_t c = next.fetch_add(1, std::memory_order_relaxed);
           if (c >= nc) break;
           fn(tid, c, grid[c]);
           w += grid[c].weight();
+          ++done;
         }
       }
-      sweep_scratch_[tid] = {t.elapsed(), w};
+      const double busy = t.elapsed();
+      sweep_scratch_[tid] = {busy, w};
+      notify_sweep(tid, done, w, busy);
     });
     fold_sweep_scratch();
   }
@@ -519,6 +551,16 @@ class ThreadPool {
     stats_.loops += 1;
   }
 
+  // Per-thread sweep sample to the observability hook (no-op unless an
+  // obs::Tracer was installed before this pool was constructed).  Runs on
+  // the sampled thread itself, so worker lanes are attributed correctly.
+  void notify_sweep(unsigned tid, std::uint64_t chunks, std::uint64_t weight,
+                    double busy_s) const {
+    const PoolObserver& o = pool_observer();
+    if (o.sweep != nullptr && obs_ctx_ != nullptr)
+      o.sweep(obs_ctx_, tid, chunks, weight, busy_s);
+  }
+
   // Bounded spin on a predicate before the caller falls back to a blocking
   // condition-variable wait.  A cv wakeup can cost upwards of a millisecond
   // on a loaded host — longer than an entire dynamic sweep — which would
@@ -573,6 +615,8 @@ class ThreadPool {
   bool stop_ = false;
   std::vector<SweepScratch> sweep_scratch_;
   SweepStats stats_;
+  /// Opaque obs rank context captured at construction (see PoolObserver).
+  const void* obs_ctx_ = nullptr;
 };
 
 /// Pool width used when no explicit pool is supplied: the

@@ -314,7 +314,7 @@ TEST(OverlapTrace, OverlapFieldsVisibleInRecordsAndJson) {
   EXPECT_TRUE(util::JsonChecker::valid(json)) << json.substr(0, 200);
   for (const char* key :
        {"\"exchange_us\"", "\"overlap_us\"", "\"comm_hidden\"",
-        "\"ghost_rounds_async\"", "\"wait_s\""}) {
+        "\"ghost_rounds_async\"", "\"comm_wait_s\""}) {
     EXPECT_NE(json.find(key), std::string::npos) << key;
   }
 }

@@ -235,6 +235,7 @@ _LINT_DISCIPLINE_RULES = (
     "mutable-global", "raw-sync", "ref-capture-entry",
     "missing-trivially-copyable-assert", "rank-divergent-collective",
     "raw-nonblocking-mpi", "raw-parallel-chunking", "raw-frontier-exchange",
+    "raw-timer-in-hot-loop",
 )
 
 

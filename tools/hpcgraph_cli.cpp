@@ -31,6 +31,10 @@
 #include "gen/social.hpp"
 #include "gen/webgraph.hpp"
 #include "io/binary_edge_io.hpp"
+#include "obs/emit.hpp"
+#include "obs/export.hpp"
+#include "obs/registry.hpp"
+#include "obs/tracer.hpp"
 #include "parcomm/comm.hpp"
 #include "util/cli.hpp"
 #include "util/table.hpp"
@@ -50,6 +54,10 @@ int usage(const char* msg = nullptr) {
       "                    [--root V] [--output FILE] [--seed S]\n"
       "                    [--trace-json FILE]   per-superstep telemetry "
       "(engine analytics + bfs)\n"
+      "                    [--trace-events FILE] merged Chrome/Perfetto "
+      "timeline of every rank and pool thread\n"
+      "                    [--metrics-json FILE] per-rank + aggregated "
+      "comm/phase metrics registry dump\n"
       "                    [--overlap]           split-phase ghost exchange "
       "(pagerank/labelprop/wcc)\n"
       "                    [--schedule static|dynamic|edge]  intra-rank sweep "
@@ -133,6 +141,8 @@ int main(int argc, char** argv) {
   const std::size_t bc_sources =
       static_cast<std::size_t>(cli.get_int("sources", 16));
   const std::string trace_json = cli.get("trace-json", "");
+  const std::string trace_events = cli.get("trace-events", "");
+  const std::string metrics_json = cli.get("metrics-json", "");
   const bool overlap = cli.get_bool("overlap", false);
   const std::string sched_name = cli.get("schedule", "static");
   Schedule sched = Schedule::kStatic;
@@ -167,6 +177,11 @@ int main(int argc, char** argv) {
   if (!unknown.empty()) return usage(("unknown flag --" + unknown[0]).c_str());
 
   Timer total;
+  // Install before CommWorld spawns rank threads so pool construction inside
+  // the ranks sees the observer hook and every worker gets a timeline lane.
+  obs::Tracer tracer;
+  if (!trace_events.empty()) tracer.install();
+  std::string metrics_payload;
   parcomm::CommWorld world(nranks);
   // Shared across ranks; the engine (and the BFS sink) push records from
   // rank 0 only, so the trace needs no locking.
@@ -175,6 +190,8 @@ int main(int argc, char** argv) {
       trace_json.empty() ? nullptr : &trace;
   int status = 0;
   world.run([&](parcomm::Communicator& comm) {
+    obs::RankGuard obs_guard(comm.rank());
+    obs::Span run_span(obs::span_name::kCliRun);
     // ---- Build. ----
     dgraph::BuildTiming timing;
     const dgraph::DistGraph g =
@@ -355,12 +372,36 @@ int main(int argc, char** argv) {
       if (root_rank) status = usage("unknown analytic");
       return;
     }
+
+    // ---- Observability finalize (collective; skipped uniformly when the
+    // dispatch above bailed out, so no rank blocks). ----
+    run_span.close();
+    if (!metrics_json.empty()) {
+      obs::Registry reg;
+      reg.absorb(comm.stats());
+      reg.absorb(comm.phase_timer().snapshot());
+      const std::string payload = obs::export_metrics(reg, comm);
+      if (comm.rank() == 0) metrics_payload = payload;
+    }
+    if (!trace_events.empty()) obs::finalize_trace(tracer, comm);
   });
 
   if (status == 0 && trace_ptr) {
     trace.write_json(trace_json);
     std::cout << "wrote " << trace_json << " (" << trace.size()
               << " supersteps)\n";
+  }
+  if (!trace_events.empty()) {
+    obs::Tracer::uninstall();
+    if (status == 0) {
+      tracer.write_chrome_json(trace_events);
+      std::cout << "wrote " << trace_events << " ("
+                << tracer.merged_events().size() << " events)\n";
+    }
+  }
+  if (status == 0 && !metrics_json.empty()) {
+    obs::write_text_file(metrics_json, metrics_payload);
+    std::cout << "wrote " << metrics_json << "\n";
   }
   if (status == 0)
     std::cout << "done in " << TablePrinter::fmt(total.elapsed(), 2)

@@ -63,6 +63,14 @@ algorithm code (src/analytics, src/engine, src/dgraph):
       remains the single exchange path (DESIGN.md §11).  src/dgraph is
       exempt: builder and ghost-exchange plans legitimately pack their own
       queues.
+  raw-timer-in-hot-loop
+      A raw `Timer t;` / `AccumTimer` declaration or `thread_cpu_seconds()`
+      call lexically inside a for/while body in algorithm code.  Hot-loop
+      timing must use an `obs::Span` (obs/tracer.hpp): `Span::close()`
+      returns the same elapsed seconds a Timer would (so PhaseTimer feeds
+      are unchanged) and the measurement additionally lands on the
+      --trace-events timeline (DESIGN.md §13).  Region-level timers outside
+      loops are fine.
 
 Suppression: append `lint:allow(<rule>: reason)` — or
 `lint:allow(<rule-a>, <rule-b>: reason)` to cover several rules at once — in
@@ -99,6 +107,7 @@ RULES = (
     "raw-nonblocking-mpi",
     "raw-parallel-chunking",
     "raw-frontier-exchange",
+    "raw-timer-in-hot-loop",
     "stale-suppression",
 )
 
@@ -466,6 +475,46 @@ def check_raw_frontier_exchange(code: str, findings, path):
             "route_to_owners_sharded instead (DESIGN.md §11)"))
 
 
+# Raw timing primitives that should be obs::Spans when they sit inside a
+# loop body (where they time per-iteration work feeding PhaseTimer).
+RAW_TIMER_RE = re.compile(
+    r"\b(?:util\s*::\s*)?(?:Timer|AccumTimer)\s+\w+\s*[;({]"
+    r"|\bthread_cpu_seconds\s*\(")
+LOOP_HEAD_RE = re.compile(r"\b(?:for|while)\s*\(")
+
+
+def loop_body_ranges(code: str):
+    """(open, close) brace positions of every braced for/while body."""
+    ranges = []
+    for m in LOOP_HEAD_RE.finditer(code):
+        close = match_paren(code, m.end() - 1)
+        if close < 0:
+            continue
+        j = close + 1
+        while j < len(code) and code[j] in " \t\r\n":
+            j += 1
+        if j < len(code) and code[j] == "{":
+            end = match_brace(code, j)
+            if end > 0:
+                ranges.append((j, end))
+    return ranges
+
+
+def check_raw_timer_in_hot_loop(code: str, findings, path):
+    ranges = loop_body_ranges(code)
+    if not ranges:
+        return
+    for m in RAW_TIMER_RE.finditer(code):
+        if any(lo < m.start() < hi for lo, hi in ranges):
+            findings.append(Finding(
+                path, line_of(code, m.start()), "raw-timer-in-hot-loop",
+                f"raw timing primitive `{m.group(0).strip()}` inside a loop "
+                "body: use obs::Span — Span::close() returns the same "
+                "elapsed seconds (PhaseTimer feeds unchanged) and the "
+                "measurement lands on the --trace-events timeline "
+                "(DESIGN.md §13)"))
+
+
 def check_ref_capture(code: str, findings, path):
     for m in REF_CAPTURE_COMM_RE.finditer(code):
         findings.append(Finding(
@@ -701,6 +750,7 @@ def lint_file(path: str) -> list[Finding]:
     check_raw_nonblocking_mpi(code, findings, path)
     check_raw_parallel_chunking(code, findings, path)
     check_raw_frontier_exchange(code, findings, path)
+    check_raw_timer_in_hot_loop(code, findings, path)
     check_ref_capture(code, findings, path)
     check_template_collectives(code, findings, path)
     if not (_HAVE_FLOWLINT and check_rank_divergent_cfg(path, findings)):

@@ -1,0 +1,409 @@
+#!/usr/bin/env python3
+"""Offline analyzer for hpcgraph --trace-events timelines (DESIGN.md §13).
+
+Consumes the merged Chrome-trace-event JSON written by `hpcgraph_cli
+--trace-events FILE` (schema "hpcgraph-trace-events-v1": one pid per rank,
+one tid per thread, "X" spans and "C" counters) and reports what the raw
+timeline means for the paper's questions:
+
+  * per-superstep critical path — which rank's round was longest, and the
+    max/mean imbalance across ranks for every round;
+  * per-rank load — total busy time per (rank, thread) lane;
+  * comm-hidden ratio — interior compute overlapped with the in-flight
+    exchange, recomputed from rank 0's exchange_start / exchange_finish /
+    compute_interior spans exactly the way the engine derives
+    SuperstepRecord.comm_hidden.
+
+Modes:
+  trace_report.py TRACE                      human-readable report
+  trace_report.py --check TRACE              schema/sanity gate (CI)
+  trace_report.py --validate-superstep SS TRACE
+                                             cross-check comm_hidden against
+                                             the --trace-json superstep
+                                             telemetry (5% tolerance)
+  trace_report.py --diff BASELINE TRACE      per-span-name regression diff
+  trace_report.py --selftest                 synthetic end-to-end self-test
+
+Exit status: 0 on success, 1 on failed validation/regression, 2 on usage.
+"""
+
+import argparse
+import json
+import os
+import sys
+from collections import defaultdict
+
+SCHEMA = "hpcgraph-trace-events-v1"
+
+SUPERSTEP = "engine.superstep"
+EXCHANGE_SPANS = ("engine.exchange", "engine.exchange_start",
+                  "engine.exchange_finish")
+INTERIOR = "engine.compute_interior"
+
+# --validate-superstep tolerance: the engine records exchange/overlap from
+# the very spans exported here, so the match is near-exact; 5 points of
+# absolute slack absorbs the µs truncation in SuperstepRecord.
+HIDDEN_TOL = 0.05
+
+
+def load(path):
+    with open(path, "r", encoding="utf-8") as f:
+        return json.load(f)
+
+
+def fail(msg):
+    print(f"trace_report: FAIL: {msg}", file=sys.stderr)
+    return 1
+
+
+# ---------------------------------------------------------------- parsing --
+
+def check(doc):
+    """Schema/sanity validation; returns a list of problems (empty = ok)."""
+    problems = []
+    if not isinstance(doc, dict):
+        return ["top level is not an object"]
+    other = doc.get("otherData", {})
+    if other.get("schema") != SCHEMA:
+        problems.append(f"otherData.schema != {SCHEMA!r}: "
+                        f"{other.get('schema')!r}")
+    events = doc.get("traceEvents")
+    if not isinstance(events, list) or not events:
+        problems.append("traceEvents missing or empty")
+        return problems
+    named_pids = set()
+    span_pids = set()
+    for i, e in enumerate(events):
+        ph = e.get("ph")
+        if ph not in ("M", "X", "C"):
+            problems.append(f"event {i}: unknown ph {ph!r}")
+            continue
+        if "pid" not in e or "tid" not in e:
+            problems.append(f"event {i}: missing pid/tid")
+            continue
+        if ph == "M":
+            if e.get("name") == "process_name":
+                named_pids.add(e["pid"])
+            continue
+        ts = e.get("ts")
+        if not isinstance(ts, (int, float)) or ts < 0:
+            problems.append(f"event {i}: bad ts {ts!r}")
+        if not e.get("name"):
+            problems.append(f"event {i}: missing name")
+        if ph == "X":
+            dur = e.get("dur")
+            if not isinstance(dur, (int, float)) or dur < 0:
+                problems.append(f"event {i}: bad dur {dur!r}")
+            span_pids.add(e["pid"])
+        if ph == "C" and "value" not in e.get("args", {}):
+            problems.append(f"event {i}: counter without args.value")
+    for pid in sorted(span_pids - named_pids):
+        problems.append(f"pid {pid} has spans but no process_name metadata")
+    ranks = other.get("ranks")
+    if isinstance(ranks, int) and len(span_pids) > ranks:
+        problems.append(f"{len(span_pids)} span pids but ranks={ranks}")
+    return problems
+
+
+def spans(doc, name=None):
+    for e in doc.get("traceEvents", []):
+        if e.get("ph") == "X" and (name is None or e.get("name") == name):
+            yield e
+
+
+def lane_names(doc):
+    """(pid, tid) -> 'rank N/thread' display label."""
+    procs, threads = {}, {}
+    for e in doc.get("traceEvents", []):
+        if e.get("ph") != "M":
+            continue
+        if e.get("name") == "process_name":
+            procs[e["pid"]] = e.get("args", {}).get("name", str(e["pid"]))
+        elif e.get("name") == "thread_name":
+            threads[(e["pid"], e["tid"])] = e.get("args", {}).get("name")
+    def label(pid, tid):
+        p = procs.get(pid, f"pid {pid}")
+        t = threads.get((pid, tid), f"tid {tid}")
+        return f"{p}/{t}"
+    return label
+
+
+def supersteps_by_rank(doc):
+    """pid -> main-lane superstep spans in timestamp order."""
+    per = defaultdict(list)
+    for e in spans(doc, SUPERSTEP):
+        per[e["pid"]].append(e)
+    for lst in per.values():
+        lst.sort(key=lambda e: e["ts"])
+    return per
+
+
+def children_in(doc, parent, names):
+    """Spans named in `names` on the parent's lane inside its window."""
+    lo, hi = parent["ts"], parent["ts"] + parent["dur"]
+    out = []
+    for e in spans(doc):
+        if (e["pid"] == parent["pid"] and e["tid"] == parent["tid"]
+                and e is not parent and e["name"] in names
+                and lo <= e["ts"] and e["ts"] + e["dur"] <= hi + 1e-9):
+            out.append(e)
+    return out
+
+
+def comm_hidden_per_superstep(doc, rank_pid=0):
+    """[(interior_us, exchange_us, hidden)] for rank 0's rounds, in order.
+
+    Mirrors SuperstepRecord.comm_hidden(): overlap / (overlap + exchange),
+    where exchange covers the blocking call or both split-phase halves.
+    """
+    out = []
+    for ss in supersteps_by_rank(doc).get(rank_pid, []):
+        interior = sum(e["dur"] for e in children_in(doc, ss, {INTERIOR}))
+        exch = sum(e["dur"]
+                   for e in children_in(doc, ss, set(EXCHANGE_SPANS)))
+        denom = interior + exch
+        out.append((interior, exch, interior / denom if denom > 0 else 0.0))
+    return out
+
+
+# ---------------------------------------------------------------- reports --
+
+def report(doc):
+    other = doc.get("otherData", {})
+    label = lane_names(doc)
+    print(f"schema {other.get('schema')}, ranks={other.get('ranks')}, "
+          f"dropped={other.get('dropped_events')}")
+
+    # Per-lane busy time (span durations don't double-count nesting much for
+    # a load view; report top-level superstep/sweep style names only).
+    busy = defaultdict(float)
+    count = defaultdict(int)
+    for e in spans(doc):
+        busy[(e["pid"], e["tid"])] += e["dur"]
+        count[(e["pid"], e["tid"])] += 1
+    print("\nper-lane span time (inclusive, µs):")
+    for (pid, tid) in sorted(busy):
+        print(f"  {label(pid, tid):<24} {busy[(pid, tid)]:>12.1f}  "
+              f"({count[(pid, tid)]} spans)")
+
+    per_rank = supersteps_by_rank(doc)
+    if not per_rank:
+        print("\nno superstep spans (not an engine run?)")
+        return 0
+
+    nrounds = min(len(v) for v in per_rank.values())
+    print(f"\nper-superstep critical path across {len(per_rank)} ranks "
+          f"({nrounds} rounds):")
+    print(f"  {'round':>5} {'crit rank':>9} {'max ms':>9} {'mean ms':>9} "
+          f"{'imbal':>6}")
+    for r in range(nrounds):
+        durs = {pid: per_rank[pid][r]["dur"] for pid in per_rank}
+        crit = max(durs, key=durs.get)
+        mx = durs[crit]
+        mean = sum(durs.values()) / len(durs)
+        imbal = mx / mean if mean > 0 else 0.0
+        print(f"  {r:>5} {crit:>9} {mx / 1e3:>9.3f} {mean / 1e3:>9.3f} "
+              f"{imbal:>6.2f}")
+
+    hidden = comm_hidden_per_superstep(doc)
+    overlapped = [h for h in hidden if h[1] > 0]
+    if overlapped:
+        print("\ncomm-hidden per round (rank 0, overlap/(overlap+exchange)):")
+        for i, (intr, exch, h) in enumerate(hidden):
+            print(f"  round {i:>3}: interior {intr / 1e3:8.3f} ms, "
+                  f"exchange {exch / 1e3:8.3f} ms, hidden {h:5.1%}")
+        tot_i = sum(h[0] for h in hidden)
+        tot_e = sum(h[1] for h in hidden)
+        agg = tot_i / (tot_i + tot_e) if tot_i + tot_e > 0 else 0.0
+        print(f"  aggregate hidden: {agg:.1%}")
+    return 0
+
+
+def validate_superstep(doc, ss_path):
+    """Cross-check trace-derived comm_hidden against --trace-json records."""
+    ss = load(ss_path)
+    if ss.get("schema") != "hpcgraph-superstep-trace-v1":
+        return fail(f"{ss_path}: not a superstep trace")
+    records = ss.get("supersteps", [])
+    derived = comm_hidden_per_superstep(doc)
+    if len(records) != len(derived):
+        return fail(f"{len(records)} superstep records vs "
+                    f"{len(derived)} superstep spans on rank 0")
+    worst = 0.0
+    checked = 0
+    for i, (rec, (_, _, h)) in enumerate(zip(records, derived)):
+        want = rec.get("comm_hidden", 0.0)
+        if rec.get("overlap_us", 0) == 0 and rec.get("exchange_us", 0) == 0:
+            continue  # round without a timed exchange window
+        checked += 1
+        delta = abs(h - want)
+        worst = max(worst, delta)
+        if delta > HIDDEN_TOL:
+            return fail(f"round {i}: trace comm_hidden {h:.4f} vs "
+                        f"record {want:.4f} (|Δ| {delta:.4f} > {HIDDEN_TOL})")
+    print(f"validate-superstep: OK — {checked}/{len(records)} rounds "
+          f"checked, worst |Δ| {worst:.4f} (tol {HIDDEN_TOL})")
+    return 0
+
+
+def diff(doc, base_path, max_regress):
+    """Per-span-name total-duration diff against a baseline trace."""
+    base = load(base_path)
+    def totals(d):
+        t = defaultdict(float)
+        for e in spans(d):
+            t[e["name"]] += e["dur"]
+        return t
+    cur, old = totals(doc), totals(base)
+    names = sorted(set(cur) | set(old))
+    print(f"{'span':<28} {'base ms':>10} {'now ms':>10} {'delta':>8}")
+    regressed = []
+    for n in names:
+        b, c = old.get(n, 0.0), cur.get(n, 0.0)
+        pct = (c - b) / b * 100.0 if b > 0 else float("inf") if c > 0 else 0.0
+        mark = ""
+        if b > 0 and pct > max_regress:
+            regressed.append((n, pct))
+            mark = "  <-- regression"
+        pct_s = f"{pct:+7.1f}%" if pct != float("inf") else "    new"
+        print(f"{n:<28} {b / 1e3:>10.3f} {c / 1e3:>10.3f} {pct_s}{mark}")
+    if regressed and max_regress < float("inf"):
+        return fail(f"{len(regressed)} span(s) regressed more than "
+                    f"{max_regress:.0f}%: "
+                    + ", ".join(f"{n} ({p:+.1f}%)" for n, p in regressed))
+    return 0
+
+
+# --------------------------------------------------------------- selftest --
+
+def _synthetic_trace():
+    """Two ranks × two threads, two supersteps with a known hidden ratio."""
+    ev = []
+    for pid in (0, 1):
+        ev.append({"ph": "M", "pid": pid, "tid": 0, "name": "process_name",
+                   "args": {"name": f"rank {pid}"}})
+        for tid, tname in ((0, "main"), (1, "pool-1")):
+            ev.append({"ph": "M", "pid": pid, "tid": tid,
+                       "name": "thread_name", "args": {"name": tname}})
+    # Round r on rank p: superstep [base, base+1000); start 100, interior
+    # 300, finish 100 -> hidden = 300 / (300 + 200) = 0.6 exactly.
+    for r in range(2):
+        for pid in (0, 1):
+            base = r * 2000 + pid * 10
+            ev.append({"ph": "X", "pid": pid, "tid": 0, "ts": base,
+                       "dur": 1000 + 50 * pid, "cat": "obs",
+                       "name": SUPERSTEP})
+            ev.append({"ph": "X", "pid": pid, "tid": 0, "ts": base + 10,
+                       "dur": 100, "cat": "obs",
+                       "name": "engine.exchange_start"})
+            ev.append({"ph": "X", "pid": pid, "tid": 0, "ts": base + 120,
+                       "dur": 300, "cat": "obs", "name": INTERIOR})
+            ev.append({"ph": "X", "pid": pid, "tid": 0, "ts": base + 430,
+                       "dur": 100, "cat": "obs",
+                       "name": "engine.exchange_finish"})
+            ev.append({"ph": "X", "pid": pid, "tid": 1, "ts": base + 120,
+                       "dur": 290, "cat": "obs", "name": "pool.sweep"})
+            ev.append({"ph": "C", "pid": pid, "tid": 0, "ts": base + 600,
+                       "name": "frontier.active", "args": {"value": 42.0}})
+    return {"displayTimeUnit": "ms",
+            "otherData": {"schema": SCHEMA, "ranks": 2, "dropped_events": 0},
+            "traceEvents": ev}
+
+
+def selftest():
+    doc = _synthetic_trace()
+    problems = check(doc)
+    assert not problems, problems
+    hidden = comm_hidden_per_superstep(doc)
+    assert len(hidden) == 2, hidden
+    for intr, exch, h in hidden:
+        assert abs(h - 0.6) < 1e-9, hidden
+        assert intr == 300 and exch == 200, hidden
+    # Cross-check against a synthetic superstep-trace with matching records.
+    ss = {"schema": "hpcgraph-superstep-trace-v1",
+          "supersteps": [{"comm_hidden": 0.6, "overlap_us": 300,
+                          "exchange_us": 200} for _ in range(2)]}
+    import tempfile, os
+    with tempfile.NamedTemporaryFile("w", suffix=".json", delete=False) as f:
+        json.dump(ss, f)
+        ss_path = f.name
+    try:
+        assert validate_superstep(doc, ss_path) == 0
+    finally:
+        os.unlink(ss_path)
+    # A corrupted trace must fail --check.
+    bad = _synthetic_trace()
+    next(e for e in bad["traceEvents"] if e["ph"] == "X")["dur"] = -1
+    assert check(bad), "corrupted trace passed check"
+    # Self-diff is regression-free; a doubled span trips the gate.
+    assert diff(doc, _write_tmp(doc), max_regress=10.0) == 0
+    slow = _synthetic_trace()
+    for e in slow["traceEvents"]:
+        if e.get("name") == INTERIOR:
+            e["dur"] *= 2
+    assert diff(slow, _write_tmp(doc), max_regress=10.0) == 1
+    assert report(doc) == 0
+    print("selftest: OK")
+    return 0
+
+
+def _write_tmp(doc):
+    import tempfile
+    f = tempfile.NamedTemporaryFile("w", suffix=".json", delete=False)
+    json.dump(doc, f)
+    f.close()
+    return f.name
+
+
+# -------------------------------------------------------------------- cli --
+
+def main(argv):
+    ap = argparse.ArgumentParser(
+        description=__doc__, formatter_class=argparse.RawDescriptionHelpFormatter)
+    ap.add_argument("trace", nargs="?", help="--trace-events JSON file")
+    ap.add_argument("--check", action="store_true",
+                    help="schema/sanity validation only (CI gate)")
+    ap.add_argument("--validate-superstep", metavar="SSTRACE",
+                    help="cross-check comm_hidden against a --trace-json file")
+    ap.add_argument("--diff", metavar="BASELINE",
+                    help="diff span totals against a baseline trace")
+    ap.add_argument("--max-regress", type=float, default=float("inf"),
+                    metavar="PCT",
+                    help="with --diff: fail when a span total grows > PCT%%")
+    ap.add_argument("--selftest", action="store_true",
+                    help="run the built-in synthetic self-test")
+    args = ap.parse_args(argv)
+
+    if args.selftest:
+        return selftest()
+    if not args.trace:
+        ap.print_usage(sys.stderr)
+        return 2
+    try:
+        doc = load(args.trace)
+    except (OSError, json.JSONDecodeError) as e:
+        return fail(f"{args.trace}: {e}")
+
+    problems = check(doc)
+    if problems:
+        for p in problems:
+            print(f"trace_report: {args.trace}: {p}", file=sys.stderr)
+        return 1
+    if args.check:
+        n = len(doc.get("traceEvents", []))
+        print(f"check: OK — {n} events, "
+              f"ranks={doc.get('otherData', {}).get('ranks')}")
+        return 0
+    if args.validate_superstep:
+        return validate_superstep(doc, args.validate_superstep)
+    if args.diff:
+        return diff(doc, args.diff, args.max_regress)
+    return report(doc)
+
+
+if __name__ == "__main__":
+    try:
+        sys.exit(main(sys.argv[1:]))
+    except BrokenPipeError:  # report piped into head/less and closed early
+        os.dup2(os.open(os.devnull, os.O_WRONLY), sys.stdout.fileno())
+        sys.exit(0)
